@@ -1,0 +1,147 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "datagen/nasa_generator.h"
+#include "datagen/xmark_generator.h"
+#include "graph/graph_algos.h"
+#include "query/load_analyzer.h"
+#include "query/workload.h"
+
+namespace dki {
+namespace bench {
+
+double ScaleFromEnv() {
+  const char* env = std::getenv("DKI_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return std::clamp(scale, 0.05, 100.0);
+}
+
+Dataset MakeXmark(double scale) {
+  XmarkOptions options;
+  options.scale = scale;
+  Dataset dataset;
+  dataset.name = "Xmark";
+  dataset.graph = GenerateXmarkGraph(options).graph;
+  dataset.ref_pairs = XmarkRefLabelPairs();
+  return dataset;
+}
+
+Dataset MakeNasa(double scale) {
+  NasaOptions options;
+  options.scale = scale;
+  Dataset dataset;
+  dataset.name = "Nasa";
+  dataset.graph = GenerateNasaGraph(options).graph;
+  dataset.ref_pairs = NasaRefLabelPairs();
+  return dataset;
+}
+
+void PrintDatasetBanner(const Dataset& dataset) {
+  GraphStats s = ComputeStats(dataset.graph);
+  std::printf(
+      "dataset=%s nodes=%lld edges=%lld labels=%lld depth=%d "
+      "non_tree_edges=%lld\n",
+      dataset.name.c_str(), static_cast<long long>(s.num_nodes),
+      static_cast<long long>(s.num_edges),
+      static_cast<long long>(s.num_labels), s.max_depth,
+      static_cast<long long>(s.num_non_tree_edges));
+}
+
+std::vector<PathExpression> MakeWorkload(const DataGraph& graph, int count,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  WorkloadOptions options;
+  options.num_queries = count;
+  Workload workload = GenerateWorkload(graph, options, &rng);
+  std::vector<PathExpression> parsed;
+  for (const std::string& text : workload.queries) {
+    std::string error;
+    auto expr = PathExpression::Parse(text, graph.labels(), &error);
+    DKI_CHECK(expr.has_value());
+    parsed.push_back(std::move(*expr));
+  }
+  return parsed;
+}
+
+LabelRequirements MineWorkloadRequirements(
+    const std::vector<PathExpression>& workload, const LabelTable& labels) {
+  LoadAnalyzerOptions options;
+  options.max_requirement = 4;  // A(4) is sound for the 2..5-label paths
+  return MineRequirements(workload, labels, options);
+}
+
+EvalStats EvaluateWorkload(const IndexGraph& index,
+                           const std::vector<PathExpression>& workload) {
+  EvalStats total;
+  for (const PathExpression& query : workload) {
+    EvaluateOnIndex(index, query, &total);
+  }
+  return total;
+}
+
+SeriesRow MakeRow(const std::string& name, const IndexGraph& index,
+                  const std::vector<PathExpression>& workload) {
+  EvalStats stats = EvaluateWorkload(index, workload);
+  SeriesRow row;
+  row.index_name = name;
+  row.index_nodes = index.NumIndexNodes();
+  row.index_edges = index.NumIndexEdges();
+  row.avg_cost = workload.empty()
+                     ? 0.0
+                     : static_cast<double>(stats.cost()) /
+                           static_cast<double>(workload.size());
+  row.validation_visits = stats.data_nodes_visited;
+  row.uncertain_nodes = stats.uncertain_index_nodes;
+  return row;
+}
+
+void PrintSeries(const std::string& title,
+                 const std::vector<SeriesRow>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-8s %12s %12s %14s %14s %10s\n", "index", "index_nodes",
+              "index_edges", "avg_cost", "valid_visits", "uncertain");
+  for (const SeriesRow& row : rows) {
+    std::printf("%-8s %12lld %12lld %14.2f %14lld %10lld\n",
+                row.index_name.c_str(),
+                static_cast<long long>(row.index_nodes),
+                static_cast<long long>(row.index_edges), row.avg_cost,
+                static_cast<long long>(row.validation_visits),
+                static_cast<long long>(row.uncertain_nodes));
+  }
+}
+
+std::vector<std::pair<NodeId, NodeId>> MakeUpdateEdges(const Dataset& dataset,
+                                                       int count,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  const DataGraph& g = dataset.graph;
+  // Pre-resolve label groups once.
+  std::vector<std::pair<std::vector<NodeId>, std::vector<NodeId>>> groups;
+  for (const auto& [from_label, to_label] : dataset.ref_pairs) {
+    LabelId lf = g.labels().Find(from_label);
+    LabelId lt = g.labels().Find(to_label);
+    if (lf == kInvalidLabel || lt == kInvalidLabel) continue;
+    auto froms = g.NodesWithLabel(lf);
+    auto tos = g.NodesWithLabel(lt);
+    if (froms.empty() || tos.empty()) continue;
+    groups.emplace_back(std::move(froms), std::move(tos));
+  }
+  DKI_CHECK(!groups.empty());
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto& [froms, tos] = groups[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(groups.size()) - 1))];
+    edges.emplace_back(rng.Pick(froms), rng.Pick(tos));
+  }
+  return edges;
+}
+
+}  // namespace bench
+}  // namespace dki

@@ -1,0 +1,97 @@
+// Ablation bench (DESIGN.md §5): construction cost and index size across
+// the index family — A(k) for k = 0..5, the 1-index via both engines
+// (splitter queue vs iterated refinement), and D(k) with workload-mined
+// requirements (reporting the broadcast's share). Also sweeps the demoting
+// process to show Theorem 2 quotienting is much cheaper than rebuilding.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "index/ak_index.h"
+#include "index/dk_index.h"
+#include "index/one_index.h"
+
+namespace dki {
+namespace bench {
+namespace {
+
+void RunConstruction(Dataset dataset) {
+  PrintDatasetBanner(dataset);
+  std::printf("%-22s %12s %12s %12s\n", "construction", "index_nodes",
+              "index_edges", "time_ms");
+
+  for (int k = 0; k <= 5; ++k) {
+    DataGraph copy = dataset.graph;
+    WallTimer timer;
+    AkIndex ak = AkIndex::Build(&copy, k);
+    std::printf("%-22s %12lld %12lld %12.1f\n",
+                ("A(" + std::to_string(k) + ")").c_str(),
+                static_cast<long long>(ak.index().NumIndexNodes()),
+                static_cast<long long>(ak.index().NumIndexEdges()),
+                timer.ElapsedMillis());
+  }
+  {
+    DataGraph copy = dataset.graph;
+    WallTimer timer;
+    IndexGraph one =
+        OneIndex::Build(&copy, OneIndex::Algorithm::kSplitterQueue);
+    std::printf("%-22s %12lld %12lld %12.1f\n", "1-index(splitter)",
+                static_cast<long long>(one.NumIndexNodes()),
+                static_cast<long long>(one.NumIndexEdges()),
+                timer.ElapsedMillis());
+  }
+  {
+    DataGraph copy = dataset.graph;
+    WallTimer timer;
+    IndexGraph one =
+        OneIndex::Build(&copy, OneIndex::Algorithm::kIteratedRefinement);
+    std::printf("%-22s %12lld %12lld %12.1f\n", "1-index(fixpoint)",
+                static_cast<long long>(one.NumIndexNodes()),
+                static_cast<long long>(one.NumIndexEdges()),
+                timer.ElapsedMillis());
+  }
+  {
+    DataGraph copy = dataset.graph;
+    std::vector<PathExpression> workload = MakeWorkload(copy, 100, 20030609);
+    LabelRequirements reqs = MineWorkloadRequirements(workload, copy.labels());
+    WallTimer timer;
+    DkIndex dk = DkIndex::Build(&copy, reqs);
+    double build_ms = timer.ElapsedMillis();
+    std::printf("%-22s %12lld %12lld %12.1f\n", "D(k)(mined reqs)",
+                static_cast<long long>(dk.index().NumIndexNodes()),
+                static_cast<long long>(dk.index().NumIndexEdges()),
+                build_ms);
+
+    // Demotion ablation: shrinking via Theorem 2 quotienting vs full
+    // reconstruction at the lower requirements.
+    LabelRequirements halved;
+    for (const auto& [label, k] : reqs) halved[label] = k / 2;
+    timer.Restart();
+    dk.Demote(halved);
+    double demote_ms = timer.ElapsedMillis();
+    DataGraph copy2 = dataset.graph;
+    timer.Restart();
+    DkIndex fresh = DkIndex::Build(&copy2, halved);
+    double rebuild_ms = timer.ElapsedMillis();
+    std::printf(
+        "%-22s %12lld %12s %12.1f (vs %.1f ms full rebuild, %.1fx)\n",
+        "D(k) demote(k/2)",
+        static_cast<long long>(dk.index().NumIndexNodes()), "-", demote_ms,
+        rebuild_ms, demote_ms > 0 ? rebuild_ms / demote_ms : 0.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dki
+
+int main() {
+  double scale = dki::bench::ScaleFromEnv();
+  dki::bench::RunConstruction(dki::bench::MakeXmark(scale * 6.0));
+  dki::bench::RunConstruction(dki::bench::MakeNasa(scale * 6.0));
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 4: evaluation performance comparison between the
+// D(k)-index and the A(k)-index on XMark data, before updating.
+
+#include "bench/bench_experiments.h"
+
+int main() {
+  double scale = dki::bench::ScaleFromEnv();
+  dki::bench::RunEvalBeforeUpdating(dki::bench::MakeXmark(scale * 6.0),
+                                    "Figure 4");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 5: evaluation performance comparison between the
+// D(k)-index and the A(k)-index on NASA data, before updating.
+
+#include "bench/bench_experiments.h"
+
+int main() {
+  double scale = dki::bench::ScaleFromEnv();
+  dki::bench::RunEvalBeforeUpdating(dki::bench::MakeNasa(scale * 6.0),
+                                    "Figure 5");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 6: evaluation performance comparison between the
+// D(k)-index and the A(k)-index on XMark data, after 100 edge additions.
+
+#include "bench/bench_experiments.h"
+
+int main() {
+  double scale = dki::bench::ScaleFromEnv();
+  dki::bench::RunEvalAfterUpdating(dki::bench::MakeXmark(scale * 6.0),
+                                   "Figure 6");
+  return 0;
+}

@@ -1,0 +1,217 @@
+// google-benchmark microbenchmarks for the library's hot primitives:
+// partition refinement rounds, the splitter-queue 1-index, path-expression
+// compilation, index/product evaluation, reverse-NFA validation, and
+// Algorithm 4's label-path probe.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "dtd/dtd_generator.h"
+#include "dtd/dtd_parser.h"
+#include "index/ak_index.h"
+#include "index/dk_index.h"
+#include "index/fb_index.h"
+#include "index/one_index.h"
+#include "index/paige_tarjan.h"
+#include "index/partition.h"
+#include "query/evaluator.h"
+#include "query/load_analyzer.h"
+#include "twig/twig.h"
+
+namespace dki {
+namespace {
+
+const bench::Dataset& SharedXmark() {
+  static const bench::Dataset* dataset =
+      new bench::Dataset(bench::MakeXmark(0.5));
+  return *dataset;
+}
+
+void BM_LabelSplit(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  for (auto _ : state) {
+    Partition p = LabelSplit(g);
+    benchmark::DoNotOptimize(p.num_blocks);
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumNodes());
+}
+BENCHMARK(BM_LabelSplit);
+
+void BM_RefineOnce(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  Partition p = LabelSplit(g);
+  std::vector<bool> all(static_cast<size_t>(p.num_blocks), true);
+  for (auto _ : state) {
+    Partition next = RefineOnce(g, p, all);
+    benchmark::DoNotOptimize(next.num_blocks);
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_RefineOnce);
+
+void BM_KBisimulation(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  for (auto _ : state) {
+    Partition p = ComputeKBisimulation(g, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(p.num_blocks);
+  }
+}
+BENCHMARK(BM_KBisimulation)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CoarsestStablePartition(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  for (auto _ : state) {
+    Partition p = CoarsestStablePartition(g);
+    benchmark::DoNotOptimize(p.num_blocks);
+  }
+}
+BENCHMARK(BM_CoarsestStablePartition);
+
+void BM_BroadcastRequirements(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  auto parents = ComputeLabelParents(g, g.labels().size());
+  std::vector<int> initial(static_cast<size_t>(g.labels().size()), 0);
+  initial[static_cast<size_t>(g.labels().Find("item"))] = 4;
+  initial[static_cast<size_t>(g.labels().Find("name"))] = 3;
+  for (auto _ : state) {
+    auto out = BroadcastLabelRequirements(parents, initial);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BroadcastRequirements);
+
+void BM_ParseAndCompileQuery(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  std::string error;
+  for (auto _ : state) {
+    auto q = PathExpression::Parse(
+        "site.open_auctions.open_auction.bidder.personref", g.labels(),
+        &error);
+    benchmark::DoNotOptimize(q->forward().num_states());
+  }
+}
+BENCHMARK(BM_ParseAndCompileQuery);
+
+void BM_EvaluateOnIndex(benchmark::State& state) {
+  const bench::Dataset& dataset = SharedXmark();
+  DataGraph copy = dataset.graph;
+  AkIndex ak = AkIndex::Build(&copy, static_cast<int>(state.range(0)));
+  std::string error;
+  auto q = PathExpression::Parse("open_auction.bidder.personref",
+                                 copy.labels(), &error);
+  for (auto _ : state) {
+    EvalStats stats;
+    auto result = EvaluateOnIndex(ak.index(), *q, &stats);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_EvaluateOnIndex)->Arg(0)->Arg(2)->Arg(4);
+
+void BM_EvaluateOnDataGraph(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  std::string error;
+  auto q = PathExpression::Parse("open_auction.bidder.personref", g.labels(),
+                                 &error);
+  for (auto _ : state) {
+    EvalStats stats;
+    auto result = EvaluateOnDataGraph(g, *q, &stats);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_EvaluateOnDataGraph);
+
+void BM_ValidateCandidate(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  std::string error;
+  auto q = PathExpression::Parse("person.watches.watch", g.labels(), &error);
+  auto truth = EvaluateOnDataGraph(g, *q);
+  NodeId candidate = truth.empty() ? 1 : truth.front();
+  for (auto _ : state) {
+    int64_t visits = 0;
+    bool ok = ValidateCandidate(g, *q, candidate, &visits);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ValidateCandidate);
+
+void BM_DkEdgeAddition(benchmark::State& state) {
+  const bench::Dataset& dataset = SharedXmark();
+  auto edges = bench::MakeUpdateEdges(dataset, 512, 7);
+  DataGraph copy = dataset.graph;
+  auto workload = bench::MakeWorkload(copy, 100, 20030609);
+  LabelRequirements reqs =
+      bench::MineWorkloadRequirements(workload, copy.labels());
+  DkIndex dk = DkIndex::Build(&copy, reqs);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = edges[i++ % edges.size()];
+    auto stats = dk.AddEdge(u, v);
+    benchmark::DoNotOptimize(stats.new_local_similarity);
+  }
+}
+BENCHMARK(BM_DkEdgeAddition);
+
+void BM_FbIndexConstruction(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  for (auto _ : state) {
+    Partition p = FbIndex::ComputePartition(g);
+    benchmark::DoNotOptimize(p.num_blocks);
+  }
+}
+BENCHMARK(BM_FbIndexConstruction);
+
+void BM_TwigOnFbIndex(benchmark::State& state) {
+  const bench::Dataset& dataset = SharedXmark();
+  DataGraph copy = dataset.graph;
+  IndexGraph fb = FbIndex::Build(&copy);
+  std::string error;
+  auto twig = TwigQuery::Parse("open_auction[reserve].bidder.personref",
+                               copy.labels(), &error);
+  for (auto _ : state) {
+    auto result = twig->EvaluateOnIndex(fb);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_TwigOnFbIndex);
+
+void BM_DtdGenerate(benchmark::State& state) {
+  DtdSchema schema;
+  std::string error;
+  bool ok = ParseDtdFile("data/auction.dtd", &schema, &error) ||
+            ParseDtdFile("../data/auction.dtd", &schema, &error) ||
+            ParseDtdFile("../../data/auction.dtd", &schema, &error);
+  if (!ok) {
+    state.SkipWithError("data/auction.dtd not found (run from repo root)");
+    return;
+  }
+  DtdGeneratorOptions options;
+  options.element_budget = 5000;
+  options.p_more = 0.8;
+  options.max_repeats = 15;
+  for (auto _ : state) {
+    XmlDocument doc;
+    bool generated = GenerateFromDtd(schema, "site", options, &doc, &error);
+    benchmark::DoNotOptimize(generated);
+  }
+}
+BENCHMARK(BM_DtdGenerate);
+
+void BM_AkEdgeAdditionBaseline(benchmark::State& state) {
+  const bench::Dataset& dataset = SharedXmark();
+  auto edges = bench::MakeUpdateEdges(dataset, 512, 7);
+  DataGraph copy = dataset.graph;
+  AkIndex ak = AkIndex::Build(&copy, static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = edges[i++ % edges.size()];
+    auto stats = ak.AddEdgeBaseline(u, v);
+    benchmark::DoNotOptimize(stats.index_nodes_repartitioned);
+  }
+}
+BENCHMARK(BM_AkEdgeAdditionBaseline)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace dki
+
+BENCHMARK_MAIN();

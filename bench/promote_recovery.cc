@@ -1,0 +1,12 @@
+// The promoting experiment the paper defers to its full version (end of
+// Section 6.3): after the update storm degrades D(k)'s evaluation cost,
+// running the promoting process restores the no-validation performance.
+
+#include "bench/bench_experiments.h"
+
+int main() {
+  double scale = dki::bench::ScaleFromEnv();
+  dki::bench::RunPromoteRecovery(dki::bench::MakeXmark(scale * 6.0));
+  dki::bench::RunPromoteRecovery(dki::bench::MakeNasa(scale * 6.0));
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 1: update efficiency comparison between D(k) and A(k) —
+// total running time of 100 random ID/IDREF edge additions on XMark and
+// NASA data.
+
+#include "bench/bench_experiments.h"
+
+int main() {
+  double scale = dki::bench::ScaleFromEnv();
+  dki::bench::RunUpdateEfficiency(dki::bench::MakeXmark(scale * 6.0),
+                                  dki::bench::MakeNasa(scale * 6.0));
+  return 0;
+}

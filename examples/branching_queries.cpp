@@ -1,0 +1,69 @@
+// Branching path (twig) queries over the F&B index — the frontier the
+// paper's future work points to. Shows why backward-only summaries
+// (1-index / A(k) / D(k)) cannot answer branching predicates exactly, and
+// how the forward+backward-stable F&B index can.
+//
+//   $ ./build/examples/branching_queries
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datagen/xmark_generator.h"
+#include "index/fb_index.h"
+#include "index/one_index.h"
+#include "twig/twig.h"
+
+namespace {
+
+void Run(const dki::DataGraph& g, const dki::IndexGraph& one,
+         const dki::IndexGraph& fb, const std::string& text) {
+  std::string error;
+  auto twig = dki::TwigQuery::Parse(text, g.labels(), &error);
+  if (!twig.has_value()) {
+    std::fprintf(stderr, "bad twig %s: %s\n", text.c_str(), error.c_str());
+    return;
+  }
+  auto truth = twig->EvaluateOnDataGraph(g);
+  auto via_one = twig->EvaluateOnIndex(one);
+  auto via_fb = twig->EvaluateOnIndex(fb);
+  std::printf("%-48s truth=%5zu  1-index=%5zu%s  F&B=%5zu%s\n", text.c_str(),
+              truth.size(), via_one.size(),
+              via_one == truth ? " (exact)" : " (SAFE superset)",
+              via_fb.size(), via_fb == truth ? " (exact)" : " (BUG)");
+}
+
+}  // namespace
+
+int main() {
+  dki::XmarkOptions options;
+  options.scale = 0.5;
+  dki::DataGraph g = dki::GenerateXmarkGraph(options).graph;
+  std::printf("auction site: %lld nodes, %lld edges\n",
+              static_cast<long long>(g.NumNodes()),
+              static_cast<long long>(g.NumEdges()));
+
+  dki::IndexGraph one = dki::OneIndex::Build(&g);
+  dki::IndexGraph fb = dki::FbIndex::Build(&g);
+  std::printf("1-index: %lld nodes (backward-stable only)\n",
+              static_cast<long long>(one.NumIndexNodes()));
+  std::printf("F&B:     %lld nodes (backward- and forward-stable)\n\n",
+              static_cast<long long>(fb.NumIndexNodes()));
+
+  // Branching questions an auction site would actually ask.
+  Run(g, one, fb, "open_auction[reserve].bidder");
+  Run(g, one, fb, "person[watches].name");
+  Run(g, one, fb, "item[mailbox.mail].name");
+  Run(g, one, fb, "open_auction[bidder][reserve].seller");
+  Run(g, one, fb, "person[profile.interest].emailaddress");
+  Run(g, one, fb, "item[incategory][description.parlist].name");
+
+  std::printf(
+      "\nThe 1-index groups nodes by *incoming* paths only, so extents mix\n"
+      "nodes with and without the bracketed subtrees — its raw twig answer\n"
+      "over-approximates. The F&B partition is stable in both directions\n"
+      "and answers every branching query exactly (at ~%.1fx the size).\n",
+      static_cast<double>(fb.NumIndexNodes()) /
+          static_cast<double>(one.NumIndexNodes()));
+  return 0;
+}

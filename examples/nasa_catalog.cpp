@@ -1,0 +1,88 @@
+// Astronomical catalog scenario (the paper's NASA dataset): materialize the
+// generated document as a real .xml file, load it back through the XML
+// parser, and explore the irregular structure with regular path expressions
+// (wildcards, descendant-or-self, alternation) over a D(k)-index.
+//
+//   $ ./build/examples/nasa_catalog [output.xml]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "datagen/nasa_generator.h"
+#include "graph/graph_algos.h"
+#include "index/dk_index.h"
+#include "query/evaluator.h"
+#include "query/load_analyzer.h"
+#include "xml/xml_to_graph.h"
+#include "xml/xml_writer.h"
+
+int main(int argc, char** argv) {
+  // 1. Generate and write a real XML file.
+  dki::NasaOptions options;
+  options.scale = 0.5;
+  dki::XmlDocument doc = dki::GenerateNasaDocument(options);
+  std::string path = argc > 1 ? argv[1] : "/tmp/nasa_catalog.xml";
+  {
+    std::ofstream out(path);
+    out << dki::WriteXml(doc);
+  }
+  std::printf("wrote %s (%lld elements)\n", path.c_str(),
+              static_cast<long long>(doc.root->CountElements()));
+
+  // 2. Load it back from disk: parse + ID/IDREF resolution.
+  std::string xml;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    xml = buffer.str();
+  }
+  dki::XmlToGraphResult loaded;
+  std::string error;
+  if (!dki::LoadXmlAsGraph(xml, dki::NasaGraphOptions(), &loaded, &error)) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 1;
+  }
+  dki::DataGraph& g = loaded.graph;
+  dki::GraphStats stats = dki::ComputeStats(g);
+  std::printf(
+      "catalog graph: %lld nodes, %lld edges (%lld references), depth %d\n",
+      static_cast<long long>(stats.num_nodes),
+      static_cast<long long>(stats.num_edges),
+      static_cast<long long>(stats.num_non_tree_edges), stats.max_depth);
+
+  // 3. Regular path expressions over the irregular structure. The optional
+  //    and descendant operators absorb the schema variance, exactly the
+  //    pattern the paper's Section 3 motivates.
+  std::vector<std::string> queries = {
+      "dataset.title",
+      "dataset//keyword",                       // keywords at any depth
+      "dataset.reference.source.(journalref|other)",
+      "history.revision.authorref",
+      "dataset.tableHead.fields.field.name",
+      "para.footnote.para",                     // recursive prose
+      "dataset.(_)?.authorref",                 // tolerate irregularity
+  };
+  dki::LabelRequirements reqs =
+      dki::MineRequirementsFromText(queries, g.labels());
+  dki::DkIndex dk = dki::DkIndex::Build(&g, reqs);
+  std::printf("D(k)-index: %lld nodes (data graph has %lld)\n\n",
+              static_cast<long long>(dk.index().NumIndexNodes()),
+              static_cast<long long>(g.NumNodes()));
+
+  for (const std::string& text : queries) {
+    auto q = dki::PathExpression::Parse(text, g.labels(), &error);
+    if (!q.has_value()) {
+      std::fprintf(stderr, "bad query %s: %s\n", text.c_str(), error.c_str());
+      continue;
+    }
+    dki::EvalStats es;
+    auto result = dki::EvaluateOnIndex(dk.index(), *q, &es);
+    std::printf("%-46s %6zu results, cost %lld%s\n", text.c_str(),
+                result.size(), static_cast<long long>(es.cost()),
+                es.uncertain_index_nodes > 0 ? " (validated)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: load an XML document, build a D(k)-index tuned to a query
+// load, and evaluate path expressions on the index.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "index/dk_index.h"
+#include "query/evaluator.h"
+#include "query/load_analyzer.h"
+#include "xml/xml_to_graph.h"
+
+int main() {
+  // 1. An XML document with an IDREF reference (movie shared by a director
+  //    and an actor), making the data model a graph, not a tree.
+  const char* xml = R"(
+    <movieDB>
+      <director><name>Kurosawa</name>
+        <movie id="m1"><title>Ran</title></movie>
+        <movie><title>Ikiru</title></movie>
+      </director>
+      <actor><name>Nakadai</name><movieref idref="m1"/></actor>
+    </movieDB>)";
+
+  dki::XmlToGraphResult loaded;
+  std::string error;
+  if (!dki::LoadXmlAsGraph(xml, {}, &loaded, &error)) {
+    std::fprintf(stderr, "XML error: %s\n", error.c_str());
+    return 1;
+  }
+  dki::DataGraph& graph = loaded.graph;
+  std::printf("loaded graph: %lld nodes, %lld edges\n",
+              static_cast<long long>(graph.NumNodes()),
+              static_cast<long long>(graph.NumEdges()));
+
+  // 2. Describe the query load and mine per-label similarity requirements.
+  std::vector<std::string> query_load = {
+      "director.movie.title",  // needs 2-bisimilarity at `title`
+      "actor.name",            // needs 1-bisimilarity at `name`
+  };
+  dki::LabelRequirements reqs =
+      dki::MineRequirementsFromText(query_load, graph.labels());
+
+  // 3. Build the adaptive structural summary.
+  dki::DkIndex index = dki::DkIndex::Build(&graph, reqs);
+  std::printf("D(k)-index: %lld index nodes over %lld data nodes\n",
+              static_cast<long long>(index.index().NumIndexNodes()),
+              static_cast<long long>(graph.NumNodes()));
+
+  // 4. Evaluate a query on the index; the workload's queries are answered
+  //    exactly without touching the data graph.
+  for (const std::string& text : query_load) {
+    auto query = dki::PathExpression::Parse(text, graph.labels(), &error);
+    dki::EvalStats stats;
+    auto result = dki::EvaluateOnIndex(index.index(), *query, &stats);
+    std::printf("query %-22s -> %lld nodes (cost %lld, validation %s)\n",
+                text.c_str(), static_cast<long long>(result.size()),
+                static_cast<long long>(stats.cost()),
+                stats.uncertain_index_nodes == 0 ? "not needed" : "used");
+  }
+
+  // 5. The index survives data updates: new edges only adjust local
+  //    similarities (never re-partitioning against the data).
+  dki::NodeId some_actor =
+      graph.NodesWithLabel(graph.labels().Find("actor")).front();
+  dki::NodeId some_movie =
+      graph.NodesWithLabel(graph.labels().Find("movie")).back();
+  auto update = index.AddEdge(some_actor, some_movie);
+  std::printf("added edge actor->movie: target similarity now %d\n",
+              update.new_local_similarity);
+  return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef DKINDEX_COMMON_LOGGING_H_
+#define DKINDEX_COMMON_LOGGING_H_
+
+// Lightweight assertion macros in the spirit of glog's CHECK family.
+//
+// The project follows the Google C++ style guide: exceptions are not used,
+// so violated invariants (programmer errors) abort the process with a
+// diagnostic. Recoverable input errors (e.g. XML or query-syntax problems)
+// are reported through return values instead, never through these macros.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dki {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dki
+
+// Aborts when `expr` is false. Always compiled in.
+#define DKI_CHECK(expr)                                       \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::dki::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                         \
+  } while (0)
+
+#define DKI_CHECK_EQ(a, b) DKI_CHECK((a) == (b))
+#define DKI_CHECK_NE(a, b) DKI_CHECK((a) != (b))
+#define DKI_CHECK_LT(a, b) DKI_CHECK((a) < (b))
+#define DKI_CHECK_LE(a, b) DKI_CHECK((a) <= (b))
+#define DKI_CHECK_GT(a, b) DKI_CHECK((a) > (b))
+#define DKI_CHECK_GE(a, b) DKI_CHECK((a) >= (b))
+
+// Debug-only check: compiled out in NDEBUG builds so hot paths stay cheap.
+#ifdef NDEBUG
+#define DKI_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define DKI_DCHECK(expr) DKI_CHECK(expr)
+#endif
+
+#endif  // DKINDEX_COMMON_LOGGING_H_

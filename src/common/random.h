@@ -1,0 +1,68 @@
+#ifndef DKINDEX_COMMON_RANDOM_H_
+#define DKINDEX_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dki {
+
+// Deterministic, seedable pseudo-random number generator (xoshiro256**,
+// seeded through SplitMix64). All data generators, workload generators and
+// randomized tests in this project draw from this class so that every
+// experiment is reproducible from a single seed.
+//
+// Not thread-safe; use one instance per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  // Re-seeds the generator. The four xoshiro words are expanded from `seed`
+  // with SplitMix64, which guarantees a well-mixed non-zero state.
+  void Seed(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    DKI_CHECK(!v.empty());
+    return v[static_cast<size_t>(UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  // Samples an index in [0, weights.size()) proportionally to `weights`.
+  // Requires at least one strictly positive weight.
+  size_t PickWeighted(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // Geometric-ish small count: returns n >= min_count, each extra unit added
+  // with probability `p_more` (capped at max_count). Handy for "one or more
+  // children" DTD content models.
+  int GeometricCount(int min_count, int max_count, double p_more);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_COMMON_RANDOM_H_

@@ -1,0 +1,25 @@
+#ifndef DKINDEX_COMMON_STRING_UTIL_H_
+#define DKINDEX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dki {
+
+// Splits `s` on `sep`, omitting empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace dki
+
+#endif  // DKINDEX_COMMON_STRING_UTIL_H_

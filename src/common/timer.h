@@ -1,0 +1,36 @@
+#ifndef DKINDEX_COMMON_TIMER_H_
+#define DKINDEX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dki {
+
+// Simple monotonic wall-clock timer for measuring update/construction times
+// in the experiment harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_COMMON_TIMER_H_

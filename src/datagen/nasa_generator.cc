@@ -1,0 +1,376 @@
+#include "datagen/nasa_generator.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/random.h"
+
+namespace dki {
+namespace {
+
+constexpr const char* kWords[] = {
+    "stellar", "survey", "photometric", "spectral",  "catalog", "infrared",
+    "quasar",  "nebula", "redshift",    "luminosity", "proper",  "motion",
+    "binary",  "cluster", "galactic",   "epoch",      "band",    "magnitude",
+};
+
+class NasaBuilder {
+ public:
+  explicit NasaBuilder(const NasaOptions& options)
+      : rng_(options.seed),
+        num_datasets_(std::max(2, static_cast<int>(300 * options.scale))),
+        num_journals_(std::max(2, static_cast<int>(30 * options.scale))),
+        num_authors_(std::max(2, static_cast<int>(120 * options.scale))),
+        num_instruments_(std::max(2, static_cast<int>(15 * options.scale))),
+        num_facilities_(std::max(2, static_cast<int>(8 * options.scale))) {}
+
+  XmlDocument Build() {
+    XmlDocument doc;
+    doc.root = std::make_unique<XmlElement>();
+    doc.root->tag = "datasets";
+    BuildFacilities(doc.root.get());
+    BuildInstruments(doc.root.get());
+    BuildJournals(doc.root.get());
+    BuildAuthorIndex(doc.root.get());
+    for (int i = 0; i < num_datasets_; ++i) {
+      BuildDataset(doc.root.get(), i);
+    }
+    return doc;
+  }
+
+ private:
+  XmlElement* Child(XmlElement* parent, std::string tag) {
+    parent->children.push_back(std::make_unique<XmlElement>());
+    XmlElement* e = parent->children.back().get();
+    e->tag = std::move(tag);
+    return e;
+  }
+
+  XmlElement* TextChild(XmlElement* parent, std::string tag, int words = 2) {
+    XmlElement* e = Child(parent, std::move(tag));
+    e->text = Words(words);
+    return e;
+  }
+
+  std::string Words(int n) {
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i != 0) out.push_back(' ');
+      out.append(
+          kWords[rng_.UniformInt(0, static_cast<int64_t>(std::size(kWords)) -
+                                        1)]);
+    }
+    return out;
+  }
+
+  std::string DatasetId() {
+    return "dataset" + std::to_string(rng_.UniformInt(0, num_datasets_ - 1));
+  }
+  std::string JournalId() {
+    return "journal" + std::to_string(rng_.UniformInt(0, num_journals_ - 1));
+  }
+  std::string AuthorId() {
+    return "author" + std::to_string(rng_.UniformInt(0, num_authors_ - 1));
+  }
+  std::string InstrumentId() {
+    return "instrument" +
+           std::to_string(rng_.UniformInt(0, num_instruments_ - 1));
+  }
+  std::string FacilityId() {
+    return "facility" +
+           std::to_string(rng_.UniformInt(0, num_facilities_ - 1));
+  }
+
+  void Ref(XmlElement* parent, std::string tag, std::string target) {
+    XmlElement* e = Child(parent, std::move(tag));
+    e->attributes.emplace_back("ref", std::move(target));
+  }
+
+  // --- registries (reference targets) -----------------------------------
+
+  void BuildFacilities(XmlElement* root) {
+    XmlElement* facilities = Child(root, "facilities");
+    for (int i = 0; i < num_facilities_; ++i) {
+      XmlElement* facility = Child(facilities, "facility");
+      facility->attributes.emplace_back("id",
+                                        "facility" + std::to_string(i));
+      TextChild(facility, "name");
+      if (rng_.Bernoulli(0.6)) TextChild(facility, "location");
+    }
+  }
+
+  void BuildInstruments(XmlElement* root) {
+    XmlElement* instruments = Child(root, "instruments");
+    for (int i = 0; i < num_instruments_; ++i) {
+      XmlElement* instrument = Child(instruments, "instrument");
+      instrument->attributes.emplace_back("id",
+                                          "instrument" + std::to_string(i));
+      TextChild(instrument, "name");
+      if (rng_.Bernoulli(0.5)) {
+        // 8th reference kind: instrument -> hosting facility.
+        Ref(instrument, "facilityref", FacilityId());
+      }
+      if (rng_.Bernoulli(0.4)) TextChild(instrument, "waveband");
+      if (rng_.Bernoulli(0.4)) {
+        XmlElement* detector = Child(instrument, "detector");
+        TextChild(detector, "name", 1);
+        if (rng_.Bernoulli(0.5)) TextChild(detector, "pixelSize", 1);
+      }
+    }
+  }
+
+  void BuildJournals(XmlElement* root) {
+    XmlElement* journals = Child(root, "journals");
+    for (int i = 0; i < num_journals_; ++i) {
+      XmlElement* journal = Child(journals, "journal");
+      journal->attributes.emplace_back("id", "journal" + std::to_string(i));
+      TextChild(journal, "name", 3);
+      if (rng_.Bernoulli(0.7)) TextChild(journal, "publisher");
+    }
+  }
+
+  void BuildAuthorIndex(XmlElement* root) {
+    XmlElement* authors = Child(root, "authorIndex");
+    for (int i = 0; i < num_authors_; ++i) {
+      XmlElement* author = Child(authors, "author");
+      author->attributes.emplace_back("id", "author" + std::to_string(i));
+      if (rng_.Bernoulli(0.8)) TextChild(author, "initial", 1);
+      TextChild(author, "lastname", 1);
+      if (rng_.Bernoulli(0.2)) TextChild(author, "affiliation");
+    }
+  }
+
+  // --- datasets ----------------------------------------------------------
+
+  // Recursive, irregular paragraph structure: para may nest inline markup
+  // and footnotes, which nest paras again — this recursion is what makes
+  // the catalog markedly deeper than XMark's parlist nesting.
+  void BuildPara(XmlElement* parent, int depth) {
+    XmlElement* para = Child(parent, "para");
+    para->text = Words(4);
+    if (rng_.Bernoulli(0.25)) TextChild(para, "emphasis", 1);
+    if (rng_.Bernoulli(0.1)) TextChild(para, "sub", 1);
+    if (rng_.Bernoulli(0.1)) TextChild(para, "sup", 1);
+    if (depth < 6 && rng_.Bernoulli(0.4)) {
+      XmlElement* footnote = Child(para, "footnote");
+      int inner = rng_.GeometricCount(1, 2, 0.3);
+      for (int i = 0; i < inner; ++i) BuildPara(footnote, depth + 1);
+    }
+  }
+
+  void BuildReference(XmlElement* dataset) {
+    XmlElement* reference = Child(dataset, "reference");
+    XmlElement* source = Child(reference, "source");
+    if (rng_.Bernoulli(0.55)) {
+      // journal-hosted source; journalref is a reference kind.
+      Ref(source, "journalref", JournalId());
+      TextChild(source, "volume", 1);
+      XmlElement* date = Child(source, "date");
+      TextChild(date, "year", 1);
+      if (rng_.Bernoulli(0.6)) TextChild(date, "month", 1);
+      if (rng_.Bernoulli(0.3)) TextChild(date, "day", 1);
+    } else {
+      XmlElement* other = Child(source, "other");
+      TextChild(other, "title", 4);
+      int authors = rng_.GeometricCount(1, 3, 0.4);
+      for (int i = 0; i < authors; ++i) {
+        Ref(other, "authorref", AuthorId());
+      }
+      if (rng_.Bernoulli(0.4)) TextChild(other, "publisher");
+    }
+  }
+
+  void BuildHistory(XmlElement* dataset) {
+    XmlElement* history = Child(dataset, "history");
+    XmlElement* creation = Child(history, "creationDate");
+    TextChild(creation, "year", 1);
+    TextChild(creation, "month", 1);
+    if (rng_.Bernoulli(0.5)) {
+      XmlElement* ingest = Child(history, "ingest");
+      Ref(ingest, "creatorref", AuthorId());
+      TextChild(ingest, "date", 1);
+    }
+    int revisions = rng_.GeometricCount(0, 4, 0.45);
+    for (int i = 0; i < revisions; ++i) {
+      XmlElement* revision = Child(history, "revision");
+      TextChild(revision, "date", 1);
+      Ref(revision, "authorref", AuthorId());
+      BuildPara(revision, 1);
+    }
+  }
+
+  void BuildTableHead(XmlElement* dataset) {
+    XmlElement* table_head = Child(dataset, "tableHead");
+    if (rng_.Bernoulli(0.5)) {
+      XmlElement* links = Child(table_head, "tableLinks");
+      int count = rng_.GeometricCount(1, 4, 0.5);
+      for (int i = 0; i < count; ++i) {
+        // tableLink -> other dataset: a reference kind.
+        Ref(links, "tableLink", DatasetId());
+      }
+    }
+    XmlElement* fields = Child(table_head, "fields");
+    int count = rng_.GeometricCount(2, 10, 0.6);
+    for (int i = 0; i < count; ++i) {
+      XmlElement* field = Child(fields, "field");
+      TextChild(field, "name", 1);
+      if (rng_.Bernoulli(0.7)) TextChild(field, "definition", 3);
+      if (rng_.Bernoulli(0.4)) TextChild(field, "units", 1);
+      if (rng_.Bernoulli(0.3)) {
+        XmlElement* range = Child(field, "range");
+        TextChild(range, "minimum", 1);
+        TextChild(range, "maximum", 1);
+      }
+      if (rng_.Bernoulli(0.15)) TextChild(field, "scale", 1);
+      if (rng_.Bernoulli(0.2)) TextChild(field, "ucd", 1);
+    }
+  }
+
+  // Sky/time coverage block — heavily optional, nasa.dtd style.
+  void BuildCoverage(XmlElement* dataset) {
+    XmlElement* coverage = Child(dataset, "coverage");
+    if (rng_.Bernoulli(0.7)) {
+      XmlElement* spatial = Child(coverage, "spatial");
+      TextChild(spatial, "region", 2);
+      if (rng_.Bernoulli(0.4)) TextChild(spatial, "resolution", 1);
+    }
+    if (rng_.Bernoulli(0.5)) {
+      XmlElement* temporal = Child(coverage, "temporal");
+      TextChild(temporal, "startTime", 1);
+      TextChild(temporal, "stopTime", 1);
+    }
+    if (rng_.Bernoulli(0.3)) {
+      XmlElement* spectral = Child(coverage, "spectral");
+      TextChild(spectral, "wavelength", 1);
+      if (rng_.Bernoulli(0.5)) TextChild(spectral, "bandpass", 1);
+    }
+  }
+
+  void BuildHoldings(XmlElement* dataset) {
+    XmlElement* holdings = Child(dataset, "holdings");
+    int archives = rng_.GeometricCount(1, 2, 0.3);
+    for (int i = 0; i < archives; ++i) {
+      XmlElement* archive = Child(holdings, "archive");
+      TextChild(archive, "location", 2);
+      if (rng_.Bernoulli(0.5)) TextChild(archive, "media", 1);
+    }
+  }
+
+  void BuildDataset(XmlElement* root, int index) {
+    XmlElement* dataset = Child(root, "dataset");
+    dataset->attributes.emplace_back("id", "dataset" + std::to_string(index));
+    dataset->attributes.emplace_back("subject", Words(1));
+
+    TextChild(dataset, "title", 4);
+    int altnames = rng_.GeometricCount(0, 3, 0.35);
+    for (int i = 0; i < altnames; ++i) TextChild(dataset, "altname", 2);
+
+    if (rng_.Bernoulli(0.85)) {
+      XmlElement* abstract = Child(dataset, "abstract");
+      int paras = rng_.GeometricCount(1, 4, 0.55);
+      for (int i = 0; i < paras; ++i) BuildPara(abstract, 0);
+    }
+    if (rng_.Bernoulli(0.75)) {
+      XmlElement* keywords = Child(dataset, "keywords");
+      int count = rng_.GeometricCount(1, 6, 0.6);
+      for (int i = 0; i < count; ++i) TextChild(keywords, "keyword", 1);
+    }
+
+    // Reference kinds: dataset-level pointers into the registries.
+    if (rng_.Bernoulli(0.55)) Ref(dataset, "instrumentref", InstrumentId());
+    if (rng_.Bernoulli(0.45)) Ref(dataset, "observatory", FacilityId());
+    int authors = rng_.GeometricCount(1, 4, 0.5);
+    for (int i = 0; i < authors; ++i) Ref(dataset, "authorref", AuthorId());
+
+    int references = rng_.GeometricCount(0, 4, 0.5);
+    for (int i = 0; i < references; ++i) BuildReference(dataset);
+
+    TextChild(dataset, "identifier", 1);
+
+    if (rng_.Bernoulli(0.6)) {
+      XmlElement* descriptions = Child(dataset, "descriptions");
+      int count = rng_.GeometricCount(1, 3, 0.4);
+      for (int i = 0; i < count; ++i) {
+        XmlElement* description = Child(descriptions, "description");
+        int paras = rng_.GeometricCount(1, 3, 0.5);
+        for (int j = 0; j < paras; ++j) BuildPara(description, 0);
+        if (rng_.Bernoulli(0.3)) {
+          XmlElement* details = Child(description, "details");
+          BuildPara(details, 1);
+        }
+      }
+    }
+
+    if (rng_.Bernoulli(0.7)) BuildHistory(dataset);
+    if (rng_.Bernoulli(0.8)) BuildTableHead(dataset);
+    if (rng_.Bernoulli(0.5)) BuildCoverage(dataset);
+    if (rng_.Bernoulli(0.35)) BuildHoldings(dataset);
+    if (rng_.Bernoulli(0.2)) {
+      XmlElement* proposal = Child(dataset, "proposal");
+      Ref(proposal, "authorref", AuthorId());
+      if (rng_.Bernoulli(0.5)) TextChild(proposal, "award", 1);
+    }
+    if (rng_.Bernoulli(0.3)) {
+      XmlElement* parameters = Child(dataset, "parameters");
+      int count = rng_.GeometricCount(1, 4, 0.5);
+      for (int i = 0; i < count; ++i) {
+        XmlElement* parameter = Child(parameters, "parameter");
+        TextChild(parameter, "name", 1);
+        if (rng_.Bernoulli(0.4)) TextChild(parameter, "calibration", 1);
+      }
+    }
+
+    if (rng_.Bernoulli(0.35)) {
+      XmlElement* related = Child(dataset, "related");
+      int count = rng_.GeometricCount(1, 3, 0.4);
+      for (int i = 0; i < count; ++i) {
+        // seeAlso -> dataset: a reference kind.
+        Ref(related, "seeAlso", DatasetId());
+      }
+    }
+    if (rng_.Bernoulli(0.25)) {
+      // citation -> journal: a reference kind.
+      Ref(dataset, "citation", JournalId());
+    }
+  }
+
+  Rng rng_;
+  const int num_datasets_;
+  const int num_journals_;
+  const int num_authors_;
+  const int num_instruments_;
+  const int num_facilities_;
+};
+
+}  // namespace
+
+XmlDocument GenerateNasaDocument(const NasaOptions& options) {
+  NasaBuilder builder(options);
+  return builder.Build();
+}
+
+XmlToGraphOptions NasaGraphOptions() {
+  XmlToGraphOptions options;
+  options.id_attributes = {"id"};
+  options.idref_attributes = {"ref"};
+  options.idref_suffix_heuristic = false;
+  options.value_nodes = true;
+  return options;
+}
+
+XmlToGraphResult GenerateNasaGraph(const NasaOptions& options) {
+  XmlDocument doc = GenerateNasaDocument(options);
+  return XmlToGraph(doc, NasaGraphOptions());
+}
+
+std::vector<std::pair<std::string, std::string>> NasaRefLabelPairs() {
+  return {
+      {"journalref", "journal"},      {"authorref", "author"},
+      {"creatorref", "author"},       {"instrumentref", "instrument"},
+      {"observatory", "facility"},    {"facilityref", "facility"},
+      {"tableLink", "dataset"},       {"seeAlso", "dataset"},
+      {"citation", "journal"},
+  };
+}
+
+}  // namespace dki

@@ -1,0 +1,325 @@
+#include "datagen/xmark_generator.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace dki {
+namespace {
+
+// Small word pool for text payloads; the indexes only see VALUE nodes, so
+// variety matters less than presence.
+constexpr const char* kWords[] = {
+    "auction", "vintage", "rare",   "mint",    "lot",    "estate",
+    "bronze",  "silver",  "gilt",   "carved",  "signed", "antique",
+    "folio",   "quarto",  "plate",  "etching", "deco",   "nouveau",
+};
+
+class XmarkBuilder {
+ public:
+  explicit XmarkBuilder(const XmarkOptions& options)
+      : rng_(options.seed),
+        num_categories_(ScaledCount(options.scale, 10)),
+        num_people_(ScaledCount(options.scale, 255)),
+        num_items_(ScaledCount(options.scale, 217)),
+        num_open_auctions_(ScaledCount(options.scale, 120)),
+        num_closed_auctions_(ScaledCount(options.scale, 97)) {}
+
+  XmlDocument Build() {
+    XmlDocument doc;
+    doc.root = std::make_unique<XmlElement>();
+    doc.root->tag = "site";
+    BuildRegions(doc.root.get());
+    BuildCategories(doc.root.get());
+    BuildCatgraph(doc.root.get());
+    BuildPeople(doc.root.get());
+    BuildOpenAuctions(doc.root.get());
+    BuildClosedAuctions(doc.root.get());
+    return doc;
+  }
+
+ private:
+  static int ScaledCount(double scale, int base) {
+    return std::max(2, static_cast<int>(base * scale));
+  }
+
+  XmlElement* Child(XmlElement* parent, std::string tag) {
+    parent->children.push_back(std::make_unique<XmlElement>());
+    XmlElement* e = parent->children.back().get();
+    e->tag = std::move(tag);
+    return e;
+  }
+
+  XmlElement* TextChild(XmlElement* parent, std::string tag) {
+    XmlElement* e = Child(parent, std::move(tag));
+    e->text = Words(1 + static_cast<int>(rng_.UniformInt(0, 2)));
+    return e;
+  }
+
+  std::string Words(int n) {
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i != 0) out.push_back(' ');
+      out.append(
+          kWords[rng_.UniformInt(0, static_cast<int64_t>(std::size(kWords)) -
+                                        1)]);
+    }
+    return out;
+  }
+
+  std::string PersonId() {
+    return "person" + std::to_string(rng_.UniformInt(0, num_people_ - 1));
+  }
+  std::string ItemId() {
+    return "item" + std::to_string(rng_.UniformInt(0, num_items_ - 1));
+  }
+  std::string CategoryId() {
+    return "category" +
+           std::to_string(rng_.UniformInt(0, num_categories_ - 1));
+  }
+  std::string OpenAuctionId() {
+    return "open_auction" +
+           std::to_string(rng_.UniformInt(0, num_open_auctions_ - 1));
+  }
+
+  // description ::= text | parlist ; parlist ::= listitem+ ;
+  // listitem ::= text | parlist   (bounded recursion)
+  void BuildDescription(XmlElement* parent, int depth = 0) {
+    XmlElement* description = Child(parent, "description");
+    BuildTextOrParlist(description, depth);
+  }
+
+  void BuildTextOrParlist(XmlElement* parent, int depth) {
+    if (depth < 2 && rng_.Bernoulli(0.3)) {
+      XmlElement* parlist = Child(parent, "parlist");
+      int items = rng_.GeometricCount(1, 3, 0.5);
+      for (int i = 0; i < items; ++i) {
+        XmlElement* listitem = Child(parlist, "listitem");
+        BuildTextOrParlist(listitem, depth + 1);
+      }
+    } else {
+      BuildText(parent);
+    }
+  }
+
+  // text holds character data plus optional inline markup children.
+  void BuildText(XmlElement* parent) {
+    XmlElement* text = Child(parent, "text");
+    text->text = Words(3);
+    if (rng_.Bernoulli(0.4)) TextChild(text, "keyword");
+    if (rng_.Bernoulli(0.2)) TextChild(text, "bold");
+    if (rng_.Bernoulli(0.1)) TextChild(text, "emph");
+  }
+
+  void BuildRegions(XmlElement* site) {
+    static constexpr const char* kRegions[] = {"africa",   "asia",
+                                               "australia", "europe",
+                                               "namerica", "samerica"};
+    XmlElement* regions = Child(site, "regions");
+    // Distribute items across the six regions (uneven, like XMark).
+    int remaining = num_items_;
+    for (size_t r = 0; r < std::size(kRegions); ++r) {
+      XmlElement* region = Child(regions, kRegions[r]);
+      int count = r + 1 == std::size(kRegions)
+                      ? remaining
+                      : static_cast<int>(rng_.UniformInt(
+                            remaining / 12, remaining / 3));
+      remaining -= count;
+      for (int i = 0; i < count; ++i) {
+        BuildItem(region);
+      }
+    }
+  }
+
+  void BuildItem(XmlElement* region) {
+    XmlElement* item = Child(region, "item");
+    item->attributes.emplace_back("id",
+                                  "item" + std::to_string(next_item_++));
+    TextChild(item, "location");
+    TextChild(item, "quantity");
+    TextChild(item, "name");
+    TextChild(item, "payment");
+    BuildDescription(item);
+    TextChild(item, "shipping");
+    int categories = rng_.GeometricCount(1, 3, 0.3);
+    for (int i = 0; i < categories; ++i) {
+      XmlElement* incategory = Child(item, "incategory");
+      incategory->attributes.emplace_back("category", CategoryId());
+    }
+    if (rng_.Bernoulli(0.7)) {
+      XmlElement* mailbox = Child(item, "mailbox");
+      int mails = rng_.GeometricCount(0, 3, 0.4);
+      for (int i = 0; i < mails; ++i) {
+        XmlElement* mail = Child(mailbox, "mail");
+        TextChild(mail, "from");
+        TextChild(mail, "to");
+        TextChild(mail, "date");
+        BuildText(mail);
+      }
+    }
+  }
+
+  void BuildCategories(XmlElement* site) {
+    XmlElement* categories = Child(site, "categories");
+    for (int i = 0; i < num_categories_; ++i) {
+      XmlElement* category = Child(categories, "category");
+      category->attributes.emplace_back("id",
+                                        "category" + std::to_string(i));
+      TextChild(category, "name");
+      BuildDescription(category);
+    }
+  }
+
+  void BuildCatgraph(XmlElement* site) {
+    XmlElement* catgraph = Child(site, "catgraph");
+    int edges = num_categories_ * 2;
+    for (int i = 0; i < edges; ++i) {
+      XmlElement* edge = Child(catgraph, "edge");
+      edge->attributes.emplace_back("from", CategoryId());
+      edge->attributes.emplace_back("to", CategoryId());
+    }
+  }
+
+  void BuildPeople(XmlElement* site) {
+    XmlElement* people = Child(site, "people");
+    for (int i = 0; i < num_people_; ++i) {
+      XmlElement* person = Child(people, "person");
+      person->attributes.emplace_back("id", "person" + std::to_string(i));
+      TextChild(person, "name");
+      TextChild(person, "emailaddress");
+      if (rng_.Bernoulli(0.5)) TextChild(person, "phone");
+      if (rng_.Bernoulli(0.6)) {
+        XmlElement* address = Child(person, "address");
+        TextChild(address, "street");
+        TextChild(address, "city");
+        TextChild(address, "country");
+        if (rng_.Bernoulli(0.4)) TextChild(address, "province");
+        TextChild(address, "zipcode");
+      }
+      if (rng_.Bernoulli(0.3)) TextChild(person, "homepage");
+      if (rng_.Bernoulli(0.4)) TextChild(person, "creditcard");
+      if (rng_.Bernoulli(0.7)) {
+        XmlElement* profile = Child(person, "profile");
+        int interests = rng_.GeometricCount(0, 4, 0.5);
+        for (int j = 0; j < interests; ++j) {
+          XmlElement* interest = Child(profile, "interest");
+          interest->attributes.emplace_back("category", CategoryId());
+        }
+        if (rng_.Bernoulli(0.5)) TextChild(profile, "education");
+        if (rng_.Bernoulli(0.8)) TextChild(profile, "gender");
+        TextChild(profile, "business");
+        if (rng_.Bernoulli(0.6)) TextChild(profile, "age");
+      }
+      if (rng_.Bernoulli(0.4)) {
+        XmlElement* watches = Child(person, "watches");
+        int count = rng_.GeometricCount(1, 4, 0.5);
+        for (int j = 0; j < count; ++j) {
+          XmlElement* watch = Child(watches, "watch");
+          watch->attributes.emplace_back("open_auction", OpenAuctionId());
+        }
+      }
+    }
+  }
+
+  void BuildAnnotation(XmlElement* parent) {
+    XmlElement* annotation = Child(parent, "annotation");
+    XmlElement* author = Child(annotation, "author");
+    author->attributes.emplace_back("person", PersonId());
+    BuildDescription(annotation);
+    TextChild(annotation, "happiness");
+  }
+
+  void BuildOpenAuctions(XmlElement* site) {
+    XmlElement* open_auctions = Child(site, "open_auctions");
+    for (int i = 0; i < num_open_auctions_; ++i) {
+      XmlElement* auction = Child(open_auctions, "open_auction");
+      auction->attributes.emplace_back("id",
+                                       "open_auction" + std::to_string(i));
+      TextChild(auction, "initial");
+      if (rng_.Bernoulli(0.4)) TextChild(auction, "reserve");
+      int bidders = rng_.GeometricCount(0, 5, 0.6);
+      for (int j = 0; j < bidders; ++j) {
+        XmlElement* bidder = Child(auction, "bidder");
+        TextChild(bidder, "date");
+        TextChild(bidder, "time");
+        XmlElement* personref = Child(bidder, "personref");
+        personref->attributes.emplace_back("person", PersonId());
+        TextChild(bidder, "increase");
+      }
+      TextChild(auction, "current");
+      if (rng_.Bernoulli(0.3)) TextChild(auction, "privacy");
+      XmlElement* itemref = Child(auction, "itemref");
+      itemref->attributes.emplace_back("item", ItemId());
+      XmlElement* seller = Child(auction, "seller");
+      seller->attributes.emplace_back("person", PersonId());
+      BuildAnnotation(auction);
+      TextChild(auction, "quantity");
+      TextChild(auction, "type");
+      XmlElement* interval = Child(auction, "interval");
+      TextChild(interval, "start");
+      TextChild(interval, "end");
+    }
+  }
+
+  void BuildClosedAuctions(XmlElement* site) {
+    XmlElement* closed_auctions = Child(site, "closed_auctions");
+    for (int i = 0; i < num_closed_auctions_; ++i) {
+      XmlElement* auction = Child(closed_auctions, "closed_auction");
+      XmlElement* seller = Child(auction, "seller");
+      seller->attributes.emplace_back("person", PersonId());
+      XmlElement* buyer = Child(auction, "buyer");
+      buyer->attributes.emplace_back("person", PersonId());
+      XmlElement* itemref = Child(auction, "itemref");
+      itemref->attributes.emplace_back("item", ItemId());
+      TextChild(auction, "price");
+      TextChild(auction, "date");
+      TextChild(auction, "quantity");
+      TextChild(auction, "type");
+      BuildAnnotation(auction);
+    }
+  }
+
+  Rng rng_;
+  const int num_categories_;
+  const int num_people_;
+  const int num_items_;
+  const int num_open_auctions_;
+  const int num_closed_auctions_;
+  int next_item_ = 0;
+};
+
+}  // namespace
+
+XmlDocument GenerateXmarkDocument(const XmarkOptions& options) {
+  XmarkBuilder builder(options);
+  return builder.Build();
+}
+
+XmlToGraphOptions XmarkGraphOptions() {
+  XmlToGraphOptions options;
+  options.id_attributes = {"id"};
+  options.idref_attributes = {"person", "item",     "category",
+                              "open_auction", "from", "to"};
+  options.idref_suffix_heuristic = false;
+  options.value_nodes = true;
+  return options;
+}
+
+XmlToGraphResult GenerateXmarkGraph(const XmarkOptions& options) {
+  XmlDocument doc = GenerateXmarkDocument(options);
+  return XmlToGraph(doc, XmarkGraphOptions());
+}
+
+std::vector<std::pair<std::string, std::string>> XmarkRefLabelPairs() {
+  return {
+      {"personref", "person"},       {"seller", "person"},
+      {"buyer", "person"},           {"author", "person"},
+      {"itemref", "item"},           {"incategory", "category"},
+      {"interest", "category"},      {"edge", "category"},
+      {"watch", "open_auction"},
+  };
+}
+
+}  // namespace dki

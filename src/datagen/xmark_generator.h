@@ -1,0 +1,47 @@
+#ifndef DKINDEX_DATAGEN_XMARK_GENERATOR_H_
+#define DKINDEX_DATAGEN_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_to_graph.h"
+
+namespace dki {
+
+// Synthetic generator reproducing the topology of the XMark auction
+// benchmark documents (Schmidt et al., "The XML Benchmark Project"), the
+// paper's first dataset: a regular structure — site / regions / items /
+// categories / catgraph / people / open_auctions / closed_auctions — wired
+// with the standard IDREF kinds (personref/seller/buyer/author -> person,
+// itemref -> item, incategory/interest/edge -> category, watch ->
+// open_auction).
+//
+// The paper uses the official generator's ~10 MB file; we substitute a
+// seeded generator with a `scale` knob (see DESIGN.md §3). scale = 1.0
+// yields roughly 15k data-graph nodes; element counts grow linearly.
+struct XmarkOptions {
+  double scale = 1.0;
+  uint64_t seed = 42;
+};
+
+// The document as a DOM (serialize with WriteXml for a real .xml file).
+XmlDocument GenerateXmarkDocument(const XmarkOptions& options);
+
+// The XmlToGraph options that resolve XMark's IDREF attributes.
+XmlToGraphOptions XmarkGraphOptions();
+
+// Convenience: generate + convert to a data graph.
+XmlToGraphResult GenerateXmarkGraph(const XmarkOptions& options);
+
+// The ID/IDREF-compatible (referencing element label, referenced element
+// label) pairs of the XMark DTD — the pool from which the Section 6.2 update
+// experiment draws random new edges.
+std::vector<std::pair<std::string, std::string>> XmarkRefLabelPairs();
+
+}  // namespace dki
+
+#endif  // DKINDEX_DATAGEN_XMARK_GENERATOR_H_

@@ -1,0 +1,357 @@
+#include "dtd/dtd_generator.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dki {
+namespace {
+
+constexpr int64_t kInfinite = std::numeric_limits<int64_t>::max() / 4;
+
+// Minimal number of elements an expansion of `node` must create, given the
+// current per-element minima.
+int64_t MinSizeOf(const AstNode* node,
+                  const std::map<std::string, int64_t>& element_min) {
+  if (node == nullptr) return 0;
+  switch (node->kind) {
+    case AstKind::kLabel: {
+      auto it = element_min.find(node->label);
+      return it == element_min.end() ? kInfinite : it->second;
+    }
+    case AstKind::kWildcard:
+      return 1;
+    case AstKind::kSeq:
+      return std::min(kInfinite, MinSizeOf(node->left.get(), element_min) +
+                                     MinSizeOf(node->right.get(),
+                                               element_min));
+    case AstKind::kAlt:
+      return std::min(MinSizeOf(node->left.get(), element_min),
+                      MinSizeOf(node->right.get(), element_min));
+    case AstKind::kStar:
+    case AstKind::kOpt:
+      return 0;
+    case AstKind::kPlus:
+      return MinSizeOf(node->left.get(), element_min);
+  }
+  return kInfinite;
+}
+
+int64_t MinSizeOfElement(const ElementDecl& decl,
+                         const std::map<std::string, int64_t>& element_min) {
+  switch (decl.content.kind) {
+    case ContentModel::Kind::kEmpty:
+    case ContentModel::Kind::kAny:     // generated with no children
+    case ContentModel::Kind::kPcdata:
+    case ContentModel::Kind::kMixed:   // children optional
+      return 1;
+    case ContentModel::Kind::kChildren:
+      return std::min(kInfinite,
+                      1 + MinSizeOf(decl.content.model.get(), element_min));
+  }
+  return kInfinite;
+}
+
+constexpr const char* kWords[] = {
+    "alpha", "beta",  "gamma", "delta", "omega", "sigma",
+    "value", "datum", "token", "facet", "probe", "index",
+};
+
+class Generator {
+ public:
+  Generator(const DtdSchema& schema, const DtdGeneratorOptions& options)
+      : schema_(schema), options_(options), rng_(options.seed),
+        budget_(options.element_budget) {}
+
+  bool Run(const std::string& root_element, XmlDocument* doc,
+           std::string* error) {
+    const ElementDecl* root = schema_.Find(root_element);
+    if (root == nullptr) {
+      *error = "root element '" + root_element + "' not declared";
+      return false;
+    }
+    if (!ComputeMinSizes(error)) return false;
+
+    doc->root = ExpandElement(*root);
+    ResolveIdrefs();
+    return true;
+  }
+
+ private:
+  // Bellman-Ford fixpoint for per-element minimal expansion sizes.
+  bool ComputeMinSizes(std::string* error) {
+    for (const ElementDecl& decl : schema_.declarations) {
+      element_min_[decl.name] = kInfinite;
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const ElementDecl& decl : schema_.declarations) {
+        int64_t m = MinSizeOfElement(decl, element_min_);
+        if (m < element_min_[decl.name]) {
+          element_min_[decl.name] = m;
+          changed = true;
+        }
+      }
+    }
+    for (const auto& [name, m] : element_min_) {
+      if (m >= kInfinite) {
+        *error = "element '" + name +
+                 "' has no finite expansion (required recursion)";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string Words(int n) {
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i != 0) out.push_back(' ');
+      out.append(
+          kWords[rng_.UniformInt(0, static_cast<int64_t>(std::size(kWords)) -
+                                        1)]);
+    }
+    return out;
+  }
+
+  std::unique_ptr<XmlElement> ExpandElement(const ElementDecl& decl) {
+    --budget_;
+    ++depth_;
+    auto element = std::make_unique<XmlElement>();
+    element->tag = decl.name;
+    EmitAttributes(decl, element.get());
+    switch (decl.content.kind) {
+      case ContentModel::Kind::kEmpty:
+        break;
+      case ContentModel::Kind::kAny:
+        // ANY: keep generated documents tame — character data only.
+        element->text = Words(2);
+        break;
+      case ContentModel::Kind::kPcdata:
+        element->text = Words(1 + static_cast<int>(rng_.UniformInt(0, 2)));
+        break;
+      case ContentModel::Kind::kMixed: {
+        element->text = Words(2);
+        if (decl.content.model != nullptr && budget_ > 0) {
+          int extras = rng_.GeometricCount(0, options_.max_repeats,
+                                           EffectivePMore());
+          std::vector<const AstNode*> choices;
+          CollectAltLeaves(decl.content.model.get(), &choices);
+          for (int i = 0; i < extras && budget_ > 0; ++i) {
+            const AstNode* pick = choices[static_cast<size_t>(rng_.UniformInt(
+                0, static_cast<int64_t>(choices.size()) - 1))];
+            ExpandNode(pick, element.get());
+          }
+        }
+        break;
+      }
+      case ContentModel::Kind::kChildren:
+        ExpandNode(decl.content.model.get(), element.get());
+        break;
+    }
+    --depth_;
+    return element;
+  }
+
+  static void CollectAltLeaves(const AstNode* node,
+                               std::vector<const AstNode*>* out) {
+    if (node == nullptr) return;
+    if (node->kind == AstKind::kAlt) {
+      CollectAltLeaves(node->left.get(), out);
+      CollectAltLeaves(node->right.get(), out);
+    } else {
+      out->push_back(node);
+    }
+  }
+
+  bool Frugal() const {
+    return budget_ <= 0 || depth_ >= options_.max_depth;
+  }
+
+  // Deeper elements repeat and recurse less: repetition probability decays
+  // linearly to zero at max_depth, keeping recursive content models
+  // subcritical and the document balanced across siblings (a pure global
+  // budget would starve everything after the first deep subtree).
+  double DepthFactor() const {
+    double f = 1.0 - static_cast<double>(depth_) /
+                         static_cast<double>(std::max(options_.max_depth, 1));
+    return std::max(f, 0.0);
+  }
+  double EffectivePMore() const { return options_.p_more * DepthFactor(); }
+
+  void ExpandNode(const AstNode* node, XmlElement* parent) {
+    switch (node->kind) {
+      case AstKind::kLabel: {
+        const ElementDecl* decl = schema_.Find(node->label);
+        DKI_CHECK(decl != nullptr);  // guaranteed by ComputeMinSizes
+        parent->children.push_back(ExpandElement(*decl));
+        return;
+      }
+      case AstKind::kWildcard:
+        return;  // does not occur in parsed DTDs
+      case AstKind::kSeq:
+        ExpandNode(node->left.get(), parent);
+        ExpandNode(node->right.get(), parent);
+        return;
+      case AstKind::kAlt: {
+        // With depth, bias toward the smaller alternative (recursion decay).
+        int64_t l = MinSizeOf(node->left.get(), element_min_);
+        int64_t r = MinSizeOf(node->right.get(), element_min_);
+        const AstNode* smaller = l <= r ? node->left.get() : node->right.get();
+        if (Frugal() || rng_.Bernoulli(1.0 - DepthFactor())) {
+          ExpandNode(smaller, parent);
+        } else {
+          ExpandNode(rng_.Bernoulli(0.5) ? node->left.get()
+                                         : node->right.get(),
+                     parent);
+        }
+        return;
+      }
+      case AstKind::kStar: {
+        if (Frugal()) return;
+        int count =
+            rng_.GeometricCount(0, options_.max_repeats, EffectivePMore());
+        for (int i = 0; i < count; ++i) ExpandNode(node->left.get(), parent);
+        return;
+      }
+      case AstKind::kPlus: {
+        int count = Frugal() ? 1
+                             : rng_.GeometricCount(1, options_.max_repeats,
+                                                   EffectivePMore());
+        for (int i = 0; i < count; ++i) ExpandNode(node->left.get(), parent);
+        return;
+      }
+      case AstKind::kOpt:
+        if (!Frugal() &&
+            rng_.Bernoulli(options_.p_optional * DepthFactor())) {
+          ExpandNode(node->left.get(), parent);
+        }
+        return;
+    }
+  }
+
+  void EmitAttributes(const ElementDecl& decl, XmlElement* element) {
+    for (const AttributeDecl& attr : decl.attributes) {
+      bool required =
+          attr.default_kind == AttributeDecl::Default::kRequired ||
+          attr.default_kind == AttributeDecl::Default::kFixed;
+      if (!required && !rng_.Bernoulli(options_.p_optional)) continue;
+
+      switch (attr.type) {
+        case AttributeDecl::Type::kId: {
+          std::string id =
+              decl.name + std::to_string(id_counters_[decl.name]++);
+          ids_by_element_[decl.name].push_back(id);
+          all_ids_.push_back(id);
+          element->attributes.emplace_back(attr.name, std::move(id));
+          break;
+        }
+        case AttributeDecl::Type::kIdref:
+        case AttributeDecl::Type::kIdrefs:
+          // Targets may not exist yet: resolve after generation.
+          element->attributes.emplace_back(attr.name, "");
+          pending_refs_.push_back(
+              {element, element->attributes.size() - 1,
+               decl.name + "/" + attr.name, required});
+          break;
+        case AttributeDecl::Type::kEnumerated:
+          element->attributes.emplace_back(
+              attr.name, attr.enum_values[static_cast<size_t>(rng_.UniformInt(
+                             0,
+                             static_cast<int64_t>(attr.enum_values.size()) -
+                                 1))]);
+          break;
+        case AttributeDecl::Type::kCdata:
+        case AttributeDecl::Type::kNmtoken:
+          if (attr.default_kind == AttributeDecl::Default::kFixed ||
+              attr.default_kind == AttributeDecl::Default::kValue) {
+            element->attributes.emplace_back(attr.name, attr.default_value);
+          } else {
+            element->attributes.emplace_back(attr.name, Words(1));
+          }
+          break;
+      }
+    }
+  }
+
+  void ResolveIdrefs() {
+    for (const PendingRef& ref : pending_refs_) {
+      const std::vector<std::string>* pool = &all_ids_;
+      auto hint = options_.idref_targets.find(ref.target_key);
+      if (hint != options_.idref_targets.end()) {
+        auto it = ids_by_element_.find(hint->second);
+        if (it != ids_by_element_.end()) pool = &it->second;
+      }
+      auto& slot = ref.element->attributes[ref.attribute_index];
+      if (pool->empty()) {
+        if (ref.required) {
+          slot.second = "undefined0";  // dangling; dropped by the loader
+        } else {
+          slot.second.clear();  // left empty; also dangles harmlessly
+        }
+        continue;
+      }
+      slot.second = (*pool)[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(pool->size()) - 1))];
+    }
+  }
+
+  struct PendingRef {
+    XmlElement* element;
+    size_t attribute_index;
+    std::string target_key;  // "element/attribute"
+    bool required;
+  };
+
+  const DtdSchema& schema_;
+  const DtdGeneratorOptions& options_;
+  Rng rng_;
+  int64_t budget_;
+  int depth_ = 0;
+  std::map<std::string, int64_t> element_min_;
+  std::map<std::string, int64_t> id_counters_;
+  std::map<std::string, std::vector<std::string>> ids_by_element_;
+  std::vector<std::string> all_ids_;
+  std::vector<PendingRef> pending_refs_;
+};
+
+}  // namespace
+
+bool GenerateFromDtd(const DtdSchema& schema, const std::string& root_element,
+                     const DtdGeneratorOptions& options, XmlDocument* doc,
+                     std::string* error) {
+  Generator generator(schema, options);
+  return generator.Run(root_element, doc, error);
+}
+
+XmlToGraphOptions GraphOptionsFromDtd(const DtdSchema& schema) {
+  XmlToGraphOptions options;
+  options.id_attributes.clear();
+  options.idref_attributes.clear();
+  options.idref_suffix_heuristic = false;
+  auto add_unique = [](std::vector<std::string>* v, const std::string& s) {
+    if (std::find(v->begin(), v->end(), s) == v->end()) v->push_back(s);
+  };
+  for (const ElementDecl& decl : schema.declarations) {
+    for (const AttributeDecl& attr : decl.attributes) {
+      switch (attr.type) {
+        case AttributeDecl::Type::kId:
+          add_unique(&options.id_attributes, attr.name);
+          break;
+        case AttributeDecl::Type::kIdref:
+        case AttributeDecl::Type::kIdrefs:
+          add_unique(&options.idref_attributes, attr.name);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return options;
+}
+
+}  // namespace dki

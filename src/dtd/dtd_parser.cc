@@ -1,0 +1,366 @@
+#include "dtd/dtd_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace dki {
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+class DtdReader {
+ public:
+  DtdReader(std::string_view input, std::string* error)
+      : input_(input), error_(error) {}
+
+  bool Parse(DtdSchema* schema) {
+    while (true) {
+      SkipIgnorable();
+      if (Eof()) return true;
+      if (Match("<!ELEMENT")) {
+        pos_ += 9;
+        if (!ParseElement(schema)) return false;
+      } else if (Match("<!ATTLIST")) {
+        pos_ += 9;
+        if (!ParseAttlist(schema)) return false;
+      } else if (Match("<!ENTITY") || Match("<!NOTATION")) {
+        if (!SkipDeclaration()) return false;
+      } else if (Match("<?")) {
+        if (!SkipUntil("?>")) return Fail("unterminated PI");
+      } else {
+        return Fail("expected a declaration");
+      }
+    }
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Match(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  bool Fail(const std::string& message) {
+    *error_ = message + " (at byte " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  bool SkipUntil(std::string_view end) {
+    size_t found = input_.find(end, pos_);
+    if (found == std::string_view::npos) return false;
+    pos_ = found + end.size();
+    return true;
+  }
+
+  void SkipIgnorable() {
+    while (true) {
+      SkipWhitespace();
+      if (Match("<!--")) {
+        if (!SkipUntil("-->")) {
+          pos_ = input_.size();
+          return;
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  // Skips a declaration that may contain quoted strings holding '>'.
+  bool SkipDeclaration() {
+    while (!Eof()) {
+      char c = input_[pos_++];
+      if (c == '"' || c == '\'') {
+        size_t end = input_.find(c, pos_);
+        if (end == std::string_view::npos) return Fail("unterminated string");
+        pos_ = end + 1;
+      } else if (c == '>') {
+        return true;
+      }
+    }
+    return Fail("unterminated declaration");
+  }
+
+  bool ParseName(std::string* name) {
+    SkipWhitespace();
+    if (Eof() || !IsNameStart(Peek())) return Fail("expected a name");
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    *name = std::string(input_.substr(start, pos_ - start));
+    return true;
+  }
+
+  ElementDecl* FindOrCreate(DtdSchema* schema, const std::string& name) {
+    auto it = schema->elements.find(name);
+    if (it != schema->elements.end()) {
+      return &schema->declarations[it->second];
+    }
+    schema->elements.emplace(name, schema->declarations.size());
+    schema->declarations.emplace_back();
+    schema->declarations.back().name = name;
+    schema->declarations.back().content.kind = ContentModel::Kind::kAny;
+    return &schema->declarations.back();
+  }
+
+  // --- content model grammar --------------------------------------------
+  //   content  := EMPTY | ANY | mixed | cp
+  //   mixed    := '(' '#PCDATA' ('|' name)* ')' '*'?
+  //   cp       := (name | '(' choice-or-seq ')') ('?'|'*'|'+')?
+  //   choice   := cp ('|' cp)+        seq := cp (',' cp)*
+
+  bool ParseContent(ContentModel* content) {
+    SkipWhitespace();
+    if (Match("EMPTY")) {
+      pos_ += 5;
+      content->kind = ContentModel::Kind::kEmpty;
+      return true;
+    }
+    if (Match("ANY")) {
+      pos_ += 3;
+      content->kind = ContentModel::Kind::kAny;
+      return true;
+    }
+    if (Eof() || Peek() != '(') return Fail("expected '(' in content model");
+
+    // Look ahead for #PCDATA (mixed content).
+    size_t probe = pos_ + 1;
+    while (probe < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[probe]))) {
+      ++probe;
+    }
+    if (input_.substr(probe, 7) == "#PCDATA") {
+      return ParseMixed(content);
+    }
+    AstPtr cp = ParseCp();
+    if (cp == nullptr) return false;
+    content->kind = ContentModel::Kind::kChildren;
+    content->model = std::move(cp);
+    return true;
+  }
+
+  bool ParseMixed(ContentModel* content) {
+    ++pos_;  // '('
+    SkipWhitespace();
+    pos_ += 7;  // '#PCDATA'
+    AstPtr names;
+    while (true) {
+      SkipWhitespace();
+      if (Eof()) return Fail("unterminated mixed content");
+      if (Peek() == ')') {
+        ++pos_;
+        break;
+      }
+      if (Peek() != '|') return Fail("expected '|' in mixed content");
+      ++pos_;
+      std::string name;
+      if (!ParseName(&name)) return false;
+      AstPtr leaf = AstNode::Label(name);
+      names = names == nullptr
+                  ? std::move(leaf)
+                  : AstNode::Alt(std::move(names), std::move(leaf));
+    }
+    if (!Eof() && Peek() == '*') ++pos_;
+    content->kind = names == nullptr ? ContentModel::Kind::kPcdata
+                                     : ContentModel::Kind::kMixed;
+    content->model = std::move(names);
+    return true;
+  }
+
+  AstPtr ApplyQuantifier(AstPtr node) {
+    if (!Eof()) {
+      switch (Peek()) {
+        case '?':
+          ++pos_;
+          return AstNode::Opt(std::move(node));
+        case '*':
+          ++pos_;
+          return AstNode::Star(std::move(node));
+        case '+':
+          ++pos_;
+          return AstNode::Plus(std::move(node));
+        default:
+          break;
+      }
+    }
+    return node;
+  }
+
+  AstPtr ParseCp() {
+    SkipWhitespace();
+    if (Eof()) {
+      Fail("unexpected end in content model");
+      return nullptr;
+    }
+    if (Peek() == '(') {
+      ++pos_;
+      AstPtr group = ParseChoiceOrSeq();
+      if (group == nullptr) return nullptr;
+      SkipWhitespace();
+      if (Eof() || Peek() != ')') {
+        Fail("expected ')' in content model");
+        return nullptr;
+      }
+      ++pos_;
+      return ApplyQuantifier(std::move(group));
+    }
+    std::string name;
+    if (!ParseName(&name)) return nullptr;
+    return ApplyQuantifier(AstNode::Label(name));
+  }
+
+  AstPtr ParseChoiceOrSeq() {
+    AstPtr first = ParseCp();
+    if (first == nullptr) return nullptr;
+    SkipWhitespace();
+    if (Eof()) {
+      Fail("unterminated group");
+      return nullptr;
+    }
+    char sep = Peek();
+    if (sep != '|' && sep != ',') return first;  // single-item group
+    AstPtr acc = std::move(first);
+    while (!Eof() && Peek() == sep) {
+      ++pos_;
+      AstPtr next = ParseCp();
+      if (next == nullptr) return nullptr;
+      acc = sep == '|' ? AstNode::Alt(std::move(acc), std::move(next))
+                       : AstNode::Seq(std::move(acc), std::move(next));
+      SkipWhitespace();
+    }
+    return acc;
+  }
+
+  bool ParseElement(DtdSchema* schema) {
+    std::string name;
+    if (!ParseName(&name)) return false;
+    ElementDecl* decl = FindOrCreate(schema, name);
+    ContentModel content;
+    if (!ParseContent(&content)) return false;
+    decl->content = std::move(content);
+    SkipWhitespace();
+    if (Eof() || Peek() != '>') return Fail("expected '>' after ELEMENT");
+    ++pos_;
+    return true;
+  }
+
+  bool ParseAttlist(DtdSchema* schema) {
+    std::string element_name;
+    if (!ParseName(&element_name)) return false;
+    ElementDecl* decl = FindOrCreate(schema, element_name);
+    while (true) {
+      SkipWhitespace();
+      if (Eof()) return Fail("unterminated ATTLIST");
+      if (Peek() == '>') {
+        ++pos_;
+        return true;
+      }
+      AttributeDecl attr;
+      if (!ParseName(&attr.name)) return false;
+      SkipWhitespace();
+      if (Match("CDATA")) {
+        pos_ += 5;
+        attr.type = AttributeDecl::Type::kCdata;
+      } else if (Match("IDREFS")) {
+        pos_ += 6;
+        attr.type = AttributeDecl::Type::kIdrefs;
+      } else if (Match("IDREF")) {
+        pos_ += 5;
+        attr.type = AttributeDecl::Type::kIdref;
+      } else if (Match("ID")) {
+        pos_ += 2;
+        attr.type = AttributeDecl::Type::kId;
+      } else if (Match("NMTOKENS") || Match("NMTOKEN")) {
+        pos_ += Match("NMTOKENS") ? 8 : 7;
+        attr.type = AttributeDecl::Type::kNmtoken;
+      } else if (Peek() == '(') {
+        attr.type = AttributeDecl::Type::kEnumerated;
+        ++pos_;
+        while (true) {
+          std::string value;
+          if (!ParseName(&value)) return false;
+          attr.enum_values.push_back(std::move(value));
+          SkipWhitespace();
+          if (Eof()) return Fail("unterminated enumeration");
+          if (Peek() == ')') {
+            ++pos_;
+            break;
+          }
+          if (Peek() != '|') return Fail("expected '|' in enumeration");
+          ++pos_;
+        }
+      } else {
+        return Fail("unknown attribute type");
+      }
+      SkipWhitespace();
+      if (Match("#REQUIRED")) {
+        pos_ += 9;
+        attr.default_kind = AttributeDecl::Default::kRequired;
+      } else if (Match("#IMPLIED")) {
+        pos_ += 8;
+        attr.default_kind = AttributeDecl::Default::kImplied;
+      } else if (Match("#FIXED")) {
+        pos_ += 6;
+        attr.default_kind = AttributeDecl::Default::kFixed;
+        if (!ParseQuoted(&attr.default_value)) return false;
+      } else if (!Eof() && (Peek() == '"' || Peek() == '\'')) {
+        attr.default_kind = AttributeDecl::Default::kValue;
+        if (!ParseQuoted(&attr.default_value)) return false;
+      } else {
+        return Fail("expected attribute default");
+      }
+      decl->attributes.push_back(std::move(attr));
+    }
+  }
+
+  bool ParseQuoted(std::string* value) {
+    SkipWhitespace();
+    if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+      return Fail("expected quoted value");
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t end = input_.find(quote, pos_);
+    if (end == std::string_view::npos) return Fail("unterminated value");
+    *value = std::string(input_.substr(pos_, end - pos_));
+    pos_ = end + 1;
+    return true;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+bool ParseDtd(std::string_view input, DtdSchema* schema, std::string* error) {
+  *schema = DtdSchema();
+  DtdReader reader(input, error);
+  return reader.Parse(schema);
+}
+
+bool ParseDtdFile(const std::string& path, DtdSchema* schema,
+                  std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDtd(buffer.str(), schema, error);
+}
+
+}  // namespace dki

@@ -1,0 +1,24 @@
+#ifndef DKINDEX_DTD_DTD_PARSER_H_
+#define DKINDEX_DTD_DTD_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "dtd/dtd_schema.h"
+
+namespace dki {
+
+// Parses an external DTD subset: <!ELEMENT ...> and <!ATTLIST ...>
+// declarations (comments and <!ENTITY ...> declarations are skipped;
+// parameter entities are not expanded). Returns false + error with a byte
+// offset on malformed input. ATTLIST declarations for elements that are
+// never declared create an implicit ANY element.
+bool ParseDtd(std::string_view input, DtdSchema* schema, std::string* error);
+
+// Convenience: read the DTD from a file.
+bool ParseDtdFile(const std::string& path, DtdSchema* schema,
+                  std::string* error);
+
+}  // namespace dki
+
+#endif  // DKINDEX_DTD_DTD_PARSER_H_

@@ -1,0 +1,60 @@
+#ifndef DKINDEX_DTD_DTD_SCHEMA_H_
+#define DKINDEX_DTD_DTD_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pathexpr/ast.h"
+
+namespace dki {
+
+// A parsed Document Type Definition. Content models reuse the path
+// expression AST (pathexpr/ast.h): element names are kLabel leaves and the
+// DTD operators `,` `|` `*` `+` `?` map onto kSeq/kAlt/kStar/kPlus/kOpt —
+// a DTD content model *is* a regular expression over child element names.
+struct ContentModel {
+  enum class Kind {
+    kEmpty,     // <!ELEMENT e EMPTY>
+    kAny,       // <!ELEMENT e ANY>
+    kPcdata,    // <!ELEMENT e (#PCDATA)>
+    kMixed,     // <!ELEMENT e (#PCDATA | a | b)*>
+    kChildren,  // <!ELEMENT e (a, (b | c)*, d?)>
+  };
+  Kind kind = Kind::kEmpty;
+  // For kChildren: the content regex. For kMixed: the allowed child names
+  // are the kLabel leaves of an Alt chain (repetition is implicit).
+  AstPtr model;
+};
+
+struct AttributeDecl {
+  enum class Type { kCdata, kId, kIdref, kIdrefs, kNmtoken, kEnumerated };
+  enum class Default { kRequired, kImplied, kFixed, kValue };
+
+  std::string name;
+  Type type = Type::kCdata;
+  Default default_kind = Default::kImplied;
+  std::string default_value;           // for kFixed / kValue
+  std::vector<std::string> enum_values;  // for kEnumerated
+};
+
+struct ElementDecl {
+  std::string name;
+  ContentModel content;
+  std::vector<AttributeDecl> attributes;
+};
+
+// Element declarations in document order; `elements` maps name -> index.
+struct DtdSchema {
+  std::vector<ElementDecl> declarations;
+  std::map<std::string, size_t> elements;
+
+  const ElementDecl* Find(const std::string& name) const {
+    auto it = elements.find(name);
+    return it == elements.end() ? nullptr : &declarations[it->second];
+  }
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_DTD_DTD_SCHEMA_H_

@@ -1,0 +1,208 @@
+#include "dtd/dtd_validator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dki {
+namespace {
+
+// Runs the child-name word through the content automaton.
+bool AcceptsWord(const Automaton& a, const std::vector<LabelId>& word) {
+  std::set<int> states(a.start_states().begin(), a.start_states().end());
+  for (LabelId symbol : word) {
+    std::set<int> next;
+    std::vector<int> moved;
+    for (int q : states) {
+      moved.clear();
+      a.Move(q, symbol, &moved);
+      next.insert(moved.begin(), moved.end());
+    }
+    states = std::move(next);
+    if (states.empty()) return false;
+  }
+  for (int q : states) {
+    if (a.is_accept(q)) return true;
+  }
+  // An element with an *empty* child sequence is valid iff the content
+  // model accepts the empty word, which the loop above reports directly.
+  return false;
+}
+
+}  // namespace
+
+DtdValidator::DtdValidator(const DtdSchema* schema) : schema_(schema) {
+  DKI_CHECK(schema != nullptr);
+  // Intern every declared element name so content automata share symbols.
+  for (const ElementDecl& decl : schema_->declarations) {
+    names_.Intern(decl.name);
+  }
+  for (const ElementDecl& decl : schema_->declarations) {
+    CompiledElement compiled;
+    compiled.decl = &decl;
+    if (decl.content.kind == ContentModel::Kind::kChildren) {
+      compiled.content = CompileAst(*decl.content.model, names_);
+    }
+    compiled_.emplace(decl.name, std::move(compiled));
+  }
+}
+
+bool DtdValidator::ValidateElement(
+    const XmlElement& element, std::vector<std::string>* errors,
+    int64_t max_errors, std::unordered_map<std::string, int>* id_counts,
+    std::vector<std::string>* idrefs) const {
+  if (static_cast<int64_t>(errors->size()) >= max_errors) return false;
+  auto it = compiled_.find(element.tag);
+  if (it == compiled_.end()) {
+    errors->push_back("undeclared element <" + element.tag + ">");
+    return false;
+  }
+  const CompiledElement& compiled = it->second;
+  const ElementDecl& decl = *compiled.decl;
+  bool ok = true;
+
+  // --- content ------------------------------------------------------------
+  switch (decl.content.kind) {
+    case ContentModel::Kind::kEmpty:
+      if (!element.children.empty() || !element.text.empty()) {
+        errors->push_back("<" + element.tag + "> declared EMPTY has content");
+        ok = false;
+      }
+      break;
+    case ContentModel::Kind::kAny:
+      break;
+    case ContentModel::Kind::kPcdata:
+      if (!element.children.empty()) {
+        errors->push_back("<" + element.tag +
+                          "> declared (#PCDATA) has child elements");
+        ok = false;
+      }
+      break;
+    case ContentModel::Kind::kMixed: {
+      std::set<std::string> allowed;
+      std::vector<const AstNode*> stack;
+      if (decl.content.model != nullptr) stack.push_back(decl.content.model.get());
+      while (!stack.empty()) {
+        const AstNode* n = stack.back();
+        stack.pop_back();
+        if (n->kind == AstKind::kAlt) {
+          stack.push_back(n->left.get());
+          stack.push_back(n->right.get());
+        } else if (n->kind == AstKind::kLabel) {
+          allowed.insert(n->label);
+        }
+      }
+      for (const auto& child : element.children) {
+        if (allowed.count(child->tag) == 0) {
+          errors->push_back("<" + child->tag + "> not allowed in mixed <" +
+                            element.tag + ">");
+          ok = false;
+        }
+      }
+      break;
+    }
+    case ContentModel::Kind::kChildren: {
+      std::vector<LabelId> word;
+      bool word_ok = true;
+      for (const auto& child : element.children) {
+        LabelId id = names_.Find(child->tag);
+        if (id == kInvalidLabel) {
+          errors->push_back("undeclared element <" + child->tag + "> in <" +
+                            element.tag + ">");
+          ok = word_ok = false;
+          break;
+        }
+        word.push_back(id);
+      }
+      if (word_ok && !AcceptsWord(compiled.content, word)) {
+        std::vector<std::string> tags;
+        for (const auto& child : element.children) tags.push_back(child->tag);
+        errors->push_back("<" + element.tag + "> content (" +
+                          StrJoin(tags, ", ") +
+                          ") violates its content model");
+        ok = false;
+      }
+      break;
+    }
+  }
+
+  // --- attributes -----------------------------------------------------------
+  for (const AttributeDecl& attr : decl.attributes) {
+    const std::string* value = element.FindAttribute(attr.name);
+    if (value == nullptr) {
+      if (attr.default_kind == AttributeDecl::Default::kRequired) {
+        errors->push_back("<" + element.tag + "> missing required attribute " +
+                          attr.name);
+        ok = false;
+      }
+      continue;
+    }
+    switch (attr.type) {
+      case AttributeDecl::Type::kId:
+        ++(*id_counts)[*value];
+        break;
+      case AttributeDecl::Type::kIdref:
+      case AttributeDecl::Type::kIdrefs:
+        for (const std::string& target : StrSplit(*value, ' ')) {
+          idrefs->push_back(target);
+        }
+        break;
+      case AttributeDecl::Type::kEnumerated:
+        if (std::find(attr.enum_values.begin(), attr.enum_values.end(),
+                      *value) == attr.enum_values.end()) {
+          errors->push_back("<" + element.tag + "> attribute " + attr.name +
+                            "='" + *value + "' not in its enumeration");
+          ok = false;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [name, value] : element.attributes) {
+    (void)value;
+    bool declared = false;
+    for (const AttributeDecl& attr : decl.attributes) {
+      declared |= attr.name == name;
+    }
+    if (!declared) {
+      errors->push_back("<" + element.tag + "> has undeclared attribute " +
+                        name);
+      ok = false;
+    }
+  }
+
+  for (const auto& child : element.children) {
+    ok &= ValidateElement(*child, errors, max_errors, id_counts, idrefs);
+    if (static_cast<int64_t>(errors->size()) >= max_errors) return ok;
+  }
+  return ok;
+}
+
+bool DtdValidator::Validate(const XmlDocument& doc,
+                            std::vector<std::string>* errors,
+                            int64_t max_errors) const {
+  DKI_CHECK(doc.root != nullptr);
+  std::unordered_map<std::string, int> id_counts;
+  std::vector<std::string> idrefs;
+  bool ok = ValidateElement(*doc.root, errors, max_errors, &id_counts,
+                            &idrefs);
+  for (const auto& [id, count] : id_counts) {
+    if (count > 1) {
+      errors->push_back("duplicate ID '" + id + "'");
+      ok = false;
+    }
+  }
+  for (const std::string& target : idrefs) {
+    if (static_cast<int64_t>(errors->size()) >= max_errors) break;
+    if (!target.empty() && id_counts.count(target) == 0) {
+      errors->push_back("IDREF '" + target + "' has no matching ID");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace dki

@@ -1,0 +1,53 @@
+#ifndef DKINDEX_DTD_DTD_VALIDATOR_H_
+#define DKINDEX_DTD_DTD_VALIDATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dtd/dtd_schema.h"
+#include "graph/label_table.h"
+#include "pathexpr/nfa.h"
+#include "xml/xml_parser.h"
+
+namespace dki {
+
+// Validates documents against a DTD: every element must be declared, its
+// child-element sequence must be a word of its content model (a regular
+// language — checked with the same Thompson/NFA machinery the query engine
+// uses), required attributes must be present, and enumerated attributes
+// must hold a declared value. ID uniqueness and IDREF resolution are also
+// checked. This closes the loop with the generator: every generated
+// document validates (tested), as does any external document the DTD
+// describes.
+class DtdValidator {
+ public:
+  explicit DtdValidator(const DtdSchema* schema);
+
+  DtdValidator(const DtdValidator&) = delete;
+  DtdValidator& operator=(const DtdValidator&) = delete;
+
+  // Appends one message per violation (up to `max_errors`); returns whether
+  // the document is valid.
+  bool Validate(const XmlDocument& doc, std::vector<std::string>* errors,
+                int64_t max_errors = 50) const;
+
+ private:
+  struct CompiledElement {
+    const ElementDecl* decl;
+    Automaton content;  // for kChildren
+  };
+
+  bool ValidateElement(const XmlElement& element,
+                       std::vector<std::string>* errors, int64_t max_errors,
+                       std::unordered_map<std::string, int>* id_counts,
+                       std::vector<std::string>* idrefs) const;
+
+  const DtdSchema* schema_;
+  LabelTable names_;  // element-name alphabet for the content automata
+  std::unordered_map<std::string, CompiledElement> compiled_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_DTD_DTD_VALIDATOR_H_

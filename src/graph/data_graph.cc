@@ -1,0 +1,67 @@
+#include "graph/data_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dki {
+
+DataGraph::DataGraph() {
+  NodeId root = AddNode(LabelTable::kRootLabel);
+  DKI_CHECK_EQ(root, 0);
+}
+
+NodeId DataGraph::AddNode(LabelId label) {
+  DKI_CHECK_GE(label, 0);
+  DKI_CHECK_LT(label, labels_table_.size());
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  children_.emplace_back();
+  parents_.emplace_back();
+  return id;
+}
+
+NodeId DataGraph::AddNode(std::string_view label_name) {
+  return AddNode(labels_table_.Intern(label_name));
+}
+
+void DataGraph::AddEdge(NodeId from, NodeId to) {
+  if (HasEdge(from, to)) return;
+  AddEdgeUnchecked(from, to);
+}
+
+void DataGraph::AddEdgeUnchecked(NodeId from, NodeId to) {
+  DKI_CHECK_GE(from, 0);
+  DKI_CHECK_LT(from, NumNodes());
+  DKI_CHECK_GE(to, 0);
+  DKI_CHECK_LT(to, NumNodes());
+  children_[static_cast<size_t>(from)].push_back(to);
+  parents_[static_cast<size_t>(to)].push_back(from);
+  ++num_edges_;
+}
+
+bool DataGraph::RemoveEdge(NodeId from, NodeId to) {
+  auto& c = children_[static_cast<size_t>(from)];
+  auto it = std::find(c.begin(), c.end(), to);
+  if (it == c.end()) return false;
+  c.erase(it);
+  auto& p = parents_[static_cast<size_t>(to)];
+  p.erase(std::find(p.begin(), p.end(), from));
+  --num_edges_;
+  return true;
+}
+
+bool DataGraph::HasEdge(NodeId from, NodeId to) const {
+  const auto& c = children_[static_cast<size_t>(from)];
+  return std::find(c.begin(), c.end(), to) != c.end();
+}
+
+std::vector<NodeId> DataGraph::NodesWithLabel(LabelId label) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < NumNodes(); ++n) {
+    if (labels_[static_cast<size_t>(n)] == label) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace dki

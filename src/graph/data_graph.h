@@ -1,0 +1,98 @@
+#ifndef DKINDEX_GRAPH_DATA_GRAPH_H_
+#define DKINDEX_GRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/label_table.h"
+
+namespace dki {
+
+// Identifier of a data node. Dense, starting at 0; node 0 is the root.
+using NodeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+// The paper's data model (Section 3): a directed graph whose nodes carry a
+// label and a unique identifier. Tree (containment) edges and reference
+// (ID/IDREF, XLink) edges are not distinguished — both are plain edges.
+// There is a single root node with the distinguished label ROOT.
+//
+// The graph is mutable: the update experiments (Section 5) add edges and
+// subgraphs after initial construction. Adjacency is stored in both
+// directions because bisimulation is defined over *incoming* paths — all
+// index algorithms traverse `parents`, while query evaluation traverses
+// `children`.
+class DataGraph {
+ public:
+  // Creates a graph holding only the ROOT node (id 0).
+  DataGraph();
+
+  DataGraph(const DataGraph&) = default;
+  DataGraph& operator=(const DataGraph&) = default;
+  DataGraph(DataGraph&&) = default;
+  DataGraph& operator=(DataGraph&&) = default;
+
+  // --- Construction ---------------------------------------------------
+
+  // Adds a node with interned label id. Returns the new node id.
+  NodeId AddNode(LabelId label);
+
+  // Convenience: interns `label_name` and adds a node.
+  NodeId AddNode(std::string_view label_name);
+
+  // Adds a directed edge if not already present (O(out-degree(from))).
+  // Used by the incremental update paths where degrees are small.
+  void AddEdge(NodeId from, NodeId to);
+
+  // Adds a directed edge without the duplicate check. Bulk builders (XML
+  // loader, dataset generators) use this; the caller guarantees uniqueness.
+  void AddEdgeUnchecked(NodeId from, NodeId to);
+
+  // Removes the edge if present; returns whether it existed. Nodes are never
+  // removed (dense ids are load-bearing for the indexes); subtree removal is
+  // expressed as edge removal + unreachable-node compaction, see
+  // graph/graph_algos.h.
+  bool RemoveEdge(NodeId from, NodeId to);
+
+  // --- Accessors -------------------------------------------------------
+
+  NodeId root() const { return 0; }
+
+  int64_t NumNodes() const { return static_cast<int64_t>(labels_.size()); }
+  int64_t NumEdges() const { return num_edges_; }
+
+  LabelId label(NodeId n) const { return labels_[static_cast<size_t>(n)]; }
+  const std::string& label_name(NodeId n) const {
+    return labels_table_.Name(label(n));
+  }
+
+  const std::vector<NodeId>& children(NodeId n) const {
+    return children_[static_cast<size_t>(n)];
+  }
+  const std::vector<NodeId>& parents(NodeId n) const {
+    return parents_[static_cast<size_t>(n)];
+  }
+
+  // O(out-degree(from)).
+  bool HasEdge(NodeId from, NodeId to) const;
+
+  LabelTable& labels() { return labels_table_; }
+  const LabelTable& labels() const { return labels_table_; }
+
+  // All nodes carrying `label`, in id order. O(n).
+  std::vector<NodeId> NodesWithLabel(LabelId label) const;
+
+ private:
+  LabelTable labels_table_;
+  std::vector<LabelId> labels_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<std::vector<NodeId>> parents_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_GRAPH_DATA_GRAPH_H_

@@ -1,0 +1,161 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dki {
+
+GraphStats ComputeStats(const DataGraph& g) {
+  GraphStats s;
+  s.num_nodes = g.NumNodes();
+  s.num_edges = g.NumEdges();
+  s.num_labels = g.labels().size();
+  s.avg_out_degree =
+      s.num_nodes == 0 ? 0.0
+                       : static_cast<double>(s.num_edges) /
+                             static_cast<double>(s.num_nodes);
+
+  // BFS from root to find tree edges and max depth.
+  std::vector<int> depth(static_cast<size_t>(g.NumNodes()), -1);
+  std::deque<NodeId> queue;
+  depth[static_cast<size_t>(g.root())] = 0;
+  queue.push_back(g.root());
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    s.max_depth = std::max(s.max_depth, depth[static_cast<size_t>(u)]);
+    for (NodeId v : g.children(u)) {
+      if (depth[static_cast<size_t>(v)] == -1) {
+        depth[static_cast<size_t>(v)] = depth[static_cast<size_t>(u)] + 1;
+        ++s.num_tree_edges;
+        queue.push_back(v);
+      }
+    }
+  }
+  s.num_non_tree_edges = s.num_edges - s.num_tree_edges;
+  return s;
+}
+
+std::vector<NodeId> ReachableFrom(const DataGraph& g, NodeId start) {
+  std::vector<bool> seen(static_cast<size_t>(g.NumNodes()), false);
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack = {start};
+  seen[static_cast<size_t>(start)] = true;
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    for (NodeId v : g.children(u)) {
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool AllReachableFromRoot(const DataGraph& g) {
+  return static_cast<int64_t>(ReachableFrom(g, g.root()).size()) ==
+         g.NumNodes();
+}
+
+bool LabelPathMatchesNode(const DataGraph& g, const std::vector<LabelId>& path,
+                          NodeId n) {
+  if (path.empty()) return true;
+  if (g.label(n) != path.back()) return false;
+  // frontier = nodes that can be at position i (0-based from the end).
+  std::vector<NodeId> frontier = {n};
+  for (size_t i = path.size() - 1; i > 0; --i) {
+    LabelId want = path[i - 1];
+    std::set<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId p : g.parents(u)) {
+        if (g.label(p) == want) next.insert(p);
+      }
+    }
+    if (next.empty()) return false;
+    frontier.assign(next.begin(), next.end());
+  }
+  return true;
+}
+
+namespace {
+
+void CollectPaths(const DataGraph& g, NodeId n, int remaining,
+                  std::vector<LabelId>* current,
+                  std::set<std::vector<LabelId>>* out, int64_t max_paths) {
+  if (static_cast<int64_t>(out->size()) >= max_paths) return;
+  current->push_back(g.label(n));
+  if (remaining == 1) {
+    std::vector<LabelId> path(current->rbegin(), current->rend());
+    out->insert(std::move(path));
+  } else {
+    for (NodeId p : g.parents(n)) {
+      CollectPaths(g, p, remaining - 1, current, out, max_paths);
+      if (static_cast<int64_t>(out->size()) >= max_paths) break;
+    }
+  }
+  current->pop_back();
+}
+
+}  // namespace
+
+std::vector<std::vector<LabelId>> IncomingLabelPaths(const DataGraph& g,
+                                                     NodeId n, int len,
+                                                     int64_t max_paths) {
+  DKI_CHECK_GE(len, 1);
+  std::set<std::vector<LabelId>> paths;
+  std::vector<LabelId> current;
+  CollectPaths(g, n, len, &current, &paths, max_paths);
+  return {paths.begin(), paths.end()};
+}
+
+DataGraph CompactReachable(const DataGraph& g,
+                           std::vector<NodeId>* old_to_new) {
+  std::vector<NodeId> reachable = ReachableFrom(g, g.root());
+  std::vector<NodeId> mapping(static_cast<size_t>(g.NumNodes()),
+                              kInvalidNode);
+  DataGraph out;
+  for (NodeId old_id : reachable) {
+    if (old_id == g.root()) {
+      mapping[static_cast<size_t>(old_id)] = out.root();
+      continue;
+    }
+    mapping[static_cast<size_t>(old_id)] =
+        out.AddNode(g.labels().Name(g.label(old_id)));
+  }
+  for (NodeId old_id : reachable) {
+    for (NodeId child : g.children(old_id)) {
+      NodeId to = mapping[static_cast<size_t>(child)];
+      DKI_CHECK_NE(to, kInvalidNode);  // children of reachable are reachable
+      out.AddEdgeUnchecked(mapping[static_cast<size_t>(old_id)], to);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return out;
+}
+
+std::string ToDot(const DataGraph& g, int64_t max_nodes) {
+  std::ostringstream os;
+  os << "digraph data_graph {\n  rankdir=TB;\n";
+  int64_t n = std::min(g.NumNodes(), max_nodes);
+  for (NodeId u = 0; u < n; ++u) {
+    os << "  n" << u << " [label=\"" << g.label_name(u) << "\\n#" << u
+       << "\"];\n";
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.children(u)) {
+      if (v < n) os << "  n" << u << " -> n" << v << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dki

@@ -1,0 +1,58 @@
+#ifndef DKINDEX_GRAPH_GRAPH_ALGOS_H_
+#define DKINDEX_GRAPH_GRAPH_ALGOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace dki {
+
+// Summary statistics of a data graph, used by dataset tests and the bench
+// harness banners.
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  int64_t num_labels = 0;
+  int64_t num_tree_edges = 0;      // edges of a BFS spanning tree from root
+  int64_t num_non_tree_edges = 0;  // the rest (references / sharing)
+  int max_depth = 0;               // BFS depth of the deepest node
+  double avg_out_degree = 0.0;
+};
+
+GraphStats ComputeStats(const DataGraph& g);
+
+// Nodes reachable from `start` (following child edges), including `start`.
+std::vector<NodeId> ReachableFrom(const DataGraph& g, NodeId start);
+
+// True if every node is reachable from the root.
+bool AllReachableFromRoot(const DataGraph& g);
+
+// True if some node path ending in `n` matches the label sequence `path`
+// (path[0] is the first label, path.back() must equal label(n)). This is the
+// paper's "label path matches node" relation, computed by walking parents —
+// the reference implementation used by tests and ground-truth checks.
+bool LabelPathMatchesNode(const DataGraph& g, const std::vector<LabelId>& path,
+                          NodeId n);
+
+// All distinct label paths of length exactly `len` (number of labels) that
+// match node `n`. Capped at `max_paths` to bound the combinatorics.
+std::vector<std::vector<LabelId>> IncomingLabelPaths(const DataGraph& g,
+                                                     NodeId n, int len,
+                                                     int64_t max_paths);
+
+// Graphviz DOT rendering for debugging / documentation figures.
+std::string ToDot(const DataGraph& g, int64_t max_nodes = 200);
+
+// A copy of `g` containing only the nodes reachable from the root, with ids
+// re-densified. `old_to_new` (if non-null) receives the id mapping
+// (kInvalidNode for dropped nodes). Document/subtree *deletion* is expressed
+// as: remove the attaching edges, then compact and rebuild indexes over the
+// compacted graph.
+DataGraph CompactReachable(const DataGraph& g,
+                           std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace dki
+
+#endif  // DKINDEX_GRAPH_GRAPH_ALGOS_H_

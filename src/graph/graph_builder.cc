@@ -1,0 +1,67 @@
+#include "graph/graph_builder.h"
+
+#include "common/logging.h"
+
+namespace dki {
+
+GraphBuilder::GraphBuilder(DataGraph* graph) : graph_(graph) {
+  DKI_CHECK(graph != nullptr);
+  stack_.push_back(graph->root());
+}
+
+NodeId GraphBuilder::Open(std::string_view label) {
+  NodeId n = graph_->AddNode(label);
+  graph_->AddEdgeUnchecked(cursor(), n);
+  stack_.push_back(n);
+  return n;
+}
+
+NodeId GraphBuilder::Leaf(std::string_view label) {
+  NodeId n = graph_->AddNode(label);
+  graph_->AddEdgeUnchecked(cursor(), n);
+  return n;
+}
+
+NodeId GraphBuilder::Value() {
+  NodeId n = graph_->AddNode(LabelTable::kValueLabel);
+  graph_->AddEdgeUnchecked(cursor(), n);
+  return n;
+}
+
+NodeId GraphBuilder::ValueLeaf(std::string_view label) {
+  NodeId n = Open(label);
+  Value();
+  Close();
+  return n;
+}
+
+void GraphBuilder::Close() {
+  DKI_CHECK_GT(stack_.size(), 1u);
+  stack_.pop_back();
+}
+
+void GraphBuilder::Ref(NodeId from, std::string_view key) {
+  pending_refs_.emplace_back(from, std::string(key));
+}
+
+void GraphBuilder::DefineId(std::string_view key) { DefineId(cursor(), key); }
+
+void GraphBuilder::DefineId(NodeId node, std::string_view key) {
+  ids_[std::string(key)] = node;
+}
+
+int64_t GraphBuilder::Finish() {
+  int64_t dangling = 0;
+  for (const auto& [from, key] : pending_refs_) {
+    auto it = ids_.find(key);
+    if (it == ids_.end()) {
+      ++dangling;
+      continue;
+    }
+    graph_->AddEdge(from, it->second);
+  }
+  pending_refs_.clear();
+  return dangling;
+}
+
+}  // namespace dki

@@ -1,0 +1,69 @@
+#ifndef DKINDEX_GRAPH_GRAPH_BUILDER_H_
+#define DKINDEX_GRAPH_GRAPH_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace dki {
+
+// Convenience layer for building document-shaped data graphs: keeps a cursor
+// stack mirroring an element tree (Open/Close), supports text values and
+// deferred reference edges. Used by the dataset generators, the XML loader
+// and many tests.
+class GraphBuilder {
+ public:
+  // Builds into `graph` (borrowed, must outlive the builder). The cursor
+  // starts at the graph root.
+  explicit GraphBuilder(DataGraph* graph);
+
+  GraphBuilder(const GraphBuilder&) = delete;
+  GraphBuilder& operator=(const GraphBuilder&) = delete;
+
+  // Opens a child element under the current cursor node and descends into
+  // it. Returns the new node's id.
+  NodeId Open(std::string_view label);
+
+  // Adds a leaf child element (no descend). Returns its id.
+  NodeId Leaf(std::string_view label);
+
+  // Adds a VALUE node under the current cursor node.
+  NodeId Value();
+
+  // Adds a `label` child holding a VALUE node, e.g. <name>text</name>.
+  // Returns the id of the `label` node.
+  NodeId ValueLeaf(std::string_view label);
+
+  // Ascends to the parent element. Must balance a prior Open().
+  void Close();
+
+  // Current cursor node.
+  NodeId cursor() const { return stack_.back(); }
+
+  // Records a reference edge cursor-subtree style: an edge from `from` to a
+  // node that will later be registered under `key` (ID/IDREF resolution).
+  // Dangling references are dropped at Finish().
+  void Ref(NodeId from, std::string_view key);
+
+  // Registers the current cursor node under `key` as a reference target.
+  void DefineId(std::string_view key);
+  void DefineId(NodeId node, std::string_view key);
+
+  // Resolves all recorded references into edges. Returns the number of
+  // dangling references that were dropped.
+  int64_t Finish();
+
+ private:
+  DataGraph* graph_;
+  std::vector<NodeId> stack_;
+  std::vector<std::pair<NodeId, std::string>> pending_refs_;
+  std::unordered_map<std::string, NodeId> ids_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,34 @@
+#include "graph/label_table.h"
+
+#include "common/logging.h"
+
+namespace dki {
+
+LabelTable::LabelTable() {
+  LabelId root = Intern("ROOT");
+  LabelId value = Intern("VALUE");
+  DKI_CHECK_EQ(root, kRootLabel);
+  DKI_CHECK_EQ(value, kValueLabel);
+}
+
+LabelId LabelTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId LabelTable::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& LabelTable::Name(LabelId id) const {
+  DKI_CHECK_GE(id, 0);
+  DKI_CHECK_LT(static_cast<size_t>(id), names_.size());
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace dki

@@ -1,0 +1,49 @@
+#ifndef DKINDEX_GRAPH_LABEL_TABLE_H_
+#define DKINDEX_GRAPH_LABEL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dki {
+
+// Identifier of an interned label (element tag name). Dense, starting at 0.
+using LabelId = int32_t;
+
+inline constexpr LabelId kInvalidLabel = -1;
+
+// Interns label strings to dense integer ids so the graph and index
+// algorithms can work on integers. Two distinguished labels from the paper's
+// data model are pre-interned: "ROOT" (the single document root) and "VALUE"
+// (atomic text objects).
+class LabelTable {
+ public:
+  LabelTable();
+
+  LabelTable(const LabelTable&) = default;
+  LabelTable& operator=(const LabelTable&) = default;
+
+  static constexpr LabelId kRootLabel = 0;
+  static constexpr LabelId kValueLabel = 1;
+
+  // Returns the id for `name`, interning it if new.
+  LabelId Intern(std::string_view name);
+
+  // Returns the id for `name` or kInvalidLabel if it was never interned.
+  LabelId Find(std::string_view name) const;
+
+  // Name of an interned label. `id` must be valid.
+  const std::string& Name(LabelId id) const;
+
+  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_GRAPH_LABEL_TABLE_H_

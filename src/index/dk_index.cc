@@ -1,0 +1,94 @@
+#include "index/dk_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dki {
+
+std::vector<int> BroadcastLabelRequirements(
+    const std::vector<std::vector<LabelId>>& label_parents,
+    std::vector<int> initial) {
+  DKI_CHECK_EQ(label_parents.size(), initial.size());
+  const int64_t num_labels = static_cast<int64_t>(initial.size());
+
+  int kmax = 0;
+  for (int r : initial) {
+    DKI_CHECK_GE(r, 0);
+    kmax = std::max(kmax, r);
+  }
+  if (kmax == 0) return initial;
+
+  // Bucket queue over requirement values, processed from kmax down to 1.
+  // Raising a parent only ever assigns k-1 < current level, so each label is
+  // processed exactly once, at its final (highest) requirement.
+  std::vector<std::vector<LabelId>> buckets(static_cast<size_t>(kmax) + 1);
+  for (LabelId l = 0; l < num_labels; ++l) {
+    int r = initial[static_cast<size_t>(l)];
+    if (r > 0) buckets[static_cast<size_t>(r)].push_back(l);
+  }
+  std::vector<bool> processed(static_cast<size_t>(num_labels), false);
+  for (int level = kmax; level >= 1; --level) {
+    auto& bucket = buckets[static_cast<size_t>(level)];
+    for (size_t i = 0; i < bucket.size(); ++i) {  // bucket may grow
+      LabelId l = bucket[i];
+      if (processed[static_cast<size_t>(l)]) continue;
+      if (initial[static_cast<size_t>(l)] != level) continue;  // stale entry
+      processed[static_cast<size_t>(l)] = true;
+      for (LabelId parent : label_parents[static_cast<size_t>(l)]) {
+        if (initial[static_cast<size_t>(parent)] < level - 1) {
+          initial[static_cast<size_t>(parent)] = level - 1;
+          buckets[static_cast<size_t>(level - 1)].push_back(parent);
+        }
+      }
+    }
+  }
+  return initial;
+}
+
+DkIndex::DkIndex(DataGraph* graph, IndexGraph index,
+                 std::vector<int> effective_req)
+    : graph_(graph),
+      index_(std::move(index)),
+      effective_req_(std::move(effective_req)) {}
+
+std::vector<int> DkIndex::EffectiveRequirements(const DataGraph& g,
+                                                const LabelRequirements& reqs) {
+  std::vector<int> initial(static_cast<size_t>(g.labels().size()), 0);
+  for (const auto& [label, k] : reqs) {
+    DKI_CHECK_GE(label, 0);
+    DKI_CHECK_LT(label, g.labels().size());
+    initial[static_cast<size_t>(label)] = std::max(
+        initial[static_cast<size_t>(label)], k);
+  }
+  return BroadcastLabelRequirements(ComputeLabelParents(g, g.labels().size()),
+                                    std::move(initial));
+}
+
+DkIndex DkIndex::Build(DataGraph* graph, const LabelRequirements& reqs) {
+  DKI_CHECK(graph != nullptr);
+  std::vector<int> effective = EffectiveRequirements(*graph, reqs);
+  std::vector<int> block_k;
+  Partition p = BuildDkPartition(*graph, effective, &block_k);
+  IndexGraph index =
+      IndexGraph::FromPartition(graph, p.block_of, p.num_blocks, block_k);
+  return DkIndex(graph, std::move(index), std::move(effective));
+}
+
+DkIndex DkIndex::FromParts(DataGraph* graph, IndexGraph index,
+                           std::vector<int> effective_req) {
+  DKI_CHECK(graph != nullptr);
+  index.set_graph(graph);
+  effective_req.resize(static_cast<size_t>(graph->labels().size()), 0);
+  return DkIndex(graph, std::move(index), std::move(effective_req));
+}
+
+int DkIndex::effective_requirement(LabelId label) const {
+  if (label < 0 ||
+      static_cast<size_t>(label) >= effective_req_.size()) {
+    return 0;
+  }
+  return effective_req_[static_cast<size_t>(label)];
+}
+
+}  // namespace dki

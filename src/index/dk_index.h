@@ -1,0 +1,207 @@
+#ifndef DKINDEX_INDEX_DK_INDEX_H_
+#define DKINDEX_INDEX_DK_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "index/index_graph.h"
+#include "index/partition.h"
+
+namespace dki {
+
+// Per-label local similarity requirements, typically mined from the query
+// load (see query/load_analyzer.h). Labels absent from the map default to 0
+// (the paper's rule for labels that never appear in the query load).
+using LabelRequirements = std::unordered_map<LabelId, int>;
+
+// Algorithm 1 (Local Similarity Broadcast): lifts per-label requirements to
+// the effective requirements the D(k) structural constraint forces —
+// processing requirements in decreasing order, every parent label of a label
+// with requirement k is raised to at least k-1.
+//
+// `label_parents[l]` lists the labels with an edge into label l in the
+// label-split index graph; `initial` has one entry per label id (0 default).
+// Returns the effective per-label requirement vector. O(label edges + kmax).
+std::vector<int> BroadcastLabelRequirements(
+    const std::vector<std::vector<LabelId>>& label_parents,
+    std::vector<int> initial);
+
+// Builds the label-adjacency (parents per label) of `g`'s label-split graph.
+template <typename GraphT>
+std::vector<std::vector<LabelId>> ComputeLabelParents(const GraphT& g,
+                                                      int64_t num_labels) {
+  std::vector<std::vector<LabelId>> parents(
+      static_cast<size_t>(num_labels));
+  for (int64_t n = 0; n < g.NumNodes(); ++n) {
+    LabelId child = g.label(static_cast<int32_t>(n));
+    auto& list = parents[static_cast<size_t>(child)];
+    for (int32_t p : g.parents(static_cast<int32_t>(n))) {
+      LabelId pl = g.label(p);
+      bool present = false;
+      for (LabelId existing : list) present |= (existing == pl);
+      if (!present) list.push_back(pl);
+    }
+  }
+  return parents;
+}
+
+// Algorithm 2's refinement loop, generic over the graph type so that
+// Theorem 2's quotient re-construction (treat I'_G as a data graph) reuses
+// it. Round r splits exactly the blocks whose label has effective
+// requirement >= r. Fills `block_k` with the achieved local similarity
+// (= effective requirement of the block's label).
+template <typename GraphT>
+Partition BuildDkPartition(const GraphT& g,
+                           const std::vector<int>& effective_req,
+                           std::vector<int>* block_k) {
+  Partition p = LabelSplit(g);
+  int kmax = 0;
+  for (LabelId l : p.block_label) {
+    kmax = std::max(kmax, effective_req[static_cast<size_t>(l)]);
+  }
+  for (int round = 1; round <= kmax; ++round) {
+    std::vector<bool> refine(static_cast<size_t>(p.num_blocks));
+    bool any = false;
+    for (int32_t b = 0; b < p.num_blocks; ++b) {
+      refine[static_cast<size_t>(b)] =
+          effective_req[static_cast<size_t>(
+              p.block_label[static_cast<size_t>(b)])] >= round;
+      any |= refine[static_cast<size_t>(b)];
+    }
+    if (!any) break;
+    p = RefineOnce(g, p, refine);
+  }
+  block_k->clear();
+  for (LabelId l : p.block_label) {
+    block_k->push_back(effective_req[static_cast<size_t>(l)]);
+  }
+  return p;
+}
+
+// The D(k)-index (the paper's core contribution): an index graph whose nodes
+// carry individual local similarities k(n), constrained by
+// k(parent) >= k(child) - 1, constructed from query-load requirements
+// (Algorithms 1+2) and maintained incrementally:
+//   * AddEdge        — Algorithms 4+5 (edge addition; lowers similarities,
+//                      never re-partitions against the data graph);
+//   * AddSubgraph    — Algorithm 3 (file insertion via Theorem 2);
+//   * Promote        — Algorithm 6 (upgrade local similarities after query
+//                      load shifts);
+//   * Demote         — periodic shrinking via Theorem 2 quotienting.
+class DkIndex {
+ public:
+  // Builds the D(k)-index over `*graph` for the given query-load
+  // requirements. The graph is borrowed and mutable (updates insert into it).
+  static DkIndex Build(DataGraph* graph, const LabelRequirements& reqs);
+
+  DkIndex(const DkIndex&) = default;
+  DkIndex& operator=(const DkIndex&) = default;
+  DkIndex(DkIndex&&) = default;
+  DkIndex& operator=(DkIndex&&) = default;
+
+  const IndexGraph& index() const { return index_; }
+  IndexGraph* mutable_index() { return &index_; }
+  const DataGraph& graph() const { return *graph_; }
+
+  // Effective (post-broadcast) requirement of a label; 0 if unknown.
+  int effective_requirement(LabelId label) const;
+  // All effective requirements, indexed by label id (serialization support).
+  const std::vector<int>& effective_requirements() const {
+    return effective_req_;
+  }
+
+  // Reassembles a D(k)-index from persisted parts (io/serialization.h). The
+  // caller guarantees the parts belong together; invariants are validated by
+  // the loader.
+  static DkIndex FromParts(DataGraph* graph, IndexGraph index,
+                           std::vector<int> effective_req);
+
+  // --- Section 5.2: edge addition ---------------------------------------
+
+  struct EdgeUpdateStats {
+    int new_local_similarity = 0;     // Algorithm 4's k_N for the target
+    int64_t index_nodes_touched = 0;  // demotion-wave BFS pops (Algorithm 5)
+    int64_t label_paths_expanded = 0; // work inside Algorithm 4
+  };
+
+  // Adds the data edge u -> v and updates the index by adjusting local
+  // similarities (Algorithms 4 and 5). Never splits extents.
+  EdgeUpdateStats AddEdge(NodeId u, NodeId v);
+
+  // Algorithm 4 in isolation (exposed for tests): the maximal k_N such that
+  // every label path of length k_N into `v_node` through `u_node` matches
+  // `v_node` in the current index graph. `cap_paths` bounds the label-path
+  // sets defensively; on overflow the search stops at the current k_N
+  // (conservative).
+  int UpdateLocalSimilarity(IndexNodeId u_node, IndexNodeId v_node,
+                            int64_t* label_paths_expanded,
+                            int64_t cap_paths = 100000) const;
+
+  // Edge *removal* — one of the "other update operations [that] can be
+  // built on these two basic cases" (Section 5). The partition is kept (it
+  // stays a safe index: removing an edge only removes label paths, and the
+  // adjacency is re-derived), while local similarities are adjusted
+  // conservatively: the target's k drops to 0 — its extent members may no
+  // longer share parents at all — and the Algorithm 5 demotion wave caps
+  // every descendant at its distance, which is exactly the horizon below
+  // which the removed edge cannot influence incoming paths. Lost similarity
+  // is recoverable later through the promoting process. Returns false if
+  // the edge did not exist.
+  bool RemoveEdge(NodeId u, NodeId v);
+
+  // --- Section 5.1: subgraph addition ------------------------------------
+
+  // Inserts document `h` under the root of the data graph (h's own ROOT node
+  // is not copied; its children are attached to the root), then rebuilds the
+  // index per Algorithm 3: construct I_H, attach it under the root of I_G,
+  // and re-quotient the combined index graph as if it were a data graph
+  // (Theorem 2), merging extents. Returns the mapping from h's node ids to
+  // the new ids in the combined graph (h's root maps to the root).
+  std::vector<NodeId> AddSubgraph(const DataGraph& h);
+
+  // --- Section 5.3 / 5.4: promoting and demoting --------------------------
+
+  // Algorithm 6: raises node `v`'s local similarity to `k_target` by
+  // recursively promoting its parents to k_target - 1 and splitting
+  // extent(v) by the promoted parents. No-op if k(v) >= k_target.
+  void Promote(IndexNodeId v, int k_target);
+
+  // Promotes every index node with label `label` to `k_target`, processing
+  // split-off parts as well. Updates the stored label requirement.
+  void PromoteLabel(LabelId label, int k_target);
+
+  // Batch promotion; the paper's heuristic processes higher target
+  // similarities first so ancestor promotions are shared.
+  void PromoteBatch(const LabelRequirements& targets);
+
+  // The demoting process: re-broadcasts `new_reqs` on the current label
+  // adjacency and rebuilds the index by quotienting the *current* index
+  // graph (Theorem 2) — never touching the data graph. Merged nodes receive
+  // the conservative local similarity min(effective requirement, min member
+  // k) so soundness survives prior demotion waves.
+  void Demote(const LabelRequirements& new_reqs);
+
+ private:
+  DkIndex(DataGraph* graph, IndexGraph index, std::vector<int> effective_req);
+
+  // Re-derives effective requirements for the current graph + `reqs`.
+  static std::vector<int> EffectiveRequirements(const DataGraph& g,
+                                                const LabelRequirements& reqs);
+
+  // Algorithm 5's breadth-first demotion wave from `start`.
+  int64_t DemotionWave(IndexNodeId start);
+
+  // Shared by Demote and AddSubgraph: quotient the current index per
+  // Theorem 2 under `effective_req`.
+  void QuotientRebuild(const std::vector<int>& effective_req);
+
+  DataGraph* graph_;
+  IndexGraph index_;
+  std::vector<int> effective_req_;  // per label id
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_INDEX_DK_INDEX_H_

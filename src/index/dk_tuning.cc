@@ -1,0 +1,84 @@
+// Sections 5.3 and 5.4 of the paper: tuning the D(k)-index as the query
+// load changes — the promoting process (Algorithm 6) and the demoting
+// process (Theorem 2 quotienting).
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+#include "index/dk_index.h"
+
+namespace dki {
+
+void DkIndex::Promote(IndexNodeId v, int k_target) {
+  if (index_.k(v) >= k_target) return;
+
+  // Step 2: recursively upgrade the parents' local similarities to
+  // k_target - 1. The parent list is snapshotted: recursive promotions may
+  // split parents, and every split part receives the promoted similarity,
+  // so parts discovered later are already at the required level.
+  if (k_target >= 1) {
+    std::vector<IndexNodeId> parents_snapshot = index_.parents(v);
+    for (IndexNodeId w : parents_snapshot) {
+      if (w == v) continue;  // self-loop: v itself is being promoted
+      Promote(w, k_target - 1);
+    }
+  }
+
+  // Step 3: split extent(v) by the members' (now promoted) parent index
+  // nodes. Grouping by the full parent signature (to a fixpoint, for
+  // intra-extent parents) is the paper's sequential
+  // V ∩ Succ(W) / V − Succ(W) splitting over all parents.
+  std::vector<IndexNodeId> parts = index_.SplitByParentSignature(v);
+  if (parts.size() > 1) index_.RecomputeEdgesLocal(parts);
+  for (IndexNodeId part : parts) index_.set_k(part, k_target);
+}
+
+void DkIndex::PromoteLabel(LabelId label, int k_target) {
+  // Promotions split nodes of this label into further nodes of the same
+  // label; iterate until every one of them reaches the target.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (IndexNodeId i = 0; i < index_.NumIndexNodes(); ++i) {
+      if (index_.label(i) == label && index_.k(i) < k_target) {
+        Promote(i, k_target);
+        progressed = true;
+      }
+    }
+  }
+  if (label >= 0 && static_cast<size_t>(label) < effective_req_.size()) {
+    effective_req_[static_cast<size_t>(label)] =
+        std::max(effective_req_[static_cast<size_t>(label)], k_target);
+  }
+}
+
+void DkIndex::PromoteBatch(const LabelRequirements& targets) {
+  // The paper's heuristic: promote higher similarities first, so the
+  // ancestor upgrades they trigger are shared by later, lower promotions.
+  std::vector<std::pair<LabelId, int>> order(targets.begin(), targets.end());
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (const auto& [label, k_target] : order) {
+    PromoteLabel(label, k_target);
+  }
+}
+
+void DkIndex::Demote(const LabelRequirements& new_reqs) {
+  std::vector<int> initial(static_cast<size_t>(graph_->labels().size()), 0);
+  for (const auto& [label, k] : new_reqs) {
+    DKI_CHECK_GE(label, 0);
+    DKI_CHECK_LT(label, graph_->labels().size());
+    initial[static_cast<size_t>(label)] =
+        std::max(initial[static_cast<size_t>(label)], k);
+  }
+  effective_req_ = BroadcastLabelRequirements(
+      ComputeLabelParents(*graph_, graph_->labels().size()),
+      std::move(initial));
+  QuotientRebuild(effective_req_);
+}
+
+}  // namespace dki

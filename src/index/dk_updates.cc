@@ -1,0 +1,288 @@
+// Section 5.1 and 5.2 of the paper: D(k)-index maintenance under data
+// changes — subgraph addition (Algorithm 3) and edge addition
+// (Algorithms 4 and 5).
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "index/dk_index.h"
+
+namespace dki {
+
+namespace {
+
+// Label path keyed map: path (outermost label first) -> index nodes that
+// start a matching node path. The paths in Algorithm 4 are short (bounded by
+// the target's old local similarity), so ordered maps keep this simple and
+// deterministic.
+using PathMap = std::map<std::vector<LabelId>, std::set<IndexNodeId>>;
+
+// One backward-expansion step of Algorithm 4: every path grows by one label
+// on the left, fanning out over the parents of its start nodes.
+PathMap ExpandBackwards(const IndexGraph& index, const PathMap& paths,
+                        int64_t* expanded) {
+  PathMap out;
+  for (const auto& [path, starts] : paths) {
+    for (IndexNodeId w : starts) {
+      for (IndexNodeId x : index.parents(w)) {
+        std::vector<LabelId> longer;
+        longer.reserve(path.size() + 1);
+        longer.push_back(index.label(x));
+        longer.insert(longer.end(), path.begin(), path.end());
+        out[std::move(longer)].insert(x);
+        ++*expanded;
+      }
+    }
+  }
+  return out;
+}
+
+// True if every key (label path) of `sub` also occurs in `super`.
+bool KeysSubset(const PathMap& sub, const PathMap& super) {
+  for (const auto& [path, starts] : sub) {
+    (void)starts;
+    if (super.find(path) == super.end()) return false;
+  }
+  return true;
+}
+
+int64_t TotalStarts(const PathMap& m) {
+  int64_t total = 0;
+  for (const auto& [path, starts] : m) {
+    (void)path;
+    total += static_cast<int64_t>(starts.size());
+  }
+  return total;
+}
+
+}  // namespace
+
+int DkIndex::UpdateLocalSimilarity(IndexNodeId u_node, IndexNodeId v_node,
+                                   int64_t* label_paths_expanded,
+                                   int64_t cap_paths) const {
+  int64_t dummy = 0;
+  if (label_paths_expanded == nullptr) label_paths_expanded = &dummy;
+
+  // V's new local similarity can not exceed k_U + 1 (the D(k) constraint
+  // along the new edge) or its old value k_V.
+  const int upbound = std::min(index_.k(u_node) + 1, index_.k(v_node));
+  if (upbound <= 0) return 0;
+
+  // Paths of length 1: through the new edge it is just label(U); in the
+  // original I_G, the labels of V's current parents.
+  PathMap new_paths;
+  new_paths[{index_.label(u_node)}] = {u_node};
+  PathMap old_paths;
+  for (IndexNodeId p : index_.parents(v_node)) {
+    old_paths[{index_.label(p)}].insert(p);
+  }
+
+  int k_n = 0;
+  while (k_n < upbound) {
+    if (!KeysSubset(new_paths, old_paths)) break;
+    ++k_n;
+    if (k_n >= upbound) break;  // further expansion cannot raise the result
+    new_paths = ExpandBackwards(index_, new_paths, label_paths_expanded);
+    old_paths = ExpandBackwards(index_, old_paths, label_paths_expanded);
+    if (new_paths.empty()) {
+      // No longer paths arrive through the new edge; everything longer
+      // trivially matches. The upbound still applies.
+      k_n = upbound;
+      break;
+    }
+    if (TotalStarts(new_paths) + TotalStarts(old_paths) > cap_paths) {
+      break;  // defensive cap: stop with the (conservative) current k_n
+    }
+  }
+  return k_n;
+}
+
+int64_t DkIndex::DemotionWave(IndexNodeId start) {
+  // Algorithm 5, step 3: BFS from the target; crossing edge W -> X lowers
+  // k(X) to k(W) + 1 when that is smaller, and stops the wave otherwise.
+  int64_t touched = 0;
+  std::deque<IndexNodeId> queue = {start};
+  while (!queue.empty()) {
+    IndexNodeId w = queue.front();
+    queue.pop_front();
+    ++touched;
+    for (IndexNodeId x : index_.children(w)) {
+      if (index_.k(w) + 1 < index_.k(x)) {
+        index_.set_k(x, index_.k(w) + 1);
+        queue.push_back(x);
+      }
+    }
+  }
+  return touched;
+}
+
+DkIndex::EdgeUpdateStats DkIndex::AddEdge(NodeId u, NodeId v) {
+  EdgeUpdateStats stats;
+  if (graph_->HasEdge(u, v)) {
+    stats.new_local_similarity = index_.k(index_.index_of(v));
+    return stats;
+  }
+
+  IndexNodeId u_node = index_.index_of(u);
+  IndexNodeId v_node = index_.index_of(v);
+
+  // Algorithm 4 runs against the *original* I_G, i.e. before the new edge is
+  // inserted into either graph.
+  int k_n =
+      UpdateLocalSimilarity(u_node, v_node, &stats.label_paths_expanded);
+
+  graph_->AddEdge(u, v);
+  index_.AddIndexEdge(u_node, v_node);
+
+  if (k_n < index_.k(v_node)) index_.set_k(v_node, k_n);
+  stats.new_local_similarity = index_.k(v_node);
+  stats.index_nodes_touched = DemotionWave(v_node);
+  return stats;
+}
+
+bool DkIndex::RemoveEdge(NodeId u, NodeId v) {
+  if (!graph_->RemoveEdge(u, v)) return false;
+  IndexNodeId u_node = index_.index_of(u);
+  IndexNodeId v_node = index_.index_of(v);
+  // Drop the derived index edge iff no other data edge supports it.
+  index_.RecomputeEdgesLocal({u_node, v_node});
+  index_.set_k(v_node, 0);
+  DemotionWave(v_node);
+  return true;
+}
+
+void DkIndex::QuotientRebuild(const std::vector<int>& effective_req) {
+  IndexGraphView view(&index_);
+  std::vector<int> block_k;
+  Partition p = BuildDkPartition(view, effective_req, &block_k);
+
+  // Conservative local similarity for merged nodes: the quotient target
+  // cannot claim more similarity than its least-similar member (members may
+  // have been demoted by prior edge additions).
+  std::vector<int> final_k = block_k;
+  for (IndexNodeId i = 0; i < index_.NumIndexNodes(); ++i) {
+    int32_t b = p.block_of[static_cast<size_t>(i)];
+    final_k[static_cast<size_t>(b)] =
+        std::min(final_k[static_cast<size_t>(b)], index_.k(i));
+  }
+
+  std::vector<int32_t> block_of_data(
+      static_cast<size_t>(graph_->NumNodes()), -1);
+  for (NodeId n = 0; n < graph_->NumNodes(); ++n) {
+    block_of_data[static_cast<size_t>(n)] =
+        p.block_of[static_cast<size_t>(index_.index_of(n))];
+  }
+  index_ =
+      IndexGraph::FromPartition(graph_, block_of_data, p.num_blocks, final_k);
+}
+
+std::vector<NodeId> DkIndex::AddSubgraph(const DataGraph& h) {
+  // --- copy H into the data graph (H's root is identified with our root).
+  std::vector<LabelId> label_map(static_cast<size_t>(h.labels().size()),
+                                 kInvalidLabel);
+  for (LabelId l = 0; l < h.labels().size(); ++l) {
+    label_map[static_cast<size_t>(l)] =
+        graph_->labels().Intern(h.labels().Name(l));
+  }
+  std::vector<NodeId> node_map(static_cast<size_t>(h.NumNodes()),
+                               kInvalidNode);
+  node_map[static_cast<size_t>(h.root())] = graph_->root();
+  for (NodeId n = 0; n < h.NumNodes(); ++n) {
+    if (n == h.root()) continue;
+    node_map[static_cast<size_t>(n)] =
+        graph_->AddNode(label_map[static_cast<size_t>(h.label(n))]);
+  }
+  for (NodeId a = 0; a < h.NumNodes(); ++a) {
+    for (NodeId b : h.children(a)) {
+      NodeId from = node_map[static_cast<size_t>(a)];
+      NodeId to = node_map[static_cast<size_t>(b)];
+      if (a == h.root()) {
+        graph_->AddEdge(from, to);  // root may already have edges: dedup
+      } else {
+        graph_->AddEdgeUnchecked(from, to);
+      }
+    }
+  }
+
+  // --- refresh effective requirements over the combined label adjacency.
+  std::vector<int> old_effective = effective_req_;
+  std::vector<int> initial = effective_req_;
+  initial.resize(static_cast<size_t>(graph_->labels().size()), 0);
+  effective_req_ = BroadcastLabelRequirements(
+      ComputeLabelParents(*graph_, graph_->labels().size()),
+      std::move(initial));
+
+  // Algorithm 3 assumes index nodes with the same label carry the same local
+  // similarity on both sides. If H introduced label adjacency that *raises*
+  // the effective requirement of a label already present in G, G's old
+  // blocks are not refined enough for quotienting (Theorem 2's refinement
+  // premise fails); fall back to a fresh construction over the combined
+  // graph, which is always correct.
+  bool requirement_raised = false;
+  for (size_t l = 0; l < old_effective.size(); ++l) {
+    requirement_raised |= effective_req_[l] > old_effective[l];
+  }
+  if (requirement_raised) {
+    std::vector<int> block_k;
+    Partition p = BuildDkPartition(*graph_, effective_req_, &block_k);
+    index_ =
+        IndexGraph::FromPartition(graph_, p.block_of, p.num_blocks, block_k);
+    return node_map;
+  }
+
+  // --- Algorithm 3 step 1: D(k) partition of H alone (same per-label
+  // similarities as I_G, as the paper requires).
+  std::vector<int> h_req(static_cast<size_t>(h.labels().size()), 0);
+  for (LabelId l = 0; l < h.labels().size(); ++l) {
+    h_req[static_cast<size_t>(l)] =
+        effective_req_[static_cast<size_t>(label_map[static_cast<size_t>(l)])];
+  }
+  std::vector<int> h_block_k;
+  Partition ph = BuildDkPartition(h, h_req, &h_block_k);
+
+  // --- Algorithm 3 step 2: attach I_H under the root of I_G. The combined
+  // structure is expressed as one data-node partition over the new graph;
+  // H's root block is dropped (its node was identified with our root).
+  std::vector<int32_t> block_of_data(
+      static_cast<size_t>(graph_->NumNodes()), -1);
+  int32_t next_block = 0;
+  std::vector<int> combined_k;
+  // Old index nodes keep their blocks (and possibly-demoted k values).
+  std::vector<int32_t> old_block(
+      static_cast<size_t>(index_.NumIndexNodes()), -1);
+  for (IndexNodeId i = 0; i < index_.NumIndexNodes(); ++i) {
+    old_block[static_cast<size_t>(i)] = next_block++;
+    combined_k.push_back(index_.k(i));
+  }
+  for (IndexNodeId i = 0; i < index_.NumIndexNodes(); ++i) {
+    for (NodeId n : index_.extent(i)) {
+      block_of_data[static_cast<size_t>(n)] =
+          old_block[static_cast<size_t>(i)];
+    }
+  }
+  // H's blocks become fresh index nodes.
+  std::vector<int32_t> h_block_to_combined(
+      static_cast<size_t>(ph.num_blocks), -1);
+  for (NodeId n = 0; n < h.NumNodes(); ++n) {
+    if (n == h.root()) continue;
+    int32_t hb = ph.block_of[static_cast<size_t>(n)];
+    if (h_block_to_combined[static_cast<size_t>(hb)] == -1) {
+      h_block_to_combined[static_cast<size_t>(hb)] = next_block++;
+      combined_k.push_back(h_block_k[static_cast<size_t>(hb)]);
+    }
+    block_of_data[static_cast<size_t>(node_map[static_cast<size_t>(n)])] =
+        h_block_to_combined[static_cast<size_t>(hb)];
+  }
+  index_ = IndexGraph::FromPartition(graph_, block_of_data, next_block,
+                                     combined_k);
+
+  // --- Algorithm 3 step 3+4: treat the combined index graph as a data graph
+  // and recompute its D(k)-index, merging extents (Theorem 2).
+  QuotientRebuild(effective_req_);
+  return node_map;
+}
+
+}  // namespace dki

@@ -1,0 +1,33 @@
+#include "index/fb_index.h"
+
+namespace dki {
+
+Partition FbIndex::ComputePartition(const DataGraph& graph, int* rounds) {
+  ReverseGraphView reversed(&graph);
+  Partition p = LabelSplit(graph);
+  int r = 0;
+  // Alternate backward (parents) and forward (children) refinement; the
+  // joint fixpoint is reached when one full backward+forward sweep causes
+  // no split in either direction.
+  while (true) {
+    std::vector<bool> all(static_cast<size_t>(p.num_blocks), true);
+    Partition backward = RefineOnce(graph, p, all);
+    std::vector<bool> all2(static_cast<size_t>(backward.num_blocks), true);
+    Partition forward = RefineOnce(reversed, backward, all2);
+    bool stable = forward.num_blocks == p.num_blocks;
+    p = std::move(forward);
+    ++r;
+    if (stable) break;
+  }
+  if (rounds != nullptr) *rounds = r;
+  return p;
+}
+
+IndexGraph FbIndex::Build(const DataGraph* graph) {
+  Partition p = ComputePartition(*graph);
+  std::vector<int> block_k(static_cast<size_t>(p.num_blocks),
+                           IndexGraph::kInfiniteSimilarity);
+  return IndexGraph::FromPartition(graph, p.block_of, p.num_blocks, block_k);
+}
+
+}  // namespace dki

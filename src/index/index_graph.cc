@@ -1,0 +1,321 @@
+#include "index/index_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace dki {
+
+IndexGraph::IndexGraph(const DataGraph* graph) : graph_(graph) {
+  DKI_CHECK(graph != nullptr);
+  node_to_index_.assign(static_cast<size_t>(graph->NumNodes()),
+                        kInvalidIndexNode);
+}
+
+IndexGraph IndexGraph::FromPartition(const DataGraph* graph,
+                                     const std::vector<int32_t>& block_of,
+                                     int32_t num_blocks,
+                                     const std::vector<int>& block_k) {
+  DKI_CHECK(graph != nullptr);
+  DKI_CHECK_EQ(static_cast<int64_t>(block_of.size()), graph->NumNodes());
+  DKI_CHECK_EQ(static_cast<int32_t>(block_k.size()), num_blocks);
+
+  IndexGraph index(graph);
+  index.nodes_.resize(static_cast<size_t>(num_blocks));
+  for (NodeId n = 0; n < graph->NumNodes(); ++n) {
+    int32_t b = block_of[static_cast<size_t>(n)];
+    DKI_CHECK_GE(b, 0);
+    DKI_CHECK_LT(b, num_blocks);
+    IndexNode& node = index.nodes_[static_cast<size_t>(b)];
+    if (node.extent.empty()) {
+      node.label = graph->label(n);
+    } else {
+      DKI_CHECK_EQ(node.label, graph->label(n));
+    }
+    node.extent.push_back(n);
+    index.node_to_index_[static_cast<size_t>(n)] = b;
+  }
+  for (int32_t b = 0; b < num_blocks; ++b) {
+    DKI_CHECK(!index.nodes_[static_cast<size_t>(b)].extent.empty());
+    index.nodes_[static_cast<size_t>(b)].k = block_k[static_cast<size_t>(b)];
+  }
+  index.RecomputeAllEdges();
+  return index;
+}
+
+int64_t IndexGraph::NumIndexEdges() const {
+  int64_t total = 0;
+  for (const IndexNode& n : nodes_) {
+    total += static_cast<int64_t>(n.children.size());
+  }
+  return total;
+}
+
+std::vector<IndexNodeId> IndexGraph::NodesWithLabel(LabelId label) const {
+  std::vector<IndexNodeId> out;
+  for (IndexNodeId i = 0; i < NumIndexNodes(); ++i) {
+    if (nodes_[static_cast<size_t>(i)].label == label) out.push_back(i);
+  }
+  return out;
+}
+
+int64_t IndexGraph::TotalExtentSize() const {
+  int64_t total = 0;
+  for (const IndexNode& n : nodes_) {
+    total += static_cast<int64_t>(n.extent.size());
+  }
+  return total;
+}
+
+IndexNodeId IndexGraph::SplitOff(IndexNodeId src,
+                                 const std::vector<NodeId>& members) {
+  IndexNode& source = nodes_[static_cast<size_t>(src)];
+  DKI_CHECK(!members.empty());
+  DKI_CHECK_LT(members.size(), source.extent.size());
+
+  IndexNodeId fresh = static_cast<IndexNodeId>(nodes_.size());
+  IndexNode node;
+  node.label = source.label;
+  node.k = source.k;
+  node.extent = members;
+  nodes_.push_back(std::move(node));
+
+  std::unordered_set<NodeId> moved(members.begin(), members.end());
+  auto& src_extent = nodes_[static_cast<size_t>(src)].extent;
+  src_extent.erase(std::remove_if(src_extent.begin(), src_extent.end(),
+                                  [&](NodeId n) { return moved.count(n) > 0; }),
+                   src_extent.end());
+  DKI_CHECK(!src_extent.empty());
+  for (NodeId n : members) {
+    DKI_CHECK_EQ(node_to_index_[static_cast<size_t>(n)], src);
+    node_to_index_[static_cast<size_t>(n)] = fresh;
+  }
+  return fresh;
+}
+
+IndexNodeId IndexGraph::AppendNode(LabelId label, int k,
+                                   std::vector<NodeId> extent) {
+  IndexNodeId id = static_cast<IndexNodeId>(nodes_.size());
+  IndexNode node;
+  node.label = label;
+  node.k = k;
+  node.extent = std::move(extent);
+  for (NodeId n : node.extent) {
+    node_to_index_[static_cast<size_t>(n)] = id;
+  }
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+std::vector<IndexNodeId> IndexGraph::SplitByParentSignature(IndexNodeId x) {
+  std::vector<IndexNodeId> parts = {x};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Snapshot: splitting appends to `parts`.
+    std::vector<IndexNodeId> current = parts;
+    for (IndexNodeId part : current) {
+      std::map<std::vector<IndexNodeId>, std::vector<NodeId>> groups;
+      std::vector<IndexNodeId> sig;
+      for (NodeId member : nodes_[static_cast<size_t>(part)].extent) {
+        sig.clear();
+        for (NodeId p : graph_->parents(member)) sig.push_back(index_of(p));
+        std::sort(sig.begin(), sig.end());
+        sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+        groups[sig].push_back(member);
+      }
+      if (groups.size() <= 1) continue;
+      auto it = groups.begin();
+      ++it;  // the first group stays in `part`
+      for (; it != groups.end(); ++it) {
+        parts.push_back(SplitOff(part, it->second));
+      }
+      changed = true;
+    }
+  }
+  return parts;
+}
+
+void IndexGraph::AddIndexEdge(IndexNodeId a, IndexNodeId b) {
+  auto& ch = nodes_[static_cast<size_t>(a)].children;
+  if (std::find(ch.begin(), ch.end(), b) != ch.end()) return;
+  ch.push_back(b);
+  nodes_[static_cast<size_t>(b)].parents.push_back(a);
+}
+
+void IndexGraph::RecomputeEdgesLocal(
+    const std::vector<IndexNodeId>& affected) {
+  std::unordered_set<IndexNodeId> in_set(affected.begin(), affected.end());
+
+  // Phase 1: remove affected nodes from neighbors' adjacency.
+  for (IndexNodeId a : affected) {
+    IndexNode& node = nodes_[static_cast<size_t>(a)];
+    for (IndexNodeId c : node.children) {
+      if (in_set.count(c)) continue;
+      auto& p = nodes_[static_cast<size_t>(c)].parents;
+      p.erase(std::remove(p.begin(), p.end(), a), p.end());
+    }
+    for (IndexNodeId p : node.parents) {
+      if (in_set.count(p)) continue;
+      auto& c = nodes_[static_cast<size_t>(p)].children;
+      c.erase(std::remove(c.begin(), c.end(), a), c.end());
+    }
+    node.children.clear();
+    node.parents.clear();
+  }
+
+  // Phase 2: recompute each affected node's own lists from the data graph,
+  // mending the lists of unaffected neighbors.
+  for (IndexNodeId a : affected) {
+    IndexNode& node = nodes_[static_cast<size_t>(a)];
+    std::set<IndexNodeId> child_set;
+    std::set<IndexNodeId> parent_set;
+    for (NodeId u : node.extent) {
+      for (NodeId v : graph_->children(u)) {
+        child_set.insert(index_of(v));
+      }
+      for (NodeId v : graph_->parents(u)) {
+        parent_set.insert(index_of(v));
+      }
+    }
+    node.children.assign(child_set.begin(), child_set.end());
+    node.parents.assign(parent_set.begin(), parent_set.end());
+    for (IndexNodeId c : node.children) {
+      if (in_set.count(c)) continue;  // its own recompute handles the mirror
+      auto& p = nodes_[static_cast<size_t>(c)].parents;
+      if (std::find(p.begin(), p.end(), a) == p.end()) p.push_back(a);
+    }
+    for (IndexNodeId pr : node.parents) {
+      if (in_set.count(pr)) continue;
+      auto& c = nodes_[static_cast<size_t>(pr)].children;
+      if (std::find(c.begin(), c.end(), a) == c.end()) c.push_back(a);
+    }
+  }
+}
+
+void IndexGraph::RecomputeAllEdges() {
+  for (IndexNode& n : nodes_) {
+    n.children.clear();
+    n.parents.clear();
+  }
+  // Derive the deduplicated edge set in one pass over data edges.
+  std::set<std::pair<IndexNodeId, IndexNodeId>> edges;
+  for (NodeId u = 0; u < graph_->NumNodes(); ++u) {
+    IndexNodeId a = index_of(u);
+    if (a == kInvalidIndexNode) continue;
+    for (NodeId v : graph_->children(u)) {
+      IndexNodeId b = index_of(v);
+      if (b == kInvalidIndexNode) continue;
+      edges.emplace(a, b);
+    }
+  }
+  for (const auto& [a, b] : edges) {
+    nodes_[static_cast<size_t>(a)].children.push_back(b);
+    nodes_[static_cast<size_t>(b)].parents.push_back(a);
+  }
+}
+
+bool IndexGraph::ValidatePartition(std::string* error) const {
+  if (static_cast<int64_t>(node_to_index_.size()) != graph_->NumNodes()) {
+    *error = "node_to_index size mismatch";
+    return false;
+  }
+  int64_t total = 0;
+  for (IndexNodeId i = 0; i < NumIndexNodes(); ++i) {
+    const IndexNode& node = nodes_[static_cast<size_t>(i)];
+    if (node.extent.empty()) {
+      *error = "empty extent at index node " + std::to_string(i);
+      return false;
+    }
+    for (NodeId n : node.extent) {
+      if (graph_->label(n) != node.label) {
+        *error = "label mismatch in extent of index node " + std::to_string(i);
+        return false;
+      }
+      if (node_to_index_[static_cast<size_t>(n)] != i) {
+        *error = "node_to_index disagrees for data node " + std::to_string(n);
+        return false;
+      }
+    }
+    total += static_cast<int64_t>(node.extent.size());
+  }
+  if (total != graph_->NumNodes()) {
+    *error = "extents do not cover the graph exactly once";
+    return false;
+  }
+  return true;
+}
+
+bool IndexGraph::ValidateEdges(std::string* error) const {
+  std::set<std::pair<IndexNodeId, IndexNodeId>> derived;
+  for (NodeId u = 0; u < graph_->NumNodes(); ++u) {
+    for (NodeId v : graph_->children(u)) {
+      derived.emplace(index_of(u), index_of(v));
+    }
+  }
+  std::set<std::pair<IndexNodeId, IndexNodeId>> stored;
+  for (IndexNodeId i = 0; i < NumIndexNodes(); ++i) {
+    for (IndexNodeId c : children(i)) stored.emplace(i, c);
+    // children/parents must mirror each other.
+    for (IndexNodeId c : children(i)) {
+      const auto& p = parents(c);
+      if (std::find(p.begin(), p.end(), i) == p.end()) {
+        *error = "missing mirror parent edge " + std::to_string(i) + "->" +
+                 std::to_string(c);
+        return false;
+      }
+    }
+    for (IndexNodeId p : parents(i)) {
+      const auto& c = children(p);
+      if (std::find(c.begin(), c.end(), i) == c.end()) {
+        *error = "missing mirror child edge " + std::to_string(p) + "->" +
+                 std::to_string(i);
+        return false;
+      }
+    }
+  }
+  if (derived != stored) {
+    *error = "stored edges differ from derived edges (stored " +
+             std::to_string(stored.size()) + ", derived " +
+             std::to_string(derived.size()) + ")";
+    return false;
+  }
+  return true;
+}
+
+bool IndexGraph::ValidateDkConstraint(std::string* error) const {
+  for (IndexNodeId i = 0; i < NumIndexNodes(); ++i) {
+    for (IndexNodeId c : children(i)) {
+      if (k(i) < k(c) - 1) {
+        *error = "D(k) constraint violated on edge " + std::to_string(i) +
+                 " (k=" + std::to_string(k(i)) + ") -> " + std::to_string(c) +
+                 " (k=" + std::to_string(k(c)) + ")";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string IndexGraph::ToDot(int64_t max_nodes) const {
+  std::ostringstream os;
+  os << "digraph index_graph {\n  rankdir=TB;\n";
+  int64_t n = std::min(NumIndexNodes(), max_nodes);
+  for (IndexNodeId i = 0; i < n; ++i) {
+    os << "  i" << i << " [label=\"" << graph_->labels().Name(label(i))
+       << "\\nk=" << k(i) << " |ext|=" << extent(i).size() << "\"];\n";
+  }
+  for (IndexNodeId i = 0; i < n; ++i) {
+    for (IndexNodeId c : children(i)) {
+      if (c < n) os << "  i" << i << " -> i" << c << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dki

@@ -1,0 +1,144 @@
+#ifndef DKINDEX_INDEX_INDEX_GRAPH_H_
+#define DKINDEX_INDEX_INDEX_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace dki {
+
+// Identifier of an index node (an equivalence class of data nodes).
+using IndexNodeId = int32_t;
+
+inline constexpr IndexNodeId kInvalidIndexNode = -1;
+
+// The index graph I_G of the paper: one node per equivalence class (its
+// *extent*), labeled with the common label of its members, carrying a local
+// similarity value k, with an edge A -> B iff some data edge u -> v exists
+// with u in extent(A), v in extent(B).
+//
+// This structure is shared by the 1-index (k = infinity), the A(k)-index
+// (uniform k) and the D(k)-index (per-node k mined from the query load).
+// It supports the incremental mutations the update algorithms of Section 5
+// need: extent splits, edge insertion and local adjacency recomputation.
+class IndexGraph {
+ public:
+  // Local similarity of the 1-index: larger than any path length that can
+  // occur, so every result is certain.
+  static constexpr int kInfiniteSimilarity = 1 << 29;
+
+  struct IndexNode {
+    LabelId label = kInvalidLabel;
+    int k = 0;  // local similarity (paper's k(n))
+    std::vector<NodeId> extent;
+    std::vector<IndexNodeId> children;  // deduplicated
+    std::vector<IndexNodeId> parents;   // deduplicated
+  };
+
+  // An empty index over `graph` (borrowed; must outlive the index).
+  explicit IndexGraph(const DataGraph* graph);
+
+  IndexGraph(const IndexGraph&) = default;
+  IndexGraph& operator=(const IndexGraph&) = default;
+  IndexGraph(IndexGraph&&) = default;
+  IndexGraph& operator=(IndexGraph&&) = default;
+
+  // Builds the index graph for the partition `block_of` (data node -> block,
+  // blocks dense in [0, num_blocks)), with per-block local similarity
+  // `block_k`. Derives all edges.
+  static IndexGraph FromPartition(const DataGraph* graph,
+                                  const std::vector<int32_t>& block_of,
+                                  int32_t num_blocks,
+                                  const std::vector<int>& block_k);
+
+  // --- accessors --------------------------------------------------------
+
+  const DataGraph& graph() const { return *graph_; }
+  // Rebinds the borrowed data graph (used when an index is copied alongside
+  // a copied graph in experiments).
+  void set_graph(const DataGraph* graph) { graph_ = graph; }
+
+  int64_t NumIndexNodes() const {
+    return static_cast<int64_t>(nodes_.size());
+  }
+  int64_t NumIndexEdges() const;
+
+  LabelId label(IndexNodeId i) const {
+    return nodes_[static_cast<size_t>(i)].label;
+  }
+  int k(IndexNodeId i) const { return nodes_[static_cast<size_t>(i)].k; }
+  void set_k(IndexNodeId i, int k) { nodes_[static_cast<size_t>(i)].k = k; }
+
+  const std::vector<NodeId>& extent(IndexNodeId i) const {
+    return nodes_[static_cast<size_t>(i)].extent;
+  }
+  const std::vector<IndexNodeId>& children(IndexNodeId i) const {
+    return nodes_[static_cast<size_t>(i)].children;
+  }
+  const std::vector<IndexNodeId>& parents(IndexNodeId i) const {
+    return nodes_[static_cast<size_t>(i)].parents;
+  }
+
+  // The index node whose extent contains data node `n`.
+  IndexNodeId index_of(NodeId n) const {
+    return node_to_index_[static_cast<size_t>(n)];
+  }
+
+  // All index nodes carrying `label`. O(index nodes).
+  std::vector<IndexNodeId> NodesWithLabel(LabelId label) const;
+
+  // Sum over nodes of extent sizes (== graph().NumNodes() when valid).
+  int64_t TotalExtentSize() const;
+
+  // --- mutation (used by Section 5 update algorithms) --------------------
+
+  // Moves `members` (a strict, non-empty subset of extent(src)) into a new
+  // index node with the same label and local similarity. Does NOT adjust
+  // adjacency; callers batch splits then call RecomputeEdgesLocal.
+  IndexNodeId SplitOff(IndexNodeId src, const std::vector<NodeId>& members);
+
+  // Appends a node with the given payload (used when merging subgraphs).
+  IndexNodeId AppendNode(LabelId label, int k, std::vector<NodeId> extent);
+
+  // Inserts the edge a -> b if absent.
+  void AddIndexEdge(IndexNodeId a, IndexNodeId b);
+
+  // Splits extent(x) into groups whose members have identical sets of parent
+  // index nodes, iterated to a fixpoint (members whose parents lie inside x
+  // itself are re-examined against the emerging parts until stable — a
+  // single pass would wrongly group nodes whose intra-extent parents end up
+  // in different parts). Returns all resulting parts including x. Adjacency
+  // is NOT recomputed; callers batch the returned parts into
+  // RecomputeEdgesLocal.
+  std::vector<IndexNodeId> SplitByParentSignature(IndexNodeId x);
+
+  // Recomputes children/parents of every node in `affected` from the data
+  // graph and mends the adjacency lists of their neighbors.
+  void RecomputeEdgesLocal(const std::vector<IndexNodeId>& affected);
+
+  // Recomputes all adjacency from scratch. O(data edges).
+  void RecomputeAllEdges();
+
+  // --- invariant checks (tests & debugging) ------------------------------
+
+  // Extents form a partition of the data nodes and agree in label with their
+  // members and with node_to_index.
+  bool ValidatePartition(std::string* error) const;
+  // Adjacency is exactly the derived edge set.
+  bool ValidateEdges(std::string* error) const;
+  // The D(k) structural constraint: k(A) >= k(B) - 1 for every edge A -> B.
+  bool ValidateDkConstraint(std::string* error) const;
+
+  std::string ToDot(int64_t max_nodes = 200) const;
+
+ private:
+  const DataGraph* graph_;
+  std::vector<IndexNode> nodes_;
+  std::vector<IndexNodeId> node_to_index_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_INDEX_INDEX_GRAPH_H_

@@ -1,0 +1,17 @@
+#include "index/one_index.h"
+
+#include "index/paige_tarjan.h"
+#include "index/partition.h"
+
+namespace dki {
+
+IndexGraph OneIndex::Build(const DataGraph* graph, Algorithm algorithm) {
+  Partition p = algorithm == Algorithm::kSplitterQueue
+                    ? CoarsestStablePartition(*graph)
+                    : ComputeFullBisimulation(*graph);
+  std::vector<int> block_k(static_cast<size_t>(p.num_blocks),
+                           IndexGraph::kInfiniteSimilarity);
+  return IndexGraph::FromPartition(graph, p.block_of, p.num_blocks, block_k);
+}
+
+}  // namespace dki

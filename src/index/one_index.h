@@ -1,0 +1,26 @@
+#ifndef DKINDEX_INDEX_ONE_INDEX_H_
+#define DKINDEX_INDEX_ONE_INDEX_H_
+
+#include "graph/data_graph.h"
+#include "index/index_graph.h"
+
+namespace dki {
+
+// The 1-index of Milo & Suciu: index nodes are full-bisimulation equivalence
+// classes; sound and safe for path expressions of any length. Serves as the
+// accuracy baseline and as the D(k) special case with k = infinity.
+class OneIndex {
+ public:
+  enum class Algorithm {
+    kIteratedRefinement,  // refine-to-fixpoint, O(k* m)
+    kSplitterQueue,       // Paige-Tarjan style splitter worklist
+  };
+
+  // Builds the 1-index over `graph` (borrowed; must outlive the result).
+  static IndexGraph Build(const DataGraph* graph,
+                          Algorithm algorithm = Algorithm::kSplitterQueue);
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_INDEX_ONE_INDEX_H_

@@ -1,0 +1,25 @@
+#ifndef DKINDEX_INDEX_PAIGE_TARJAN_H_
+#define DKINDEX_INDEX_PAIGE_TARJAN_H_
+
+#include "graph/data_graph.h"
+#include "index/partition.h"
+
+namespace dki {
+
+// Computes the coarsest partition of `g`'s nodes that (a) refines the label
+// split and (b) is *stable*: for blocks B, A either B ⊆ Succ(A) or
+// B ∩ Succ(A) = ∅. This is exactly the full-bisimulation partition of the
+// 1-index (Milo & Suciu), per Paige & Tarjan's partition-refinement
+// formulation [16].
+//
+// The implementation is the classic splitter-worklist algorithm: pop a
+// splitter block S, split every block against Succ(S), requeue the new
+// halves. We requeue both halves rather than maintaining Paige-Tarjan's
+// compound-block structure, trading the O(m log n) bound for simplicity
+// (worst case O(nm), fast in practice); tests cross-check the result against
+// the iterated-refinement fixpoint.
+Partition CoarsestStablePartition(const DataGraph& g);
+
+}  // namespace dki
+
+#endif  // DKINDEX_INDEX_PAIGE_TARJAN_H_

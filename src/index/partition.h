@@ -1,0 +1,161 @@
+#ifndef DKINDEX_INDEX_PARTITION_H_
+#define DKINDEX_INDEX_PARTITION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/data_graph.h"
+#include "index/index_graph.h"
+
+namespace dki {
+
+// A partition of the nodes of some graph into dense blocks [0, num_blocks).
+// Every block is label-homogeneous; `block_label` records the common label.
+struct Partition {
+  std::vector<int32_t> block_of;  // node -> block
+  int32_t num_blocks = 0;
+  std::vector<LabelId> block_label;
+
+  std::vector<int64_t> BlockSizes() const {
+    std::vector<int64_t> sizes(static_cast<size_t>(num_blocks), 0);
+    for (int32_t b : block_of) ++sizes[static_cast<size_t>(b)];
+    return sizes;
+  }
+};
+
+// Adapter exposing an IndexGraph through the graph concept the refinement
+// templates expect (NumNodes / label / parents). This is how Theorem 2's
+// "treat I'_G as a data graph" re-construction reuses the same engine.
+class IndexGraphView {
+ public:
+  explicit IndexGraphView(const IndexGraph* index) : index_(index) {}
+  int64_t NumNodes() const { return index_->NumIndexNodes(); }
+  LabelId label(int32_t n) const { return index_->label(n); }
+  const std::vector<IndexNodeId>& parents(int32_t n) const {
+    return index_->parents(n);
+  }
+
+ private:
+  const IndexGraph* index_;
+};
+
+namespace internal {
+
+struct VecHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (int32_t x : v) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(x));
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace internal
+
+// The 0-bisimulation partition: nodes grouped by label. This is the paper's
+// "label-split index graph", the starting point of all constructions.
+template <typename GraphT>
+Partition LabelSplit(const GraphT& g) {
+  Partition p;
+  p.block_of.assign(static_cast<size_t>(g.NumNodes()), -1);
+  std::unordered_map<LabelId, int32_t> block_of_label;
+  for (int64_t n = 0; n < g.NumNodes(); ++n) {
+    LabelId l = g.label(static_cast<int32_t>(n));
+    auto [it, inserted] = block_of_label.emplace(l, p.num_blocks);
+    if (inserted) {
+      ++p.num_blocks;
+      p.block_label.push_back(l);
+    }
+    p.block_of[static_cast<size_t>(n)] = it->second;
+  }
+  return p;
+}
+
+// One refinement round: computes the (k+1)-bisimulation split of every block
+// `b` of `prev` with refine_block[b] set, leaving other blocks untouched.
+// A refined block groups nodes by the signature
+//     (previous block, sorted set of previous parent blocks),
+// which is exactly the fixpoint of the paper's Succ-splitting loop
+// (Algorithm 2's inner loop) for one value of k. O(sum of refined degrees).
+template <typename GraphT>
+Partition RefineOnce(const GraphT& g, const Partition& prev,
+                     const std::vector<bool>& refine_block) {
+  DKI_CHECK_EQ(static_cast<int64_t>(prev.block_of.size()), g.NumNodes());
+  DKI_CHECK_EQ(static_cast<int32_t>(refine_block.size()), prev.num_blocks);
+
+  Partition next;
+  next.block_of.assign(static_cast<size_t>(g.NumNodes()), -1);
+  std::unordered_map<std::vector<int32_t>, int32_t, internal::VecHash> ids;
+  ids.reserve(static_cast<size_t>(prev.num_blocks) * 2);
+
+  std::vector<int32_t> key;
+  for (int64_t n = 0; n < g.NumNodes(); ++n) {
+    int32_t b = prev.block_of[static_cast<size_t>(n)];
+    key.clear();
+    if (!refine_block[static_cast<size_t>(b)]) {
+      // Untouched block: identity signature.
+      key.push_back(-1);
+      key.push_back(b);
+    } else {
+      key.push_back(b);
+      size_t prefix = key.size();
+      for (int32_t par : g.parents(static_cast<int32_t>(n))) {
+        key.push_back(prev.block_of[static_cast<size_t>(par)]);
+      }
+      std::sort(key.begin() + prefix, key.end());
+      key.erase(std::unique(key.begin() + prefix, key.end()), key.end());
+    }
+    auto [it, inserted] = ids.emplace(key, next.num_blocks);
+    if (inserted) {
+      ++next.num_blocks;
+      next.block_label.push_back(prev.block_label[static_cast<size_t>(b)]);
+    }
+    next.block_of[static_cast<size_t>(n)] = it->second;
+  }
+  return next;
+}
+
+// Refines every block `k` times: the k-bisimulation partition used by the
+// A(k)-index. O(k * m).
+template <typename GraphT>
+Partition ComputeKBisimulation(const GraphT& g, int k) {
+  Partition p = LabelSplit(g);
+  for (int round = 0; round < k; ++round) {
+    std::vector<bool> all(static_cast<size_t>(p.num_blocks), true);
+    Partition next = RefineOnce(g, p, all);
+    bool stable = next.num_blocks == p.num_blocks;
+    p = std::move(next);
+    if (stable) break;  // fixpoint reached early; further rounds are no-ops
+  }
+  return p;
+}
+
+// Iterates refinement to the fixpoint: the full bisimulation partition of
+// the 1-index. Sets `rounds` (if non-null) to the number of refinement
+// rounds performed, i.e. the smallest k with P_k == bisimulation.
+template <typename GraphT>
+Partition ComputeFullBisimulation(const GraphT& g, int* rounds = nullptr) {
+  Partition p = LabelSplit(g);
+  int r = 0;
+  while (true) {
+    std::vector<bool> all(static_cast<size_t>(p.num_blocks), true);
+    Partition next = RefineOnce(g, p, all);
+    if (next.num_blocks == p.num_blocks) break;
+    p = std::move(next);
+    ++r;
+  }
+  if (rounds != nullptr) *rounds = r;
+  return p;
+}
+
+// True if `a` and `b` are the same partition up to block renumbering.
+bool SamePartition(const Partition& a, const Partition& b);
+
+}  // namespace dki
+
+#endif  // DKINDEX_INDEX_PARTITION_H_

@@ -1,0 +1,50 @@
+#ifndef DKINDEX_IO_SERIALIZATION_H_
+#define DKINDEX_IO_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/data_graph.h"
+#include "index/dk_index.h"
+#include "index/index_graph.h"
+
+namespace dki {
+
+// Line-oriented text persistence for graphs and indexes, so a built summary
+// can be stored next to the document and reattached without reconstruction.
+// Formats are versioned ("dki-graph v1" / "dki-index v1"); loading validates
+// structure and returns false + error on any mismatch (never aborts).
+//
+// The index format stores extents and local similarities; adjacency is
+// re-derived on load (it is a function of the partition and the graph).
+
+bool SaveGraph(const DataGraph& graph, std::ostream* out);
+bool LoadGraph(std::istream* in, DataGraph* graph, std::string* error);
+
+bool SaveIndex(const IndexGraph& index, std::ostream* out);
+// `graph` must be the data graph the index was built over (same node count
+// and labels); borrowed by the returned index.
+bool LoadIndex(std::istream* in, const DataGraph* graph, IndexGraph* index,
+               std::string* error);
+
+// DkIndex persistence stores graph + index + the effective per-label
+// requirements so promoting/demoting semantics survive the round trip. The
+// loaded graph is written into `*graph` (borrowed by the returned index,
+// so it must outlive it); returns nullopt + error on malformed input.
+bool SaveDkIndex(const DkIndex& index, std::ostream* out);
+std::optional<DkIndex> LoadDkIndex(std::istream* in, DataGraph* graph,
+                                   std::string* error);
+
+// File-path conveniences.
+bool SaveGraphToFile(const DataGraph& graph, const std::string& path);
+bool LoadGraphFromFile(const std::string& path, DataGraph* graph,
+                       std::string* error);
+bool SaveDkIndexToFile(const DkIndex& index, const std::string& path);
+std::optional<DkIndex> LoadDkIndexFromFile(const std::string& path,
+                                           DataGraph* graph,
+                                           std::string* error);
+
+}  // namespace dki
+
+#endif  // DKINDEX_IO_SERIALIZATION_H_

@@ -1,0 +1,30 @@
+#include "pathexpr/path_expression.h"
+
+#include "pathexpr/parser.h"
+
+namespace dki {
+
+std::optional<PathExpression> PathExpression::Parse(std::string_view text,
+                                                    const LabelTable& labels,
+                                                    std::string* error) {
+  AstPtr ast = ParsePathExpression(text, error);
+  if (ast == nullptr) return std::nullopt;
+
+  PathExpression expr;
+  expr.text_ = std::string(text);
+  expr.forward_ = CompileAst(*ast, labels);
+  expr.reverse_ = expr.forward_.Reverse();
+  expr.max_word_length_ = expr.forward_.MaxWordLength();
+
+  std::vector<std::string> chain;
+  if (IsLabelChain(*ast, &chain)) {
+    expr.is_chain_ = true;
+    for (const std::string& name : chain) {
+      LabelId id = labels.Find(name);
+      expr.chain_labels_.push_back(id == kInvalidLabel ? kUnknownLabel : id);
+    }
+  }
+  return expr;
+}
+
+}  // namespace dki

@@ -1,0 +1,205 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace dki {
+namespace {
+
+// Visited-set over (node, state) pairs: a bitmask per node when the
+// automaton is small (the common case), a hash set otherwise.
+class VisitedSet {
+ public:
+  VisitedSet(int64_t num_nodes, int num_states)
+      : num_states_(num_states), use_masks_(num_states <= 64) {
+    if (use_masks_) {
+      masks_.assign(static_cast<size_t>(num_nodes), 0);
+    }
+  }
+
+  // Marks (node, state); returns true if it was new.
+  bool Insert(int32_t node, int state) {
+    if (use_masks_) {
+      uint64_t bit = uint64_t{1} << state;
+      uint64_t& m = masks_[static_cast<size_t>(node)];
+      if (m & bit) return false;
+      m |= bit;
+      return true;
+    }
+    return set_
+        .insert(static_cast<int64_t>(node) * num_states_ + state)
+        .second;
+  }
+
+ private:
+  int num_states_;
+  bool use_masks_;
+  std::vector<uint64_t> masks_;
+  std::unordered_set<int64_t> set_;
+};
+
+// Lazily caches Automaton::StartMove per label.
+class StartMoveCache {
+ public:
+  explicit StartMoveCache(const Automaton* a) : automaton_(a) {}
+
+  const std::vector<int>& Get(LabelId label) {
+    auto it = cache_.find(label);
+    if (it == cache_.end()) {
+      it = cache_.emplace(label, automaton_->StartMove(label)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  const Automaton* automaton_;
+  std::unordered_map<LabelId, std::vector<int>> cache_;
+};
+
+struct PendingPair {
+  int32_t node;
+  int state;
+  int depth;  // matched path length in edges
+};
+
+}  // namespace
+
+std::vector<NodeId> EvaluateOnDataGraph(const DataGraph& g,
+                                        const PathExpression& query,
+                                        EvalStats* stats) {
+  EvalStats local;
+  const Automaton& a = query.forward();
+  VisitedSet visited(g.NumNodes(), a.num_states());
+  StartMoveCache starts(&a);
+  std::deque<PendingPair> queue;
+  std::vector<bool> in_result(static_cast<size_t>(g.NumNodes()), false);
+
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (int q : starts.Get(g.label(v))) {
+      if (visited.Insert(v, q)) queue.push_back({v, q, 0});
+    }
+  }
+
+  std::vector<int> next_states;
+  while (!queue.empty()) {
+    PendingPair p = queue.front();
+    queue.pop_front();
+    ++local.index_nodes_visited;
+    if (a.is_accept(p.state)) in_result[static_cast<size_t>(p.node)] = true;
+    for (NodeId w : g.children(p.node)) {
+      next_states.clear();
+      a.Move(p.state, g.label(w), &next_states);
+      for (int q : next_states) {
+        if (visited.Insert(w, q)) queue.push_back({w, q, p.depth + 1});
+      }
+    }
+  }
+
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (in_result[static_cast<size_t>(v)]) result.push_back(v);
+  }
+  local.result_size = static_cast<int64_t>(result.size());
+  if (stats != nullptr) stats->Accumulate(local);
+  return result;
+}
+
+bool ValidateCandidate(const DataGraph& g, const PathExpression& query,
+                       NodeId node, int64_t* visited_pairs) {
+  const Automaton& rev = query.reverse();
+  // The reversed automaton consumes the word back to front; the first symbol
+  // it reads is label(node).
+  VisitedSet visited(g.NumNodes(), rev.num_states());
+  std::deque<std::pair<NodeId, int>> queue;
+  for (int q : rev.StartMove(g.label(node))) {
+    if (visited.Insert(node, q)) queue.emplace_back(node, q);
+  }
+  std::vector<int> next_states;
+  while (!queue.empty()) {
+    auto [v, state] = queue.front();
+    queue.pop_front();
+    ++*visited_pairs;
+    if (rev.is_accept(state)) return true;
+    for (NodeId p : g.parents(v)) {
+      next_states.clear();
+      rev.Move(state, g.label(p), &next_states);
+      for (int q : next_states) {
+        if (visited.Insert(p, q)) queue.emplace_back(p, q);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> EvaluateOnIndex(const IndexGraph& index,
+                                    const PathExpression& query,
+                                    EvalStats* stats, bool validate) {
+  EvalStats local;
+  const Automaton& a = query.forward();
+  const DataGraph& g = index.graph();
+
+  VisitedSet visited(index.NumIndexNodes(), a.num_states());
+  StartMoveCache starts(&a);
+  std::deque<PendingPair> queue;
+
+  for (IndexNodeId i = 0; i < index.NumIndexNodes(); ++i) {
+    for (int q : starts.Get(index.label(i))) {
+      if (visited.Insert(i, q)) queue.push_back({i, q, 0});
+    }
+  }
+
+  // Minimal accepting depth per matched index node. BFS pops pairs in depth
+  // order, so the first accepting visit of a pair carries its minimal depth;
+  // the per-node minimum is taken across states.
+  std::unordered_map<IndexNodeId, int> accept_depth;
+  std::vector<int> next_states;
+  while (!queue.empty()) {
+    PendingPair p = queue.front();
+    queue.pop_front();
+    ++local.index_nodes_visited;
+    if (a.is_accept(p.state)) {
+      auto [it, inserted] = accept_depth.emplace(p.node, p.depth);
+      if (!inserted) it->second = std::min(it->second, p.depth);
+    }
+    for (IndexNodeId c : index.children(p.node)) {
+      next_states.clear();
+      a.Move(p.state, index.label(c), &next_states);
+      for (int q : next_states) {
+        if (visited.Insert(c, q)) queue.push_back({c, q, p.depth + 1});
+      }
+    }
+  }
+
+  // Theorem 1: depth <= k(n) makes the whole extent a certain answer.
+  std::vector<NodeId> result;
+  for (const auto& [inode, depth] : accept_depth) {
+    const std::vector<NodeId>& extent = index.extent(inode);
+    if (depth <= index.k(inode)) {
+      result.insert(result.end(), extent.begin(), extent.end());
+      continue;
+    }
+    ++local.uncertain_index_nodes;
+    if (!validate) {
+      // Raw safe answer: keep the whole extent (may over-approximate).
+      result.insert(result.end(), extent.begin(), extent.end());
+      continue;
+    }
+    for (NodeId member : extent) {
+      ++local.validated_candidates;
+      if (ValidateCandidate(g, query, member, &local.data_nodes_visited)) {
+        result.push_back(member);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  local.result_size = static_cast<int64_t>(result.size());
+  if (stats != nullptr) stats->Accumulate(local);
+  return result;
+}
+
+}  // namespace dki

@@ -1,0 +1,67 @@
+#ifndef DKINDEX_QUERY_EVALUATOR_H_
+#define DKINDEX_QUERY_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "index/index_graph.h"
+#include "pathexpr/path_expression.h"
+
+namespace dki {
+
+// The paper's in-memory cost model (Section 6.1): the cost of a query is the
+// number of nodes visited in the index or data graph during evaluation. Data
+// nodes inside the extents of matched index nodes are NOT counted; data
+// nodes visited while validating uncertain answers ARE. We count each
+// (node, automaton-state) expansion as one visit, uniformly across all index
+// kinds, so comparisons are apples-to-apples.
+struct EvalStats {
+  int64_t index_nodes_visited = 0;  // product-BFS pops on the queried graph
+  int64_t data_nodes_visited = 0;   // validation pairs touched
+  int64_t validated_candidates = 0; // data nodes put through validation
+  int64_t uncertain_index_nodes = 0;
+  int64_t result_size = 0;
+
+  int64_t cost() const { return index_nodes_visited + data_nodes_visited; }
+
+  void Accumulate(const EvalStats& other) {
+    index_nodes_visited += other.index_nodes_visited;
+    data_nodes_visited += other.data_nodes_visited;
+    validated_candidates += other.validated_candidates;
+    uncertain_index_nodes += other.uncertain_index_nodes;
+    result_size += other.result_size;
+  }
+};
+
+// Ground-truth evaluation of `query` directly on the data graph: a product
+// BFS of the forward automaton against child edges, seeded at every node
+// whose label a start state can consume (path expressions may match paths
+// starting anywhere, Section 3). Returns the matching nodes, sorted.
+std::vector<NodeId> EvaluateOnDataGraph(const DataGraph& g,
+                                        const PathExpression& query,
+                                        EvalStats* stats = nullptr);
+
+// Evaluation on an index graph (1-index, A(k) or D(k)), per Theorem 1:
+// an index node reached in an accepting state along a matched path of d
+// edges yields *certain* results when d <= k(n) (given the D(k) edge
+// constraint, which all our indexes maintain). Other matched index nodes are
+// uncertain: with `validate` set (the default), their extent members are
+// checked against the data graph by a reverse-automaton walk over parent
+// edges, and only true matches are returned — the final answer then equals
+// the ground truth. With `validate` false the raw (safe, possibly
+// over-approximate) index answer is returned.
+std::vector<NodeId> EvaluateOnIndex(const IndexGraph& index,
+                                    const PathExpression& query,
+                                    EvalStats* stats = nullptr,
+                                    bool validate = true);
+
+// The validation primitive: true iff some node path ending in `node`
+// matches a word of `query` (reverse-automaton BFS over parent edges).
+// Visited (node, state) pairs are added to *visited_pairs.
+bool ValidateCandidate(const DataGraph& g, const PathExpression& query,
+                       NodeId node, int64_t* visited_pairs);
+
+}  // namespace dki
+
+#endif  // DKINDEX_QUERY_EVALUATOR_H_

@@ -1,0 +1,94 @@
+#include "query/load_analyzer.h"
+
+#include <algorithm>
+
+namespace dki {
+namespace {
+
+// Labels that can end a word of the query's language: symbols on transitions
+// into accepting states from states reachable from the start set. A wildcard
+// into an accepting state means any label can end a word; we then apply the
+// requirement to every label (rare, and conservative).
+void EndLabels(const Automaton& a, std::vector<LabelId>* labels,
+               bool* any_label) {
+  *any_label = false;
+  labels->clear();
+  for (int q = 0; q < a.num_states(); ++q) {
+    for (const Automaton::Transition& t : a.transitions(q)) {
+      if (!a.is_accept(t.to)) continue;
+      if (t.symbol == kAnySymbol) {
+        *any_label = true;
+      } else if (t.symbol >= 0) {
+        labels->push_back(t.symbol);
+      }
+    }
+  }
+  std::sort(labels->begin(), labels->end());
+  labels->erase(std::unique(labels->begin(), labels->end()), labels->end());
+}
+
+}  // namespace
+
+std::vector<std::pair<LabelId, int>> QueryRequirementTargets(
+    const PathExpression& query, const LabelTable& labels,
+    const LoadAnalyzerOptions& options) {
+  std::vector<std::pair<LabelId, int>> targets;
+  int max_len = query.max_word_length();
+  if (max_len == -2) return targets;  // empty language
+  int requirement = max_len == -1
+                        ? options.max_requirement
+                        : std::min(max_len - 1, options.max_requirement);
+  if (requirement <= 0) return targets;
+
+  if (query.is_chain()) {
+    if (query.chain_labels().back() >= 0) {
+      targets.emplace_back(query.chain_labels().back(), requirement);
+    }
+    return targets;
+  }
+  std::vector<LabelId> end_labels;
+  bool any_label = false;
+  EndLabels(query.forward(), &end_labels, &any_label);
+  if (any_label) {
+    for (LabelId l = 0; l < labels.size(); ++l) {
+      targets.emplace_back(l, requirement);
+    }
+  } else {
+    for (LabelId l : end_labels) targets.emplace_back(l, requirement);
+  }
+  return targets;
+}
+
+LabelRequirements MineRequirements(const std::vector<PathExpression>& queries,
+                                   const LabelTable& labels,
+                                   const LoadAnalyzerOptions& options) {
+  LabelRequirements reqs;
+  for (const PathExpression& query : queries) {
+    for (const auto& [label, k] :
+         QueryRequirementTargets(query, labels, options)) {
+      auto [it, inserted] = reqs.emplace(label, k);
+      if (!inserted) it->second = std::max(it->second, k);
+    }
+  }
+  return reqs;
+}
+
+LabelRequirements MineRequirementsFromText(
+    const std::vector<std::string>& queries, const LabelTable& labels,
+    std::vector<std::string>* errors, const LoadAnalyzerOptions& options) {
+  std::vector<PathExpression> parsed;
+  for (const std::string& text : queries) {
+    std::string error;
+    auto expr = PathExpression::Parse(text, labels, &error);
+    if (!expr.has_value()) {
+      if (errors != nullptr) {
+        errors->push_back(text + ": " + error);
+      }
+      continue;
+    }
+    parsed.push_back(std::move(*expr));
+  }
+  return MineRequirements(parsed, labels, options);
+}
+
+}  // namespace dki

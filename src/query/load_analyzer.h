@@ -1,0 +1,49 @@
+#ifndef DKINDEX_QUERY_LOAD_ANALYZER_H_
+#define DKINDEX_QUERY_LOAD_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/label_table.h"
+#include "index/dk_index.h"
+#include "pathexpr/path_expression.h"
+
+namespace dki {
+
+struct LoadAnalyzerOptions {
+  // Clamp for queries with unbounded word length (e.g. containing '*'): the
+  // mined requirement never exceeds this. Mirrors the A(kmax) soundness
+  // horizon of the experiments.
+  int max_requirement = 5;
+};
+
+// The (target label, required local similarity) pairs of one query: every
+// label that can end a matched word, paired with (longest word length - 1),
+// clamped by options.max_requirement when the language is unbounded. Empty
+// for queries needing no similarity (single labels, empty languages).
+std::vector<std::pair<LabelId, int>> QueryRequirementTargets(
+    const PathExpression& query, const LabelTable& labels,
+    const LoadAnalyzerOptions& options = LoadAnalyzerOptions());
+
+// Mines per-label local-similarity requirements from a query load, the
+// paper's Section 6.1 rule: a label's requirement is the length of the
+// longest test path querying it, less one, so that no validation is needed
+// for the load. For a chain query l1...lp this raises req(lp) to p-1; for a
+// general expression every label that can end a matched word is raised to
+// (longest word length - 1), clamped by `max_requirement` when the language
+// is unbounded.
+LabelRequirements MineRequirements(
+    const std::vector<PathExpression>& queries,
+    const LabelTable& labels,
+    const LoadAnalyzerOptions& options = LoadAnalyzerOptions());
+
+// Convenience: parse textual queries then mine. Queries that fail to parse
+// are skipped and reported in `errors` (if non-null).
+LabelRequirements MineRequirementsFromText(
+    const std::vector<std::string>& queries, const LabelTable& labels,
+    std::vector<std::string>* errors = nullptr,
+    const LoadAnalyzerOptions& options = LoadAnalyzerOptions());
+
+}  // namespace dki
+
+#endif  // DKINDEX_QUERY_LOAD_ANALYZER_H_

@@ -1,0 +1,94 @@
+#include "query/load_tracker.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dki {
+
+void QueryLoadTracker::Record(const PathExpression& query,
+                              const LabelTable& labels, int64_t count) {
+  DKI_CHECK_GT(count, 0);
+  auto targets = QueryRequirementTargets(query, labels, options_);
+  if (targets.empty()) {
+    // Queries needing no similarity (e.g. single labels) still count as
+    // traffic so coverage fractions stay meaningful: requirement bucket 0.
+    if (query.is_chain() && !query.chain_labels().empty() &&
+        query.chain_labels().back() >= 0) {
+      per_label_[query.chain_labels().back()][0] +=
+          static_cast<double>(count);
+    }
+  } else {
+    for (const auto& [label, k] : targets) {
+      per_label_[label][k] += static_cast<double>(count);
+    }
+  }
+  total_ += count;
+}
+
+int64_t QueryLoadTracker::label_traffic(LabelId label) const {
+  auto it = per_label_.find(label);
+  if (it == per_label_.end()) return 0;
+  double total = 0;
+  for (const auto& [k, count] : it->second) total += count;
+  return static_cast<int64_t>(std::llround(total));
+}
+
+void QueryLoadTracker::Decay(double factor) {
+  DKI_CHECK_GT(factor, 0.0);
+  DKI_CHECK_LE(factor, 1.0);
+  for (auto label_it = per_label_.begin(); label_it != per_label_.end();) {
+    auto& buckets = label_it->second;
+    for (auto it = buckets.begin(); it != buckets.end();) {
+      it->second *= factor;
+      it = it->second < 1.0 ? buckets.erase(it) : std::next(it);
+    }
+    label_it = buckets.empty() ? per_label_.erase(label_it)
+                               : std::next(label_it);
+  }
+  total_ = static_cast<int64_t>(static_cast<double>(total_) * factor);
+}
+
+LabelRequirements QueryLoadTracker::MineRequirements(double coverage) const {
+  DKI_CHECK_GT(coverage, 0.0);
+  DKI_CHECK_LE(coverage, 1.0);
+  LabelRequirements reqs;
+  for (const auto& [label, buckets] : per_label_) {
+    double total = 0;
+    for (const auto& [k, count] : buckets) total += count;
+    if (total <= 0) continue;
+    // Smallest k whose cumulative traffic share reaches the coverage goal.
+    double cumulative = 0;
+    int chosen = 0;
+    for (const auto& [k, count] : buckets) {
+      cumulative += count;
+      chosen = k;
+      if (cumulative / total >= coverage) break;
+    }
+    if (chosen > 0) reqs[label] = chosen;
+  }
+  return reqs;
+}
+
+QueryLoadTracker::TuningPlan QueryLoadTracker::Advise(
+    const DkIndex& index, double coverage) const {
+  TuningPlan plan;
+  plan.target = MineRequirements(coverage);
+  for (const auto& [label, k] : plan.target) {
+    if (k > index.effective_requirement(label)) {
+      plan.promotions[label] = k;
+    }
+  }
+  // Labels the index refines beyond the mined need (including labels with
+  // no recorded traffic at all but a positive requirement).
+  for (LabelId l = 0; l < index.graph().labels().size(); ++l) {
+    int current = index.effective_requirement(l);
+    if (current <= 0) continue;
+    auto it = plan.target.find(l);
+    int needed = it == plan.target.end() ? 0 : it->second;
+    if (needed < current) plan.demotable[l] = needed;
+  }
+  return plan;
+}
+
+}  // namespace dki

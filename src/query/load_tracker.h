@@ -1,0 +1,70 @@
+#ifndef DKINDEX_QUERY_LOAD_TRACKER_H_
+#define DKINDEX_QUERY_LOAD_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "index/dk_index.h"
+#include "pathexpr/path_expression.h"
+#include "query/load_analyzer.h"
+
+namespace dki {
+
+// Online query-pattern mining — the paper's first future-work direction
+// ("mine query patterns on query loads"). Records executed queries with
+// frequencies and derives *coverage-aware* per-label requirements: instead
+// of sizing the index for the single deepest query ever seen (the Section
+// 6.1 rule, equivalent to coverage = 1.0), each target label gets the
+// smallest local similarity that makes a chosen fraction of its recorded
+// traffic sound on the index — rare deep queries then pay validation rather
+// than inflating the summary for everyone.
+//
+// Feeding the result into DkIndex::PromoteBatch / Demote (see Advise) keeps
+// the index tracking a drifting workload.
+class QueryLoadTracker {
+ public:
+  explicit QueryLoadTracker(LoadAnalyzerOptions options = {})
+      : options_(options) {}
+
+  // Records `count` executions of `query`.
+  void Record(const PathExpression& query, const LabelTable& labels,
+              int64_t count = 1);
+
+  // Total recorded executions.
+  int64_t total_queries() const { return total_; }
+  // Recorded executions targeting `label`.
+  int64_t label_traffic(LabelId label) const;
+
+  // Exponentially decays all recorded counts by `factor` in (0, 1]; call
+  // periodically so old query patterns fade (drift tracking). Entries whose
+  // count drops below 1 are removed.
+  void Decay(double factor);
+
+  // The smallest per-label requirements covering at least `coverage` of
+  // each label's traffic (coverage in (0, 1]; 1.0 = the paper's rule).
+  LabelRequirements MineRequirements(double coverage) const;
+
+  // A tuning plan against a live index: `promotions` lists labels whose
+  // mined requirement exceeds the index's current effective requirement
+  // (apply with PromoteBatch); `demotable` lists labels the index refines
+  // beyond what the load needs. `target` is the full mined requirement map
+  // (apply with Demote to shrink).
+  struct TuningPlan {
+    LabelRequirements target;
+    LabelRequirements promotions;
+    LabelRequirements demotable;
+  };
+  TuningPlan Advise(const DkIndex& index, double coverage) const;
+
+ private:
+  LoadAnalyzerOptions options_;
+  // Per target label: required-k -> recorded executions needing exactly it.
+  std::unordered_map<LabelId, std::map<int, double>> per_label_;
+  int64_t total_ = 0;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_QUERY_LOAD_TRACKER_H_

@@ -1,0 +1,133 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dki {
+namespace {
+
+// A concrete node walk through the graph, child-to-parent order reversed so
+// walk[0] is the topmost node; the label path read off it is matched by the
+// data by construction.
+using NodeWalk = std::vector<NodeId>;
+
+std::string WalkToQuery(const DataGraph& g, const NodeWalk& walk) {
+  std::vector<std::string> labels;
+  labels.reserve(walk.size());
+  for (NodeId n : walk) labels.push_back(g.label_name(n));
+  return StrJoin(labels, ".");
+}
+
+bool LabelOk(const DataGraph& g, NodeId n, const WorkloadOptions& options) {
+  LabelId l = g.label(n);
+  if (l == LabelTable::kRootLabel) return false;
+  if (!options.allow_value_label && l == LabelTable::kValueLabel) return false;
+  return true;
+}
+
+// Random upward walk of exactly `len` nodes ending at `target`; empty on
+// failure (not enough eligible ancestors).
+NodeWalk UpwardWalk(const DataGraph& g, NodeId target, int len,
+                    const WorkloadOptions& options, Rng* rng) {
+  NodeWalk walk = {target};
+  NodeId cur = target;
+  while (static_cast<int>(walk.size()) < len) {
+    std::vector<NodeId> eligible;
+    for (NodeId p : g.parents(cur)) {
+      if (LabelOk(g, p, options)) eligible.push_back(p);
+    }
+    if (eligible.empty()) return {};
+    cur = rng->Pick(eligible);
+    walk.push_back(cur);
+  }
+  std::reverse(walk.begin(), walk.end());
+  return walk;
+}
+
+// Random downward extension from `from` of up to `len` extra nodes; returns
+// the nodes appended (may be shorter if a dead end is hit).
+NodeWalk DownwardWalk(const DataGraph& g, NodeId from, int len,
+                      const WorkloadOptions& options, Rng* rng) {
+  NodeWalk out;
+  NodeId cur = from;
+  for (int i = 0; i < len; ++i) {
+    std::vector<NodeId> eligible;
+    for (NodeId c : g.children(cur)) {
+      if (LabelOk(g, c, options)) eligible.push_back(c);
+    }
+    if (eligible.empty()) break;
+    cur = rng->Pick(eligible);
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const DataGraph& g, const WorkloadOptions& options,
+                          Rng* rng) {
+  DKI_CHECK_GE(options.min_length, 1);
+  DKI_CHECK_GE(options.max_length, options.min_length);
+  DKI_CHECK_GT(g.NumNodes(), 1);
+
+  std::set<std::string> seen;
+  Workload workload;
+  auto emit = [&](const NodeWalk& walk) {
+    if (static_cast<int>(walk.size()) < options.min_length) return;
+    std::string q = WalkToQuery(g, walk);
+    if (seen.insert(q).second) workload.queries.push_back(std::move(q));
+  };
+
+  const int64_t max_attempts =
+      static_cast<int64_t>(options.num_queries) * options.max_attempts_factor;
+  int64_t attempts = 0;
+
+  // Phase 1: long seed paths.
+  std::vector<NodeWalk> long_walks;
+  while (static_cast<int>(long_walks.size()) < options.num_long_paths &&
+         attempts < max_attempts) {
+    ++attempts;
+    NodeId target =
+        static_cast<NodeId>(rng->UniformInt(1, g.NumNodes() - 1));
+    if (!LabelOk(g, target, options)) continue;
+    NodeWalk walk = UpwardWalk(g, target, options.max_length, options, rng);
+    if (walk.empty()) continue;
+    long_walks.push_back(walk);
+    emit(walk);
+  }
+  if (long_walks.empty()) {
+    // Degenerate (very shallow) graph: fall back to short upward walks.
+    while (static_cast<int>(workload.queries.size()) < options.num_queries &&
+           attempts < max_attempts) {
+      ++attempts;
+      NodeId target =
+          static_cast<NodeId>(rng->UniformInt(1, g.NumNodes() - 1));
+      if (!LabelOk(g, target, options)) continue;
+      emit(UpwardWalk(g, target, options.min_length, options, rng));
+    }
+    return workload;
+  }
+
+  // Phase 2: shorter branching paths off the long seeds — keep a prefix of
+  // the seed's node walk, then wander down different children.
+  while (static_cast<int>(workload.queries.size()) < options.num_queries &&
+         attempts < max_attempts) {
+    ++attempts;
+    const NodeWalk& seed = rng->Pick(long_walks);
+    int total_len = static_cast<int>(
+        rng->UniformInt(options.min_length, options.max_length));
+    int prefix_len = static_cast<int>(rng->UniformInt(
+        1, std::min<int64_t>(total_len, static_cast<int64_t>(seed.size()))));
+    NodeWalk walk(seed.begin(), seed.begin() + prefix_len);
+    NodeWalk tail = DownwardWalk(g, walk.back(), total_len - prefix_len,
+                                 options, rng);
+    walk.insert(walk.end(), tail.begin(), tail.end());
+    emit(walk);
+  }
+  return workload;
+}
+
+}  // namespace dki

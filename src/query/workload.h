@@ -1,0 +1,40 @@
+#ifndef DKINDEX_QUERY_WORKLOAD_H_
+#define DKINDEX_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/data_graph.h"
+
+namespace dki {
+
+// Options for the paper's test-path recipe (Section 6.1): "We randomly
+// generate 100 test paths with lengths between 2 and 5 ... First, the
+// program randomly chooses some long query paths; then, from these long
+// paths, many shorter branching paths are generated."
+struct WorkloadOptions {
+  int num_queries = 100;
+  int min_length = 2;  // labels per path
+  int max_length = 5;
+  int num_long_paths = 20;  // seeds from which branching paths derive
+  bool allow_value_label = false;  // include VALUE as a path target
+  int max_attempts_factor = 200;   // sampling retries per requested query
+};
+
+// A query workload: textual chain path expressions ("a.b.c"), guaranteed to
+// match at least one node of the graph they were generated from.
+struct Workload {
+  std::vector<std::string> queries;
+};
+
+// Generates a workload over `g`. Long paths are sampled as random upward
+// walks from random nodes (so they exist in the data by construction);
+// branching paths reuse a prefix of a long path's node walk and re-extend it
+// downward along different children. Deterministic given the Rng seed.
+Workload GenerateWorkload(const DataGraph& g, const WorkloadOptions& options,
+                          Rng* rng);
+
+}  // namespace dki
+
+#endif  // DKINDEX_QUERY_WORKLOAD_H_

@@ -1,0 +1,233 @@
+#include "twig/twig.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dki {
+namespace {
+
+// Splits "label[p1][p2]" into the label and bracketed predicate texts.
+// Brackets may nest inside predicates only as parentheses, so a simple
+// depth-1 scan suffices.
+bool SplitStep(std::string_view step, std::string* label,
+               std::vector<std::string>* predicates, std::string* error) {
+  size_t bracket = step.find('[');
+  std::string_view name = StripWhitespace(step.substr(0, bracket));
+  if (name.empty()) {
+    *error = "empty step label in twig query";
+    return false;
+  }
+  *label = std::string(name);
+  while (bracket != std::string_view::npos) {
+    size_t close = step.find(']', bracket + 1);
+    if (close == std::string_view::npos) {
+      *error = "unterminated '[' in twig step";
+      return false;
+    }
+    std::string_view inner = step.substr(bracket + 1, close - bracket - 1);
+    if (StripWhitespace(inner).empty()) {
+      *error = "empty predicate in twig step";
+      return false;
+    }
+    predicates->emplace_back(inner);
+    size_t next = step.find('[', close + 1);
+    if (next != std::string_view::npos) {
+      std::string_view between = step.substr(close + 1, next - close - 1);
+      if (!StripWhitespace(between).empty()) {
+        *error = "unexpected text between predicates";
+        return false;
+      }
+    } else {
+      std::string_view rest = step.substr(close + 1);
+      if (!StripWhitespace(rest).empty()) {
+        *error = "unexpected text after predicate";
+        return false;
+      }
+    }
+    bracket = next;
+  }
+  return true;
+}
+
+// Splits the twig into steps on '.' at bracket depth zero.
+std::vector<std::string> SplitSteps(std::string_view text) {
+  std::vector<std::string> steps;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == '.' && depth == 0)) {
+      steps.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    } else if (text[i] == '[') {
+      ++depth;
+    } else if (text[i] == ']') {
+      --depth;
+    }
+  }
+  return steps;
+}
+
+// True iff some downward path starting at a child of `node` matches the
+// predicate. Works for any graph view with label()/children().
+template <typename ViewT, typename IdT>
+bool PredicateHolds(const ViewT& view, IdT node, const Automaton& a) {
+  // A predicate whose language contains the empty word holds trivially.
+  for (int q : a.start_states()) {
+    if (a.is_accept(q)) return true;
+  }
+  std::set<std::pair<IdT, int>> visited;
+  std::deque<std::pair<IdT, int>> queue;
+  std::vector<int> moved;
+  for (IdT child : view.children(node)) {
+    for (int q : a.StartMove(view.label(child))) {
+      if (a.is_accept(q)) return true;
+      if (visited.emplace(child, q).second) queue.emplace_back(child, q);
+    }
+  }
+  while (!queue.empty()) {
+    auto [v, state] = queue.front();
+    queue.pop_front();
+    for (IdT w : view.children(v)) {
+      moved.clear();
+      a.Move(state, view.label(w), &moved);
+      for (int q : moved) {
+        if (a.is_accept(q)) return true;
+        if (visited.emplace(w, q).second) queue.emplace_back(w, q);
+      }
+    }
+  }
+  return false;
+}
+
+struct TwigDataView {
+  const DataGraph* g;
+  LabelId label(NodeId n) const { return g->label(n); }
+  const std::vector<NodeId>& children(NodeId n) const {
+    return g->children(n);
+  }
+  int64_t NumNodes() const { return g->NumNodes(); }
+};
+
+struct TwigIndexView {
+  const IndexGraph* index;
+  LabelId label(IndexNodeId n) const { return index->label(n); }
+  const std::vector<IndexNodeId>& children(IndexNodeId n) const {
+    return index->children(n);
+  }
+  int64_t NumNodes() const { return index->NumIndexNodes(); }
+};
+
+}  // namespace
+
+std::optional<TwigQuery> TwigQuery::Parse(std::string_view text,
+                                          const LabelTable& labels,
+                                          std::string* error) {
+  TwigQuery query;
+  query.text_ = std::string(text);
+  for (const std::string& step_text : SplitSteps(text)) {
+    std::string label;
+    std::vector<std::string> predicate_texts;
+    if (!SplitStep(step_text, &label, &predicate_texts, error)) {
+      return std::nullopt;
+    }
+    CompiledStep step;
+    if (label == "_") {
+      step.label = kAnySymbol;
+    } else {
+      LabelId id = labels.Find(label);
+      step.label = id == kInvalidLabel ? kUnknownLabel : id;
+    }
+    for (const std::string& predicate : predicate_texts) {
+      auto compiled = PathExpression::Parse(predicate, labels, error);
+      if (!compiled.has_value()) {
+        *error = "in predicate [" + predicate + "]: " + *error;
+        return std::nullopt;
+      }
+      step.predicates.push_back(std::move(*compiled));
+    }
+    query.steps_.push_back(std::move(step));
+  }
+  if (query.steps_.empty()) {
+    *error = "empty twig query";
+    return std::nullopt;
+  }
+  return query;
+}
+
+namespace {
+
+// Shared top-down evaluation: candidates for step i+1 are the children of
+// step-i candidates with the right label and satisfied predicates.
+template <typename ViewT, typename IdT>
+std::vector<IdT> EvaluateTwig(
+    const ViewT& view,
+    const std::vector<std::pair<Symbol, const std::vector<PathExpression>*>>&
+        steps) {
+  auto step_matches = [&view](IdT node, Symbol label,
+                              const std::vector<PathExpression>& preds) {
+    if (label == kUnknownLabel) return false;
+    if (label != kAnySymbol && view.label(node) != label) return false;
+    for (const PathExpression& pred : preds) {
+      if (!PredicateHolds(view, node, pred.forward())) return false;
+    }
+    return true;
+  };
+
+  std::vector<IdT> current;
+  for (IdT n = 0; n < static_cast<IdT>(view.NumNodes()); ++n) {
+    if (step_matches(n, steps[0].first, *steps[0].second)) {
+      current.push_back(n);
+    }
+  }
+  for (size_t i = 1; i < steps.size() && !current.empty(); ++i) {
+    std::unordered_set<IdT> seen;
+    std::vector<IdT> next;
+    for (IdT u : current) {
+      for (IdT v : view.children(u)) {
+        if (seen.count(v)) continue;
+        seen.insert(v);
+        if (step_matches(v, steps[i].first, *steps[i].second)) {
+          next.push_back(v);
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  std::sort(current.begin(), current.end());
+  return current;
+}
+
+}  // namespace
+
+std::vector<NodeId> TwigQuery::EvaluateOnDataGraph(const DataGraph& g) const {
+  std::vector<std::pair<Symbol, const std::vector<PathExpression>*>> steps;
+  for (const CompiledStep& step : steps_) {
+    steps.emplace_back(step.label, &step.predicates);
+  }
+  TwigDataView view{&g};
+  return EvaluateTwig<TwigDataView, NodeId>(view, steps);
+}
+
+std::vector<NodeId> TwigQuery::EvaluateOnIndex(const IndexGraph& index) const {
+  std::vector<std::pair<Symbol, const std::vector<PathExpression>*>> steps;
+  for (const CompiledStep& step : steps_) {
+    steps.emplace_back(step.label, &step.predicates);
+  }
+  TwigIndexView view{&index};
+  std::vector<IndexNodeId> matched =
+      EvaluateTwig<TwigIndexView, IndexNodeId>(view, steps);
+  std::vector<NodeId> result;
+  for (IndexNodeId i : matched) {
+    const auto& extent = index.extent(i);
+    result.insert(result.end(), extent.begin(), extent.end());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace dki

@@ -1,0 +1,70 @@
+#ifndef DKINDEX_TWIG_TWIG_H_
+#define DKINDEX_TWIG_TWIG_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "index/index_graph.h"
+#include "pathexpr/path_expression.h"
+
+namespace dki {
+
+// Branching path (twig) queries — the query class behind the F&B index the
+// paper's future work points to (Kaushik et al., "Covering Indexes for
+// Branching Path Queries", SIGMOD 2002).
+//
+// Syntax: a chain of steps separated by '.', each step a label (or `_`)
+// with optional existential predicates in brackets; a predicate is a full
+// regular path expression evaluated downward from the step's node, matched
+// against paths that start at a child:
+//
+//     director[name].movie[actor//name].title
+//
+// selects title nodes under movies that are (a) children of directors that
+// have a name child and (b) have some actor descendant with a name.
+struct TwigStep {
+  std::string label;  // "_" matches any label
+  std::vector<std::string> predicates;  // textual, compiled at parse time
+};
+
+class TwigQuery {
+ public:
+  // Parses and compiles against `labels`. Returns nullopt + error on syntax
+  // errors (in the twig structure or any embedded predicate).
+  static std::optional<TwigQuery> Parse(std::string_view text,
+                                        const LabelTable& labels,
+                                        std::string* error);
+
+  const std::string& text() const { return text_; }
+  size_t num_steps() const { return steps_.size(); }
+
+  // --- evaluation ---------------------------------------------------------
+
+  // Exact evaluation on the data graph (the ground truth).
+  std::vector<NodeId> EvaluateOnDataGraph(const DataGraph& g) const;
+
+  // Evaluation on an index graph, returning matched data nodes (the union
+  // of matched index nodes' extents). Exact when the index partition is
+  // both backward- and forward-stable (the F&B index); merely *safe* (a
+  // superset) for backward-only indexes like the 1-index / A(k) / D(k),
+  // whose blocks can disagree on downward predicates.
+  std::vector<NodeId> EvaluateOnIndex(const IndexGraph& index) const;
+
+ private:
+  struct CompiledStep {
+    LabelId label;  // kAnySymbol for "_", kUnknownLabel if absent from data
+    std::vector<PathExpression> predicates;
+  };
+
+  TwigQuery() = default;
+
+  std::string text_;
+  std::vector<CompiledStep> steps_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_TWIG_TWIG_H_

@@ -1,0 +1,338 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace dki {
+
+const std::string* XmlElement::FindAttribute(std::string_view name) const {
+  for (const auto& [key, value] : attributes) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+int64_t XmlElement::CountElements() const {
+  int64_t total = 1;
+  for (const auto& child : children) total += child->CountElements();
+  return total;
+}
+
+std::string DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '&') {
+      out.push_back(s[i++]);
+      continue;
+    }
+    size_t semi = s.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      out.push_back(s[i++]);  // lone '&': keep literally (lenient)
+      continue;
+    }
+    std::string_view entity = s.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      // Numeric character reference; encode the code point as UTF-8.
+      uint32_t cp = 0;
+      bool ok = entity.size() > 1;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        for (size_t j = 2; j < entity.size() && ok; ++j) {
+          char c = entity[j];
+          cp <<= 4;
+          if (c >= '0' && c <= '9') {
+            cp += static_cast<uint32_t>(c - '0');
+          } else if (c >= 'a' && c <= 'f') {
+            cp += static_cast<uint32_t>(c - 'a' + 10);
+          } else if (c >= 'A' && c <= 'F') {
+            cp += static_cast<uint32_t>(c - 'A' + 10);
+          } else {
+            ok = false;
+          }
+        }
+      } else {
+        for (size_t j = 1; j < entity.size() && ok; ++j) {
+          char c = entity[j];
+          if (c < '0' || c > '9') {
+            ok = false;
+          } else {
+            cp = cp * 10 + static_cast<uint32_t>(c - '0');
+          }
+        }
+      }
+      if (!ok || cp == 0 || cp > 0x10FFFF) {
+        out.append(s.substr(i, semi - i + 1));
+      } else if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    } else {
+      out.append(s.substr(i, semi - i + 1));  // unknown entity: keep
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+std::string EscapeXml(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      case '\'':
+        out.append("&apos;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+class XmlReader {
+ public:
+  XmlReader(std::string_view input, std::string* error)
+      : input_(input), error_(error) {}
+
+  bool Parse(XmlDocument* doc) {
+    SkipProlog();
+    if (Eof()) return Fail("no root element");
+    auto root = ParseElement();
+    if (root == nullptr) return false;
+    doc->root = std::move(root);
+    SkipMisc();
+    if (!Eof()) return Fail("content after root element");
+    return true;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Match(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  bool Fail(const std::string& message) {
+    *error_ = message + " (at byte " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  // Skips a construct terminated by `end`; returns false at EOF.
+  bool SkipUntil(std::string_view end) {
+    size_t found = input_.find(end, pos_);
+    if (found == std::string_view::npos) return false;
+    pos_ = found + end.size();
+    return true;
+  }
+
+  // Skips comments / PIs / whitespace.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Match("<!--")) {
+        if (!SkipUntil("-->")) {
+          pos_ = input_.size();
+          return;
+        }
+      } else if (Match("<?")) {
+        if (!SkipUntil("?>")) {
+          pos_ = input_.size();
+          return;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipProlog() {
+    while (true) {
+      SkipMisc();
+      if (Match("<!DOCTYPE")) {
+        // Skip to the matching '>' (handles one level of [...] subset).
+        int depth = 0;
+        while (!Eof()) {
+          char c = input_[pos_++];
+          if (c == '[') {
+            ++depth;
+          } else if (c == ']') {
+            --depth;
+          } else if (c == '>' && depth <= 0) {
+            break;
+          }
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool ParseName(std::string* name) {
+    if (Eof() || !IsNameStart(Peek())) return Fail("expected name");
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    *name = std::string(input_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool ParseAttributes(XmlElement* element) {
+    while (true) {
+      SkipWhitespace();
+      if (Eof()) return Fail("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') return true;
+      std::string name;
+      if (!ParseName(&name)) return false;
+      SkipWhitespace();
+      if (Eof() || Peek() != '=') return Fail("expected '=' in attribute");
+      ++pos_;
+      SkipWhitespace();
+      if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+        return Fail("expected quoted attribute value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!Eof() && Peek() != quote) ++pos_;
+      if (Eof()) return Fail("unterminated attribute value");
+      element->attributes.emplace_back(
+          std::move(name), DecodeEntities(input_.substr(start, pos_ - start)));
+      ++pos_;  // closing quote
+    }
+  }
+
+  std::unique_ptr<XmlElement> ParseElement() {
+    if (Eof() || Peek() != '<') {
+      Fail("expected '<'");
+      return nullptr;
+    }
+    ++pos_;
+    auto element = std::make_unique<XmlElement>();
+    if (!ParseName(&element->tag)) return nullptr;
+    if (!ParseAttributes(element.get())) return nullptr;
+    if (Peek() == '/') {
+      ++pos_;
+      if (Eof() || Peek() != '>') {
+        Fail("expected '>' after '/'");
+        return nullptr;
+      }
+      ++pos_;
+      return element;  // self-closing
+    }
+    ++pos_;  // '>'
+    if (!ParseContent(element.get())) return nullptr;
+    return element;
+  }
+
+  // Parses children and character data until the matching end tag.
+  bool ParseContent(XmlElement* element) {
+    while (true) {
+      size_t text_start = pos_;
+      while (!Eof() && Peek() != '<') ++pos_;
+      if (pos_ > text_start) {
+        std::string_view raw = input_.substr(text_start, pos_ - text_start);
+        std::string_view stripped = StripWhitespace(raw);
+        if (!stripped.empty()) {
+          element->text.append(DecodeEntities(stripped));
+        }
+      }
+      if (Eof()) return Fail("unterminated element <" + element->tag + ">");
+      if (Match("<!--")) {
+        if (!SkipUntil("-->")) return Fail("unterminated comment");
+        continue;
+      }
+      if (Match("<![CDATA[")) {
+        pos_ += 9;
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Fail("unterminated CDATA section");
+        }
+        element->text.append(input_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+        continue;
+      }
+      if (Match("<?")) {
+        if (!SkipUntil("?>")) return Fail("unterminated PI");
+        continue;
+      }
+      if (Match("</")) {
+        pos_ += 2;
+        std::string name;
+        if (!ParseName(&name)) return false;
+        if (name != element->tag) {
+          return Fail("mismatched end tag </" + name + "> for <" +
+                      element->tag + ">");
+        }
+        SkipWhitespace();
+        if (Eof() || Peek() != '>') return Fail("expected '>' in end tag");
+        ++pos_;
+        return true;
+      }
+      auto child = ParseElement();
+      if (child == nullptr) return false;
+      element->children.push_back(std::move(child));
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+bool ParseXml(std::string_view input, XmlDocument* doc, std::string* error) {
+  XmlReader reader(input, error);
+  return reader.Parse(doc);
+}
+
+}  // namespace dki

@@ -1,0 +1,48 @@
+#ifndef DKINDEX_XML_XML_PARSER_H_
+#define DKINDEX_XML_XML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dki {
+
+// A DOM element. Text content directly under the element is concatenated
+// into `text` (the indexes model atomic values as single VALUE nodes, so
+// fine-grained text ordering is not preserved).
+struct XmlElement {
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+  std::string text;
+
+  // First attribute value with the given name, or nullptr.
+  const std::string* FindAttribute(std::string_view name) const;
+  int64_t CountElements() const;  // this element plus all descendants
+};
+
+struct XmlDocument {
+  std::unique_ptr<XmlElement> root;
+};
+
+// Parses a self-contained XML document (single root element). Supported
+// subset: prolog, comments, CDATA sections, DOCTYPE (skipped), processing
+// instructions (skipped), elements with single- or double-quoted attributes,
+// self-closing tags, character data, and the five predefined entities plus
+// numeric character references (decimal and hex; non-ASCII code points are
+// encoded as UTF-8).
+//
+// Returns false and sets `error` (with byte offset) on malformed input.
+bool ParseXml(std::string_view input, XmlDocument* doc, std::string* error);
+
+// Decodes entity references in `s` (used for attribute values and text).
+std::string DecodeEntities(std::string_view s);
+
+// Escapes `s` for use as XML character data / attribute values.
+std::string EscapeXml(std::string_view s);
+
+}  // namespace dki
+
+#endif  // DKINDEX_XML_XML_PARSER_H_

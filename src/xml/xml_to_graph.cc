@@ -1,0 +1,85 @@
+#include "xml/xml_to_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace dki {
+namespace {
+
+bool NameIn(const std::vector<std::string>& names, std::string_view name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+class Converter {
+ public:
+  Converter(const XmlToGraphOptions& options, XmlToGraphResult* result)
+      : options_(options), result_(result), builder_(&result->graph) {}
+
+  void Run(const XmlDocument& doc) {
+    DKI_CHECK(doc.root != nullptr);
+    Visit(*doc.root);
+    result_->dangling_refs = builder_.Finish();
+  }
+
+ private:
+  void Visit(const XmlElement& element) {
+    NodeId node = builder_.Open(element.tag);
+    for (const auto& [name, value] : element.attributes) {
+      if (NameIn(options_.id_attributes, name)) {
+        builder_.DefineId(node, value);
+        result_->ids.emplace(value, node);
+      } else if (NameIn(options_.idref_attributes, name) ||
+                 (options_.idref_suffix_heuristic && EndsWith(name, "ref"))) {
+        // IDREFS allows several whitespace-separated targets.
+        for (const std::string& target : StrSplit(value, ' ')) {
+          builder_.Ref(node, target);
+          ++result_->reference_edges;
+        }
+      } else if (options_.attributes_as_children) {
+        builder_.Open(name);
+        builder_.Value();
+        builder_.Close();
+      }
+    }
+    if (options_.value_nodes && !element.text.empty()) {
+      builder_.Value();
+    }
+    for (const auto& child : element.children) {
+      Visit(*child);
+    }
+    builder_.Close();
+  }
+
+  const XmlToGraphOptions& options_;
+  XmlToGraphResult* result_;
+  GraphBuilder builder_;
+};
+
+}  // namespace
+
+XmlToGraphResult XmlToGraph(const XmlDocument& doc,
+                            const XmlToGraphOptions& options) {
+  XmlToGraphResult result;
+  Converter converter(options, &result);
+  converter.Run(doc);
+  return result;
+}
+
+bool LoadXmlAsGraph(std::string_view xml_text,
+                    const XmlToGraphOptions& options,
+                    XmlToGraphResult* result, std::string* error) {
+  XmlDocument doc;
+  if (!ParseXml(xml_text, &doc, error)) return false;
+  *result = XmlToGraph(doc, options);
+  return true;
+}
+
+}  // namespace dki

@@ -1,0 +1,54 @@
+#ifndef DKINDEX_XML_XML_TO_GRAPH_H_
+#define DKINDEX_XML_XML_TO_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "xml/xml_parser.h"
+
+namespace dki {
+
+// Controls the mapping from an XML document to the paper's data model
+// (Section 3): every element becomes a labeled node under the ROOT node,
+// atomic text becomes a VALUE child, and ID/IDREF attributes become
+// reference edges — which, like the paper, are not distinguished from
+// containment edges afterwards.
+struct XmlToGraphOptions {
+  // Attribute names establishing an element's identity.
+  std::vector<std::string> id_attributes = {"id"};
+  // Attribute names referring to another element's id. An IDREF attribute on
+  // element e adds an edge from e's node to the referenced node.
+  std::vector<std::string> idref_attributes = {"idref", "ref"};
+  // Treat any attribute name ending in "ref" as an IDREF (XMark style:
+  // person="person123" on <personref> is *not* covered; list such names in
+  // idref_attributes instead).
+  bool idref_suffix_heuristic = true;
+  // Non-empty element text produces a VALUE child node.
+  bool value_nodes = true;
+  // Every non-ID, non-IDREF attribute becomes a child node labeled with the
+  // attribute name, holding a VALUE node.
+  bool attributes_as_children = false;
+};
+
+struct XmlToGraphResult {
+  DataGraph graph;
+  std::unordered_map<std::string, NodeId> ids;  // id string -> node
+  int64_t dangling_refs = 0;  // IDREFs with no matching ID (dropped)
+  int64_t reference_edges = 0;
+};
+
+// Converts a parsed document. The document root element becomes a child of
+// the graph's ROOT node.
+XmlToGraphResult XmlToGraph(const XmlDocument& doc,
+                            const XmlToGraphOptions& options = {});
+
+// Convenience: parse + convert. Returns false and sets `error` on malformed
+// XML.
+bool LoadXmlAsGraph(std::string_view xml_text, const XmlToGraphOptions& options,
+                    XmlToGraphResult* result, std::string* error);
+
+}  // namespace dki
+
+#endif  // DKINDEX_XML_XML_TO_GRAPH_H_

@@ -1,0 +1,63 @@
+#include "xml/xml_writer.h"
+
+#include "common/logging.h"
+
+namespace dki {
+namespace {
+
+void Indent(std::string* out, const XmlWriteOptions& options, int depth) {
+  if (!options.pretty) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void Write(const XmlElement& element, const XmlWriteOptions& options,
+           int depth, std::string* out) {
+  Indent(out, options, depth);
+  out->push_back('<');
+  out->append(element.tag);
+  for (const auto& [name, value] : element.attributes) {
+    out->push_back(' ');
+    out->append(name);
+    out->append("=\"");
+    out->append(EscapeXml(value));
+    out->push_back('"');
+  }
+  if (element.children.empty() && element.text.empty()) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  if (!element.text.empty()) {
+    out->append(EscapeXml(element.text));
+  }
+  for (const auto& child : element.children) {
+    Write(*child, options, depth + 1, out);
+  }
+  if (!element.children.empty()) {
+    Indent(out, options, depth);
+  }
+  out->append("</");
+  out->append(element.tag);
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string WriteXmlElement(const XmlElement& element,
+                            const XmlWriteOptions& options, int depth) {
+  std::string out;
+  Write(element, options, depth, &out);
+  return out;
+}
+
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options) {
+  DKI_CHECK(doc.root != nullptr);
+  std::string out;
+  if (options.prolog) out.append("<?xml version=\"1.0\"?>");
+  Write(*doc.root, options, 0, &out);
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace dki

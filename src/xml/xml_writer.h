@@ -1,0 +1,24 @@
+#ifndef DKINDEX_XML_XML_WRITER_H_
+#define DKINDEX_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/xml_parser.h"
+
+namespace dki {
+
+struct XmlWriteOptions {
+  bool pretty = true;   // newline + two-space indentation per level
+  bool prolog = true;   // emit <?xml version="1.0"?>
+};
+
+// Serializes a document (inverse of ParseXml up to whitespace and entity
+// normalization). Used to materialize generated datasets as .xml files and
+// by the round-trip tests.
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options = {});
+std::string WriteXmlElement(const XmlElement& element,
+                            const XmlWriteOptions& options = {}, int depth = 0);
+
+}  // namespace dki
+
+#endif  // DKINDEX_XML_XML_WRITER_H_

@@ -1,0 +1,141 @@
+#include "index/ak_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "index/one_index.h"
+#include "query/evaluator.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+TEST(AkIndexTest, A0IsLabelSplit) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  AkIndex a0 = AkIndex::Build(&g, 0);
+  EXPECT_EQ(a0.index().NumIndexNodes(), g.labels().size());
+}
+
+TEST(AkIndexTest, SizeGrowsWithK) {
+  Rng rng(41);
+  DataGraph g = testing_util::RandomGraph(300, 4, 60, &rng);
+  int64_t prev = 0;
+  for (int k = 0; k <= 5; ++k) {
+    AkIndex index = AkIndex::Build(&g, k);
+    EXPECT_GE(index.index().NumIndexNodes(), prev);
+    prev = index.index().NumIndexNodes();
+    std::string error;
+    EXPECT_TRUE(index.index().ValidatePartition(&error)) << error;
+    EXPECT_TRUE(index.index().ValidateEdges(&error)) << error;
+  }
+  // Large k converges to the 1-index.
+  IndexGraph one = OneIndex::Build(&g);
+  AkIndex a20 = AkIndex::Build(&g, 20);
+  EXPECT_EQ(a20.index().NumIndexNodes(), one.NumIndexNodes());
+}
+
+TEST(AkIndexTest, SoundForShortQueriesSafeForAll) {
+  Rng rng(43);
+  DataGraph g = testing_util::RandomGraph(150, 4, 30, &rng);
+  const int k = 2;
+  AkIndex ak = AkIndex::Build(&g, k);
+  for (int i = 0; i < 30; ++i) {
+    int len = static_cast<int>(rng.UniformInt(1, 5));
+    std::string text = testing_util::RandomChainQuery(g, len, &rng);
+    PathExpression q = testing_util::MustParse(text, g.labels());
+
+    auto truth = EvaluateOnDataGraph(g, q);
+    EvalStats stats;
+    auto exact = EvaluateOnIndex(ak.index(), q, &stats);
+    EXPECT_EQ(exact, truth) << text;  // validation fixes long queries
+
+    // The raw (unvalidated) answer is safe: a superset of the truth.
+    auto raw = EvaluateOnIndex(ak.index(), q, nullptr, /*validate=*/false);
+    for (NodeId n : truth) {
+      EXPECT_TRUE(std::binary_search(raw.begin(), raw.end(), n)) << text;
+    }
+    // Queries within the soundness horizon need no validation at all.
+    if (len - 1 <= k) {
+      EXPECT_EQ(stats.uncertain_index_nodes, 0) << text;
+    }
+  }
+}
+
+TEST(AkIndexTest, UpdateKeepsIndexConsistent) {
+  Rng rng(47);
+  DataGraph g = testing_util::RandomGraph(120, 4, 20, &rng);
+  AkIndex ak = AkIndex::Build(&g, 2);
+  for (int i = 0; i < 20; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    ak.AddEdgeBaseline(u, v);
+    std::string error;
+    ASSERT_TRUE(ak.index().ValidatePartition(&error)) << error;
+    ASSERT_TRUE(ak.index().ValidateEdges(&error)) << error;
+  }
+}
+
+TEST(AkIndexTest, UpdatePreservesQueryCorrectness) {
+  Rng rng(53);
+  DataGraph g = testing_util::RandomGraph(100, 4, 15, &rng);
+  AkIndex ak = AkIndex::Build(&g, 2);
+  for (int i = 0; i < 15; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    ak.AddEdgeBaseline(u, v);
+  }
+  for (int i = 0; i < 20; ++i) {
+    int len = static_cast<int>(rng.UniformInt(1, 4));
+    std::string text = testing_util::RandomChainQuery(g, len, &rng);
+    PathExpression q = testing_util::MustParse(text, g.labels());
+    EXPECT_EQ(EvaluateOnIndex(ak.index(), q), EvaluateOnDataGraph(g, q))
+        << text;
+  }
+}
+
+TEST(AkIndexTest, UpdateOnlyGrowsTheIndex) {
+  Rng rng(59);
+  DataGraph g = testing_util::RandomGraph(150, 4, 25, &rng);
+  AkIndex ak = AkIndex::Build(&g, 3);
+  int64_t size = ak.index().NumIndexNodes();
+  for (int i = 0; i < 10; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    ak.AddEdgeBaseline(u, v);
+    EXPECT_GE(ak.index().NumIndexNodes(), size);
+    size = ak.index().NumIndexNodes();
+  }
+}
+
+TEST(AkIndexTest, UpdateStatsGrowWithK) {
+  // The cost driver of Table 1: deeper propagation for larger k.
+  Rng rng(61);
+  DataGraph base = testing_util::RandomGraph(400, 4, 80, &rng);
+  int64_t scans_small = 0, scans_large = 0;
+  {
+    DataGraph g = base;
+    AkIndex ak = AkIndex::Build(&g, 1);
+    Rng edges(7);
+    for (int i = 0; i < 10; ++i) {
+      NodeId u = static_cast<NodeId>(edges.UniformInt(1, g.NumNodes() - 1));
+      NodeId v = static_cast<NodeId>(edges.UniformInt(1, g.NumNodes() - 1));
+      scans_small += ak.AddEdgeBaseline(u, v).data_parent_scans;
+    }
+  }
+  {
+    DataGraph g = base;
+    AkIndex ak = AkIndex::Build(&g, 4);
+    Rng edges(7);
+    for (int i = 0; i < 10; ++i) {
+      NodeId u = static_cast<NodeId>(edges.UniformInt(1, g.NumNodes() - 1));
+      NodeId v = static_cast<NodeId>(edges.UniformInt(1, g.NumNodes() - 1));
+      scans_large += ak.AddEdgeBaseline(u, v).data_parent_scans;
+    }
+  }
+  EXPECT_GT(scans_large, scans_small);
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,178 @@
+#include "graph/data_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_builder.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+TEST(DataGraphTest, FreshGraphHasOnlyRoot) {
+  DataGraph g;
+  EXPECT_EQ(g.NumNodes(), 1);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_EQ(g.label(g.root()), LabelTable::kRootLabel);
+}
+
+TEST(DataGraphTest, AddNodeAndEdge) {
+  DataGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  g.AddEdge(g.root(), a);
+  g.AddEdge(a, b);
+  EXPECT_EQ(g.NumNodes(), 3);
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_FALSE(g.HasEdge(b, a));
+  ASSERT_EQ(g.children(a).size(), 1u);
+  EXPECT_EQ(g.children(a)[0], b);
+  ASSERT_EQ(g.parents(b).size(), 1u);
+  EXPECT_EQ(g.parents(b)[0], a);
+}
+
+TEST(DataGraphTest, AddEdgeDeduplicates) {
+  DataGraph g;
+  NodeId a = g.AddNode("a");
+  g.AddEdge(g.root(), a);
+  g.AddEdge(g.root(), a);
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(DataGraphTest, SelfLoopAllowed) {
+  DataGraph g;
+  NodeId a = g.AddNode("a");
+  g.AddEdge(g.root(), a);
+  g.AddEdge(a, a);
+  EXPECT_TRUE(g.HasEdge(a, a));
+  EXPECT_EQ(g.parents(a).size(), 2u);
+}
+
+TEST(DataGraphTest, NodesWithLabel) {
+  DataGraph g;
+  NodeId a1 = g.AddNode("a");
+  g.AddNode("b");
+  NodeId a2 = g.AddNode("a");
+  std::vector<NodeId> as = g.NodesWithLabel(g.labels().Find("a"));
+  EXPECT_EQ(as, (std::vector<NodeId>{a1, a2}));
+}
+
+TEST(GraphBuilderTest, OpenCloseNesting) {
+  DataGraph g;
+  GraphBuilder b(&g);
+  NodeId site = b.Open("site");
+  NodeId people = b.Open("people");
+  b.ValueLeaf("name");
+  b.Close();
+  b.Close();
+  EXPECT_EQ(g.parents(people)[0], site);
+  EXPECT_EQ(g.parents(site)[0], g.root());
+  // site -> people -> name -> VALUE
+  EXPECT_EQ(g.NumNodes(), 5);
+  EXPECT_EQ(g.NumEdges(), 4);
+}
+
+TEST(GraphBuilderTest, ReferencesResolveAfterDefinition) {
+  DataGraph g;
+  GraphBuilder b(&g);
+  b.Open("db");
+  NodeId ref_holder = b.Leaf("itemref");
+  b.Ref(ref_holder, "item1");  // forward reference
+  NodeId item = b.Open("item");
+  b.DefineId("item1");
+  b.Close();
+  b.Close();
+  EXPECT_EQ(b.Finish(), 0);
+  EXPECT_TRUE(g.HasEdge(ref_holder, item));
+}
+
+TEST(GraphBuilderTest, DanglingReferencesAreDroppedAndCounted) {
+  DataGraph g;
+  GraphBuilder b(&g);
+  b.Open("db");
+  NodeId r = b.Leaf("ref");
+  b.Ref(r, "missing");
+  b.Close();
+  EXPECT_EQ(b.Finish(), 1);
+  EXPECT_TRUE(g.children(r).empty());
+}
+
+TEST(GraphAlgosTest, StatsOnMovieGraph) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, g.NumNodes());
+  EXPECT_EQ(s.num_edges, g.NumEdges());
+  EXPECT_EQ(s.num_tree_edges + s.num_non_tree_edges, s.num_edges);
+  EXPECT_GT(s.num_non_tree_edges, 0);  // the actor -> movie reference
+  EXPECT_GE(s.max_depth, 4);
+  EXPECT_TRUE(AllReachableFromRoot(g));
+}
+
+TEST(GraphAlgosTest, ReachableFromSubtree) {
+  DataGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  g.AddEdge(g.root(), a);
+  g.AddEdge(a, b);
+  g.AddEdge(g.root(), c);
+  std::vector<NodeId> r = ReachableFrom(g, a);
+  EXPECT_EQ(r, (std::vector<NodeId>{a, b}));
+  EXPECT_TRUE(AllReachableFromRoot(g));
+}
+
+TEST(GraphAlgosTest, LabelPathMatchesNode) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  const LabelTable& t = g.labels();
+  LabelId movie = t.Find("movie");
+  LabelId title = t.Find("title");
+  LabelId director = t.Find("director");
+  LabelId actor = t.Find("actor");
+  ASSERT_NE(movie, kInvalidLabel);
+
+  int via_movie = 0, via_director = 0, via_actor = 0;
+  for (NodeId n : g.NodesWithLabel(title)) {
+    via_movie += LabelPathMatchesNode(g, {movie, title}, n);
+    via_director += LabelPathMatchesNode(g, {director, movie, title}, n);
+    via_actor += LabelPathMatchesNode(g, {actor, movie, title}, n);
+  }
+  EXPECT_EQ(via_movie, 4);     // every title sits under a movie
+  EXPECT_EQ(via_director, 3);  // three movies belong to directors
+  EXPECT_EQ(via_actor, 2);     // the shared movie + the actor's own movie
+}
+
+TEST(GraphAlgosTest, IncomingLabelPaths) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  LabelId title = g.labels().Find("title");
+  NodeId some_title = g.NodesWithLabel(title)[0];
+  auto paths1 = IncomingLabelPaths(g, some_title, 1, 100);
+  ASSERT_EQ(paths1.size(), 1u);
+  EXPECT_EQ(paths1[0], (std::vector<LabelId>{title}));
+  auto paths2 = IncomingLabelPaths(g, some_title, 2, 100);
+  ASSERT_EQ(paths2.size(), 1u);
+  EXPECT_EQ(paths2[0][1], title);
+  EXPECT_EQ(g.labels().Name(paths2[0][0]), "movie");
+}
+
+TEST(GraphAlgosTest, ToDotContainsNodes) {
+  DataGraph g;
+  g.AddNode("a");
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("ROOT"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\\n#1\""), std::string::npos);
+}
+
+TEST(RandomGraphTest, IsWellFormed) {
+  Rng rng(7);
+  DataGraph g = testing_util::RandomGraph(200, 5, 30, &rng);
+  EXPECT_EQ(g.NumNodes(), 201);
+  EXPECT_TRUE(AllReachableFromRoot(g));
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/nasa_generator.h"
+#include "datagen/xmark_generator.h"
+#include "graph/graph_algos.h"
+#include "xml/xml_writer.h"
+
+namespace dki {
+namespace {
+
+TEST(XmarkGeneratorTest, ElementCountsScale) {
+  XmarkOptions options;
+  options.scale = 1.0;
+  XmlDocument doc = GenerateXmarkDocument(options);
+  ASSERT_EQ(doc.root->tag, "site");
+  int64_t base = doc.root->CountElements();
+  options.scale = 2.0;
+  int64_t doubled = GenerateXmarkDocument(options).root->CountElements();
+  EXPECT_GT(doubled, base * 3 / 2);
+  EXPECT_LT(doubled, base * 3);
+}
+
+TEST(XmarkGeneratorTest, GraphShape) {
+  XmarkOptions options;
+  options.scale = 0.5;
+  XmlToGraphResult r = GenerateXmarkGraph(options);
+  const DataGraph& g = r.graph;
+  EXPECT_EQ(r.dangling_refs, 0);  // every IDREF target exists
+  EXPECT_TRUE(AllReachableFromRoot(g));
+  GraphStats s = ComputeStats(g);
+  EXPECT_GT(s.num_non_tree_edges, 0);  // references make it a graph
+  // The scale-0.5 element counts from the generator's base rates.
+  LabelId person = g.labels().Find("person");
+  LabelId item = g.labels().Find("item");
+  LabelId open_auction = g.labels().Find("open_auction");
+  EXPECT_EQ(g.NodesWithLabel(person).size(), 127u);
+  EXPECT_EQ(g.NodesWithLabel(item).size(), 108u);
+  EXPECT_EQ(g.NodesWithLabel(open_auction).size(), 60u);
+}
+
+TEST(XmarkGeneratorTest, Deterministic) {
+  XmarkOptions options;
+  options.scale = 0.2;
+  XmlToGraphResult a = GenerateXmarkGraph(options);
+  XmlToGraphResult b = GenerateXmarkGraph(options);
+  EXPECT_EQ(a.graph.NumNodes(), b.graph.NumNodes());
+  EXPECT_EQ(a.graph.NumEdges(), b.graph.NumEdges());
+  options.seed = 43;
+  XmlToGraphResult c = GenerateXmarkGraph(options);
+  EXPECT_NE(a.graph.NumEdges(), c.graph.NumEdges());
+}
+
+TEST(XmarkGeneratorTest, RefLabelPairsExistInGraph) {
+  XmarkOptions options;
+  options.scale = 0.3;
+  DataGraph g = GenerateXmarkGraph(options).graph;
+  for (const auto& [from, to] : XmarkRefLabelPairs()) {
+    EXPECT_NE(g.labels().Find(from), kInvalidLabel) << from;
+    EXPECT_NE(g.labels().Find(to), kInvalidLabel) << to;
+    EXPECT_FALSE(g.NodesWithLabel(g.labels().Find(from)).empty()) << from;
+    EXPECT_FALSE(g.NodesWithLabel(g.labels().Find(to)).empty()) << to;
+  }
+}
+
+TEST(XmarkGeneratorTest, SerializesToParsableXml) {
+  XmarkOptions options;
+  options.scale = 0.05;
+  XmlDocument doc = GenerateXmarkDocument(options);
+  std::string xml = WriteXml(doc);
+  XmlDocument reparsed;
+  std::string error;
+  ASSERT_TRUE(ParseXml(xml, &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed.root->CountElements(), doc.root->CountElements());
+}
+
+TEST(NasaGeneratorTest, GraphShape) {
+  NasaOptions options;
+  options.scale = 0.5;
+  XmlToGraphResult r = GenerateNasaGraph(options);
+  const DataGraph& g = r.graph;
+  EXPECT_EQ(r.dangling_refs, 0);
+  EXPECT_TRUE(AllReachableFromRoot(g));
+  GraphStats s = ComputeStats(g);
+  EXPECT_GT(s.num_non_tree_edges, 0);
+  EXPECT_EQ(g.NodesWithLabel(g.labels().Find("dataset")).size(), 150u);
+}
+
+TEST(NasaGeneratorTest, BroaderAndDeeperThanXmark) {
+  // The paper picked NASA because it is "broader, deeper and less regular".
+  XmarkOptions xopts;
+  xopts.scale = 0.5;
+  NasaOptions nopts;
+  nopts.scale = 0.5;
+  DataGraph xmark = GenerateXmarkGraph(xopts).graph;
+  DataGraph nasa = GenerateNasaGraph(nopts).graph;
+  EXPECT_GT(nasa.labels().size(), xmark.labels().size());
+  EXPECT_GT(ComputeStats(nasa).max_depth, ComputeStats(xmark).max_depth);
+}
+
+TEST(NasaGeneratorTest, Deterministic) {
+  NasaOptions options;
+  options.scale = 0.2;
+  DataGraph a = GenerateNasaGraph(options).graph;
+  DataGraph b = GenerateNasaGraph(options).graph;
+  EXPECT_EQ(a.NumNodes(), b.NumNodes());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+}
+
+TEST(NasaGeneratorTest, RefLabelPairsExistInGraph) {
+  NasaOptions options;
+  options.scale = 0.5;
+  DataGraph g = GenerateNasaGraph(options).graph;
+  int found = 0;
+  for (const auto& [from, to] : NasaRefLabelPairs()) {
+    LabelId lf = g.labels().Find(from);
+    LabelId lt = g.labels().Find(to);
+    if (lf != kInvalidLabel && lt != kInvalidLabel &&
+        !g.NodesWithLabel(lf).empty() && !g.NodesWithLabel(lt).empty()) {
+      ++found;
+    }
+  }
+  EXPECT_GE(found, 8);  // the paper keeps 8 reference kinds
+}
+
+TEST(NasaGeneratorTest, IrregularStructure) {
+  // Optional elements make same-label subtrees differ: not every dataset has
+  // an abstract.
+  NasaOptions options;
+  options.scale = 0.3;
+  DataGraph g = GenerateNasaGraph(options).graph;
+  LabelId dataset = g.labels().Find("dataset");
+  LabelId abstract = g.labels().Find("abstract");
+  int with = 0, without = 0;
+  for (NodeId d : g.NodesWithLabel(dataset)) {
+    bool has = false;
+    for (NodeId c : g.children(d)) has |= g.label(c) == abstract;
+    (has ? with : without) += 1;
+  }
+  EXPECT_GT(with, 0);
+  EXPECT_GT(without, 0);
+}
+
+}  // namespace
+}  // namespace dki

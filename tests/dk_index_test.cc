@@ -1,0 +1,166 @@
+#include "index/dk_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/ak_index.h"
+#include "index/one_index.h"
+#include "query/evaluator.h"
+#include "query/load_analyzer.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+TEST(BroadcastTest, PaperRule) {
+  // Labels: 0 -> 1 (0 is parent of 1). If req(1) = 2 and req(0) = 0, the
+  // broadcast must raise req(0) to 1 (the Section 4.2 example).
+  std::vector<std::vector<LabelId>> parents(2);
+  parents[1] = {0};
+  std::vector<int> req = {0, 2};
+  std::vector<int> out = BroadcastLabelRequirements(parents, req);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BroadcastTest, CascadesThroughChains) {
+  // Chain 0 -> 1 -> 2 -> 3 with req(3) = 3: ancestors get 2, 1, 0.
+  std::vector<std::vector<LabelId>> parents(4);
+  parents[1] = {0};
+  parents[2] = {1};
+  parents[3] = {2};
+  std::vector<int> req = {0, 0, 0, 3};
+  EXPECT_EQ(BroadcastLabelRequirements(parents, req),
+            (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(BroadcastTest, TakesMaximumAcrossChildren) {
+  // 0 is parent of 1 (req 2) and 2 (req 3): req(0) = max(1, 2) = 2.
+  std::vector<std::vector<LabelId>> parents(3);
+  parents[1] = {0};
+  parents[2] = {0};
+  std::vector<int> req = {0, 2, 3};
+  EXPECT_EQ(BroadcastLabelRequirements(parents, req),
+            (std::vector<int>{2, 2, 3}));
+}
+
+TEST(BroadcastTest, CyclesTerminate) {
+  // 0 <-> 1 cycle with req(0) = 4: requirement decays around the cycle.
+  std::vector<std::vector<LabelId>> parents(2);
+  parents[0] = {1};
+  parents[1] = {0};
+  std::vector<int> req = {4, 0};
+  std::vector<int> out = BroadcastLabelRequirements(parents, req);
+  EXPECT_EQ(out, (std::vector<int>{4, 3}));
+}
+
+TEST(BroadcastTest, SelfLoopStops) {
+  std::vector<std::vector<LabelId>> parents(1);
+  parents[0] = {0};
+  EXPECT_EQ(BroadcastLabelRequirements(parents, {3}),
+            (std::vector<int>{3}));
+}
+
+TEST(BroadcastTest, NoRequirementsNoWork) {
+  std::vector<std::vector<LabelId>> parents(3);
+  EXPECT_EQ(BroadcastLabelRequirements(parents, {0, 0, 0}),
+            (std::vector<int>{0, 0, 0}));
+}
+
+TEST(DkIndexTest, AllZeroRequirementsIsLabelSplit) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = DkIndex::Build(&g, {});
+  EXPECT_EQ(dk.index().NumIndexNodes(), g.labels().size());
+  for (IndexNodeId i = 0; i < dk.index().NumIndexNodes(); ++i) {
+    EXPECT_EQ(dk.index().k(i), 0);
+  }
+}
+
+TEST(DkIndexTest, UniformRequirementsEqualAkIndex) {
+  // With the same k required for every label, D(k) must coincide with A(k)
+  // (the paper's "A(k) is a special case" claim).
+  Rng rng(71);
+  for (int k = 1; k <= 3; ++k) {
+    DataGraph g = testing_util::RandomGraph(120, 4, 25, &rng);
+    LabelRequirements reqs;
+    for (LabelId l = 0; l < g.labels().size(); ++l) reqs[l] = k;
+    DkIndex dk = DkIndex::Build(&g, reqs);
+    AkIndex ak = AkIndex::Build(&g, k);
+    EXPECT_EQ(dk.index().NumIndexNodes(), ak.index().NumIndexNodes())
+        << "k=" << k;
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      EXPECT_EQ(dk.index().index_of(u) == dk.index().index_of(0),
+                ak.index().index_of(u) == ak.index().index_of(0));
+    }
+  }
+}
+
+TEST(DkIndexTest, ConstructionSatisfiesStructuralConstraint) {
+  Rng rng(73);
+  for (int trial = 0; trial < 10; ++trial) {
+    DataGraph g = testing_util::RandomGraph(100, 5, 20, &rng);
+    LabelRequirements reqs;
+    for (int i = 0; i < 3; ++i) {
+      reqs[static_cast<LabelId>(rng.UniformInt(2, g.labels().size() - 1))] =
+          static_cast<int>(rng.UniformInt(1, 4));
+    }
+    DkIndex dk = DkIndex::Build(&g, reqs);
+    std::string error;
+    EXPECT_TRUE(dk.index().ValidatePartition(&error)) << error;
+    EXPECT_TRUE(dk.index().ValidateEdges(&error)) << error;
+    EXPECT_TRUE(dk.index().ValidateDkConstraint(&error)) << error;
+  }
+}
+
+TEST(DkIndexTest, SizeBetweenLabelSplitAndOneIndex) {
+  Rng rng(79);
+  DataGraph g = testing_util::RandomGraph(300, 4, 60, &rng);
+  LabelRequirements reqs;
+  reqs[g.labels().Find("a")] = 2;
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  IndexGraph one = OneIndex::Build(&g);
+  EXPECT_GE(dk.index().NumIndexNodes(), g.labels().size());
+  EXPECT_LE(dk.index().NumIndexNodes(), one.NumIndexNodes());
+}
+
+TEST(DkIndexTest, RequiredLabelAnswersItsQueriesWithoutValidation) {
+  Rng rng(83);
+  DataGraph g = testing_util::RandomGraph(200, 4, 40, &rng);
+  // Mine requirements for a concrete query set, then check soundness.
+  std::vector<std::string> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(testing_util::RandomChainQuery(
+        g, static_cast<int>(rng.UniformInt(2, 4)), &rng));
+  }
+  LabelRequirements reqs;
+  {
+    std::vector<PathExpression> parsed;
+    for (const auto& text : queries) {
+      parsed.push_back(testing_util::MustParse(text, g.labels()));
+    }
+    reqs = MineRequirements(parsed, g.labels());
+  }
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  for (const auto& text : queries) {
+    PathExpression q = testing_util::MustParse(text, g.labels());
+    EvalStats stats;
+    auto result = EvaluateOnIndex(dk.index(), q, &stats);
+    EXPECT_EQ(result, EvaluateOnDataGraph(g, q)) << text;
+    EXPECT_EQ(stats.uncertain_index_nodes, 0)
+        << text << " triggered validation on its own workload";
+  }
+}
+
+TEST(DkIndexTest, EffectiveRequirementAccessor) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  LabelRequirements reqs;
+  LabelId title = g.labels().Find("title");
+  reqs[title] = 2;
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  EXPECT_EQ(dk.effective_requirement(title), 2);
+  // The movie label is a parent of title: broadcast gives it at least 1.
+  EXPECT_GE(dk.effective_requirement(g.labels().Find("movie")), 1);
+  EXPECT_EQ(dk.effective_requirement(kInvalidLabel), 0);
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "index/ak_index.h"
+#include "index/dk_index.h"
+#include "query/evaluator.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+// Asserts two indexes over the same data graph are the same partition with
+// the same local similarities.
+void ExpectSameIndex(const IndexGraph& a, const IndexGraph& b) {
+  ASSERT_EQ(a.graph().NumNodes(), b.graph().NumNodes());
+  EXPECT_EQ(a.NumIndexNodes(), b.NumIndexNodes());
+  std::unordered_map<IndexNodeId, IndexNodeId> map;
+  for (NodeId n = 0; n < a.graph().NumNodes(); ++n) {
+    auto [it, inserted] = map.emplace(a.index_of(n), b.index_of(n));
+    ASSERT_EQ(it->second, b.index_of(n)) << "partition differs at node " << n;
+    ASSERT_EQ(a.k(a.index_of(n)), b.k(b.index_of(n)))
+        << "local similarity differs at node " << n;
+  }
+}
+
+LabelRequirements RandomReqs(const DataGraph& g, Rng* rng, int count,
+                             int max_k) {
+  LabelRequirements reqs;
+  for (int i = 0; i < count; ++i) {
+    reqs[static_cast<LabelId>(rng->UniformInt(2, g.labels().size() - 1))] =
+        static_cast<int>(rng->UniformInt(1, max_k));
+  }
+  return reqs;
+}
+
+TEST(DkTuningTest, DemoteMatchesFreshConstruction) {
+  // Theorem 2: quotienting the refined D(k)-index under lower requirements
+  // equals building the lower D(k)-index from scratch.
+  Rng rng(211);
+  for (int trial = 0; trial < 8; ++trial) {
+    DataGraph g = testing_util::RandomGraph(100, 4, 20, &rng);
+    LabelRequirements high = RandomReqs(g, &rng, 3, 4);
+    LabelRequirements low;
+    for (const auto& [label, k] : high) {
+      if (k > 1) low[label] = k - static_cast<int>(rng.UniformInt(1, k));
+    }
+
+    DataGraph g2 = g;
+    DkIndex demoted = DkIndex::Build(&g, high);
+    demoted.Demote(low);
+    DkIndex fresh = DkIndex::Build(&g2, low);
+    fresh.mutable_index()->set_graph(&g);  // compare over the same graph
+    ExpectSameIndex(demoted.index(), fresh.index());
+  }
+}
+
+TEST(DkTuningTest, DemoteToZeroIsLabelSplit) {
+  Rng rng(223);
+  DataGraph g = testing_util::RandomGraph(120, 5, 25, &rng);
+  DkIndex dk = DkIndex::Build(&g, RandomReqs(g, &rng, 3, 4));
+  dk.Demote({});
+  std::set<LabelId> occurring;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) occurring.insert(g.label(n));
+  EXPECT_EQ(dk.index().NumIndexNodes(),
+            static_cast<int64_t>(occurring.size()));
+  for (IndexNodeId i = 0; i < dk.index().NumIndexNodes(); ++i) {
+    EXPECT_EQ(dk.index().k(i), 0);
+  }
+}
+
+TEST(DkTuningTest, DemoteShrinksOrKeepsSize) {
+  Rng rng(227);
+  DataGraph g = testing_util::RandomGraph(200, 4, 40, &rng);
+  LabelRequirements high = RandomReqs(g, &rng, 4, 4);
+  DkIndex dk = DkIndex::Build(&g, high);
+  int64_t before = dk.index().NumIndexNodes();
+  LabelRequirements low;
+  for (const auto& [label, k] : high) low[label] = k / 2;
+  dk.Demote(low);
+  EXPECT_LE(dk.index().NumIndexNodes(), before);
+  std::string error;
+  EXPECT_TRUE(dk.index().ValidatePartition(&error)) << error;
+  EXPECT_TRUE(dk.index().ValidateEdges(&error)) << error;
+  EXPECT_TRUE(dk.index().ValidateDkConstraint(&error)) << error;
+}
+
+TEST(DkTuningTest, PromoteReachesTargetSimilarityAndStaysValid) {
+  // Algorithm 6 promotes individual index nodes by their *actual* parents,
+  // so it can be coarser than a fresh label-uniform construction for labels
+  // the workload never targets — but every promoted node must reach the
+  // target similarity, all invariants must hold, and its queries must be
+  // answered exactly.
+  Rng rng(229);
+  for (int trial = 0; trial < 8; ++trial) {
+    DataGraph g = testing_util::RandomGraph(100, 4, 20, &rng);
+    LabelId target =
+        static_cast<LabelId>(rng.UniformInt(2, g.labels().size() - 1));
+    int k_target = static_cast<int>(rng.UniformInt(1, 3));
+
+    DkIndex dk = DkIndex::Build(&g, {});  // label split
+    dk.PromoteLabel(target, k_target);
+
+    for (IndexNodeId i = 0; i < dk.index().NumIndexNodes(); ++i) {
+      if (dk.index().label(i) == target) {
+        EXPECT_GE(dk.index().k(i), k_target);
+      }
+    }
+    std::string error;
+    ASSERT_TRUE(dk.index().ValidatePartition(&error)) << error;
+    ASSERT_TRUE(dk.index().ValidateEdges(&error)) << error;
+    ASSERT_TRUE(dk.index().ValidateDkConstraint(&error)) << error;
+    EXPECT_EQ(dk.effective_requirement(target), k_target);
+  }
+}
+
+TEST(DkTuningTest, PromoteBatchAnswersWorkloadSoundly) {
+  Rng rng(233);
+  for (int trial = 0; trial < 5; ++trial) {
+    DataGraph g = testing_util::RandomGraph(90, 4, 18, &rng);
+
+    DkIndex dk = DkIndex::Build(&g, {});
+    // Queries of length <= 4 over the promoted index must be exact without
+    // validation once their end labels are promoted to length-1.
+    std::vector<PathExpression> queries;
+    LabelRequirements targets;
+    for (int i = 0; i < 6; ++i) {
+      std::string text = testing_util::RandomChainQuery(
+          g, static_cast<int>(rng.UniformInt(2, 4)), &rng);
+      queries.push_back(testing_util::MustParse(text, g.labels()));
+      const auto& labels = queries.back().chain_labels();
+      int need = static_cast<int>(labels.size()) - 1;
+      auto [it, inserted] = targets.emplace(labels.back(), need);
+      if (!inserted) it->second = std::max(it->second, need);
+    }
+    dk.PromoteBatch(targets);
+
+    for (const auto& q : queries) {
+      EvalStats stats;
+      auto result = EvaluateOnIndex(dk.index(), q, &stats);
+      EXPECT_EQ(result, EvaluateOnDataGraph(g, q)) << q.text();
+      EXPECT_EQ(stats.uncertain_index_nodes, 0) << q.text();
+    }
+    std::string error;
+    ASSERT_TRUE(dk.index().ValidateDkConstraint(&error)) << error;
+  }
+}
+
+TEST(DkTuningTest, PromoteIsIdempotent) {
+  Rng rng(239);
+  DataGraph g = testing_util::RandomGraph(80, 4, 15, &rng);
+  DkIndex dk = DkIndex::Build(&g, {});
+  LabelId target = static_cast<LabelId>(2);
+  dk.PromoteLabel(target, 2);
+  int64_t size = dk.index().NumIndexNodes();
+  dk.PromoteLabel(target, 2);
+  EXPECT_EQ(dk.index().NumIndexNodes(), size);
+  dk.PromoteLabel(target, 1);  // lower target: no-op
+  EXPECT_EQ(dk.index().NumIndexNodes(), size);
+}
+
+TEST(DkTuningTest, PromoteRestoresSoundnessAfterUpdates) {
+  // The "promoting process periodically restores performance" claim: after
+  // edge additions demote local similarities, promoting the workload's
+  // target labels makes its queries exact again (no validation).
+  Rng rng(241);
+  DataGraph g = testing_util::RandomGraph(150, 4, 30, &rng);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(testing_util::RandomChainQuery(
+        g, static_cast<int>(rng.UniformInt(2, 4)), &rng));
+  }
+  LabelRequirements reqs;
+  std::vector<PathExpression> parsed;
+  for (const auto& text : queries) {
+    parsed.push_back(testing_util::MustParse(text, g.labels()));
+    const auto& labels = parsed.back().chain_labels();
+    auto [it, inserted] = reqs.emplace(
+        labels.back(), static_cast<int>(labels.size()) - 1);
+    if (!inserted) {
+      it->second =
+          std::max(it->second, static_cast<int>(labels.size()) - 1);
+    }
+  }
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  for (int i = 0; i < 25; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    dk.AddEdge(u, v);
+  }
+  dk.PromoteBatch(reqs);
+  for (const auto& q : parsed) {
+    EvalStats stats;
+    auto result = EvaluateOnIndex(dk.index(), q, &stats);
+    EXPECT_EQ(result, EvaluateOnDataGraph(g, q)) << q.text();
+    EXPECT_EQ(stats.uncertain_index_nodes, 0)
+        << q.text() << " still needs validation after promotion";
+  }
+  std::string error;
+  EXPECT_TRUE(dk.index().ValidatePartition(&error)) << error;
+  EXPECT_TRUE(dk.index().ValidateEdges(&error)) << error;
+  EXPECT_TRUE(dk.index().ValidateDkConstraint(&error)) << error;
+}
+
+TEST(DkTuningTest, PromoteOnCyclicIndexTerminates) {
+  DataGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("a");
+  g.AddEdge(g.root(), a);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.AddEdge(c, b);  // cycle between a-labeled and b-labeled nodes
+  DkIndex dk = DkIndex::Build(&g, {});
+  dk.PromoteLabel(g.labels().Find("b"), 3);
+  std::string error;
+  EXPECT_TRUE(dk.index().ValidatePartition(&error)) << error;
+  EXPECT_TRUE(dk.index().ValidateEdges(&error)) << error;
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "graph/graph_algos.h"
+#include "index/dk_index.h"
+#include "query/evaluator.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+// The Figure 3 setting: two c-parents with different grandparents, so the
+// d-block's local similarity survives at exactly 1 after a new c -> d edge.
+//
+//   ROOT -> a -> c1 -> d1 -> e
+//   ROOT -> b -> c2 -> d2
+//
+// req(e) = 3 forces (by broadcast) k(d*) = 2, k(c*) = 1, k(a) = k(b) = 0.
+struct Figure3 {
+  DataGraph g;
+  NodeId a, b, c1, c2, d1, d2, e;
+  std::unique_ptr<DkIndex> dk;
+
+  Figure3() {
+    a = g.AddNode("a");
+    b = g.AddNode("b");
+    c1 = g.AddNode("c");
+    c2 = g.AddNode("c");
+    d1 = g.AddNode("d");
+    d2 = g.AddNode("d");
+    e = g.AddNode("e");
+    g.AddEdge(g.root(), a);
+    g.AddEdge(g.root(), b);
+    g.AddEdge(a, c1);
+    g.AddEdge(b, c2);
+    g.AddEdge(c1, d1);
+    g.AddEdge(c2, d2);
+    g.AddEdge(d1, e);
+  }
+
+  void Build() {
+    LabelRequirements reqs;
+    reqs[g.labels().Find("e")] = 3;
+    dk = std::make_unique<DkIndex>(DkIndex::Build(&g, reqs));
+  }
+};
+
+TEST(DkUpdateTest, Figure3ConstructionShape) {
+  Figure3 f;
+  f.Build();
+  const IndexGraph& index = f.dk->index();
+  // c1/c2 split at 1-bisimilarity (different parent labels), d1/d2 split at
+  // 2-bisimilarity (different c-parents).
+  EXPECT_NE(index.index_of(f.c1), index.index_of(f.c2));
+  EXPECT_NE(index.index_of(f.d1), index.index_of(f.d2));
+  EXPECT_EQ(index.k(index.index_of(f.d2)), 2);
+  EXPECT_EQ(index.k(index.index_of(f.c1)), 1);
+  EXPECT_EQ(index.k(index.index_of(f.e)), 3);
+}
+
+TEST(DkUpdateTest, Figure3EdgeAdditionKeepsSimilarityOne) {
+  // New edge c1 -> d2: d2 still has only c-labeled parents, so Algorithm 4
+  // keeps k = 1 (level-2 paths differ: a.c vs b.c), exactly the paper's
+  // Figure 3 narrative.
+  Figure3 f;
+  f.Build();
+  IndexNodeId u_node = f.dk->index().index_of(f.c1);
+  IndexNodeId v_node = f.dk->index().index_of(f.d2);
+  int64_t expanded = 0;
+  EXPECT_EQ(f.dk->UpdateLocalSimilarity(u_node, v_node, &expanded), 1);
+
+  auto stats = f.dk->AddEdge(f.c1, f.d2);
+  EXPECT_EQ(stats.new_local_similarity, 1);
+  EXPECT_EQ(f.dk->index().k(v_node), 1);
+  std::string error;
+  EXPECT_TRUE(f.dk->index().ValidateDkConstraint(&error)) << error;
+  EXPECT_TRUE(f.dk->index().ValidateEdges(&error)) << error;
+}
+
+TEST(DkUpdateTest, Figure3EdgeAdditionWorstCaseDropsToZero) {
+  // New edge a -> d2: label a never was a parent of d2's block, so k drops
+  // to 0, and the demotion wave caps descendants.
+  Figure3 f;
+  f.Build();
+  IndexNodeId u_node = f.dk->index().index_of(f.a);
+  IndexNodeId v_node = f.dk->index().index_of(f.d2);
+  EXPECT_EQ(f.dk->UpdateLocalSimilarity(u_node, v_node, nullptr), 0);
+  f.dk->AddEdge(f.a, f.d2);
+  EXPECT_EQ(f.dk->index().k(v_node), 0);
+  std::string error;
+  EXPECT_TRUE(f.dk->index().ValidateDkConstraint(&error)) << error;
+}
+
+TEST(DkUpdateTest, DemotionWavePropagatesToDescendants) {
+  Figure3 f;
+  f.Build();
+  // Drop d1's block to 0 via a worst-case edge; e (child of d1) must fall
+  // from 3 to at most 1.
+  f.dk->AddEdge(f.b, f.d1);
+  const IndexGraph& index = f.dk->index();
+  EXPECT_EQ(index.k(index.index_of(f.d1)), 0);
+  EXPECT_LE(index.k(index.index_of(f.e)), 1);
+  std::string error;
+  EXPECT_TRUE(index.ValidateDkConstraint(&error)) << error;
+}
+
+TEST(DkUpdateTest, EdgeAdditionNeverChangesIndexSize) {
+  Rng rng(101);
+  DataGraph g = testing_util::RandomGraph(150, 4, 30, &rng);
+  LabelRequirements reqs;
+  for (int i = 0; i < 3; ++i) {
+    reqs[static_cast<LabelId>(rng.UniformInt(2, g.labels().size() - 1))] = 3;
+  }
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  int64_t size = dk.index().NumIndexNodes();
+  for (int i = 0; i < 30; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    dk.AddEdge(u, v);
+    EXPECT_EQ(dk.index().NumIndexNodes(), size);
+  }
+}
+
+TEST(DkUpdateTest, UpdatesPreserveInvariantsAndCorrectness) {
+  Rng rng(103);
+  for (int trial = 0; trial < 5; ++trial) {
+    DataGraph g = testing_util::RandomGraph(80, 4, 15, &rng);
+    LabelRequirements reqs;
+    for (int i = 0; i < 2; ++i) {
+      reqs[static_cast<LabelId>(rng.UniformInt(2, g.labels().size() - 1))] =
+          static_cast<int>(rng.UniformInt(2, 4));
+    }
+    DkIndex dk = DkIndex::Build(&g, reqs);
+    for (int i = 0; i < 10; ++i) {
+      NodeId u = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+      NodeId v = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+      dk.AddEdge(u, v);
+      std::string error;
+      ASSERT_TRUE(dk.index().ValidatePartition(&error)) << error;
+      ASSERT_TRUE(dk.index().ValidateEdges(&error)) << error;
+      ASSERT_TRUE(dk.index().ValidateDkConstraint(&error)) << error;
+    }
+    for (int i = 0; i < 15; ++i) {
+      int len = static_cast<int>(rng.UniformInt(1, 4));
+      std::string text = testing_util::RandomChainQuery(g, len, &rng);
+      PathExpression q = testing_util::MustParse(text, g.labels());
+      EXPECT_EQ(EvaluateOnIndex(dk.index(), q), EvaluateOnDataGraph(g, q))
+          << text;
+    }
+  }
+}
+
+TEST(DkUpdateTest, LocalSimilaritiesStaySound) {
+  // Property 1 of the D(k)-index, re-checked after updates: extent members
+  // of a node with similarity k share identical incoming label-path sets up
+  // to length k (in edges).
+  Rng rng(107);
+  DataGraph g = testing_util::RandomGraph(60, 3, 10, &rng);
+  LabelRequirements reqs;
+  reqs[static_cast<LabelId>(2)] = 3;
+  reqs[static_cast<LabelId>(3)] = 2;
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  for (int i = 0; i < 8; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    dk.AddEdge(u, v);
+  }
+  const IndexGraph& index = dk.index();
+  for (IndexNodeId n = 0; n < index.NumIndexNodes(); ++n) {
+    if (index.extent(n).size() < 2) continue;
+    int k = std::min(index.k(n), 3);
+    for (int edges = 1; edges <= k; ++edges) {
+      std::set<std::vector<LabelId>> expected;
+      bool first = true;
+      for (NodeId member : index.extent(n)) {
+        auto paths = IncomingLabelPaths(g, member, edges + 1, 5000);
+        std::set<std::vector<LabelId>> got(paths.begin(), paths.end());
+        if (first) {
+          expected = std::move(got);
+          first = false;
+        } else {
+          EXPECT_EQ(got, expected)
+              << "index node " << n << " k=" << index.k(n)
+              << " differs at path length " << edges;
+        }
+      }
+    }
+  }
+}
+
+TEST(DkUpdateTest, DuplicateEdgeIsNoOp) {
+  Figure3 f;
+  f.Build();
+  int k_before = f.dk->index().k(f.dk->index().index_of(f.d1));
+  auto stats = f.dk->AddEdge(f.c1, f.d1);  // edge already exists
+  EXPECT_EQ(stats.index_nodes_touched, 0);
+  EXPECT_EQ(f.dk->index().k(f.dk->index().index_of(f.d1)), k_before);
+}
+
+TEST(DkUpdateTest, SubgraphAdditionMatchesFreshConstruction) {
+  Rng rng(109);
+  for (int trial = 0; trial < 5; ++trial) {
+    DataGraph g = testing_util::RandomGraph(60, 4, 10, &rng);
+    DataGraph h = testing_util::RandomGraph(25, 4, 5, &rng);
+    LabelRequirements reqs;
+    reqs[static_cast<LabelId>(rng.UniformInt(2, g.labels().size() - 1))] =
+        static_cast<int>(rng.UniformInt(1, 3));
+
+    // Incremental: Algorithm 3.
+    DataGraph g_inc = g;
+    DkIndex dk = DkIndex::Build(&g_inc, reqs);
+    std::vector<NodeId> mapping = dk.AddSubgraph(h);
+
+    // Fresh: copy H into a copy of G by hand, then build from scratch. The
+    // requirement labels keep their ids (G's label table is a prefix).
+    DataGraph g_fresh = g;
+    {
+      std::vector<NodeId> node_map(static_cast<size_t>(h.NumNodes()));
+      node_map[0] = g_fresh.root();
+      for (NodeId n = 1; n < h.NumNodes(); ++n) {
+        node_map[static_cast<size_t>(n)] =
+            g_fresh.AddNode(h.labels().Name(h.label(n)));
+      }
+      for (NodeId a = 0; a < h.NumNodes(); ++a) {
+        for (NodeId b : h.children(a)) {
+          g_fresh.AddEdge(node_map[static_cast<size_t>(a)],
+                          node_map[static_cast<size_t>(b)]);
+        }
+      }
+    }
+    DkIndex fresh = DkIndex::Build(&g_fresh, reqs);
+
+    // Theorem 2: identical partitions and local similarities.
+    ASSERT_EQ(g_inc.NumNodes(), g_fresh.NumNodes());
+    EXPECT_EQ(dk.index().NumIndexNodes(), fresh.index().NumIndexNodes())
+        << "trial " << trial;
+    std::unordered_map<IndexNodeId, IndexNodeId> block_map;
+    for (NodeId n = 0; n < g_inc.NumNodes(); ++n) {
+      IndexNodeId a = dk.index().index_of(n);
+      IndexNodeId b = fresh.index().index_of(n);
+      auto [it, inserted] = block_map.emplace(a, b);
+      EXPECT_EQ(it->second, b) << "partition mismatch at node " << n;
+      EXPECT_EQ(dk.index().k(a), fresh.index().k(b));
+    }
+    std::string error;
+    ASSERT_TRUE(dk.index().ValidatePartition(&error)) << error;
+    ASSERT_TRUE(dk.index().ValidateEdges(&error)) << error;
+    ASSERT_TRUE(dk.index().ValidateDkConstraint(&error)) << error;
+    (void)mapping;
+  }
+}
+
+TEST(DkUpdateTest, SubgraphAdditionThenQueriesAreCorrect) {
+  Rng rng(113);
+  DataGraph g = testing_util::RandomGraph(80, 4, 15, &rng);
+  DataGraph h = testing_util::RandomGraph(30, 4, 5, &rng);
+  LabelRequirements reqs;
+  reqs[2] = 2;
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  dk.AddSubgraph(h);
+  for (int i = 0; i < 15; ++i) {
+    int len = static_cast<int>(rng.UniformInt(1, 4));
+    std::string text = testing_util::RandomChainQuery(g, len, &rng);
+    PathExpression q = testing_util::MustParse(text, g.labels());
+    EXPECT_EQ(EvaluateOnIndex(dk.index(), q), EvaluateOnDataGraph(g, q))
+        << text;
+  }
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dtd/dtd_generator.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_validator.h"
+#include "graph/graph_algos.h"
+#include "index/dk_index.h"
+#include "query/evaluator.h"
+#include "tests/test_util.h"
+#include "xml/xml_to_graph.h"
+#include "xml/xml_writer.h"
+
+namespace dki {
+namespace {
+
+DtdSchema MustParseDtd(const std::string& text) {
+  DtdSchema schema;
+  std::string error;
+  bool ok = ParseDtd(text, &schema, &error);
+  EXPECT_TRUE(ok) << error;
+  return schema;
+}
+
+TEST(DtdParserTest, ElementKinds) {
+  DtdSchema schema = MustParseDtd(R"(
+    <!ELEMENT a (b, c?, (d | e)*)>
+    <!ELEMENT b EMPTY>
+    <!ELEMENT c ANY>
+    <!ELEMENT d (#PCDATA)>
+    <!ELEMENT e (#PCDATA | b | d)*>
+  )");
+  ASSERT_EQ(schema.declarations.size(), 5u);
+  EXPECT_EQ(schema.Find("a")->content.kind, ContentModel::Kind::kChildren);
+  EXPECT_EQ(AstToString(*schema.Find("a")->content.model),
+            "((b.c?).(d|e)*)");
+  EXPECT_EQ(schema.Find("b")->content.kind, ContentModel::Kind::kEmpty);
+  EXPECT_EQ(schema.Find("c")->content.kind, ContentModel::Kind::kAny);
+  EXPECT_EQ(schema.Find("d")->content.kind, ContentModel::Kind::kPcdata);
+  EXPECT_EQ(schema.Find("e")->content.kind, ContentModel::Kind::kMixed);
+  EXPECT_EQ(AstToString(*schema.Find("e")->content.model), "(b|d)");
+}
+
+TEST(DtdParserTest, Attributes) {
+  DtdSchema schema = MustParseDtd(R"(
+    <!ELEMENT item EMPTY>
+    <!ATTLIST item id       ID              #REQUIRED
+                   ref      IDREF           #IMPLIED
+                   refs     IDREFS          #IMPLIED
+                   note     CDATA           "default text"
+                   kind     (large | small) #REQUIRED
+                   version  CDATA           #FIXED "1.0">
+  )");
+  const ElementDecl* item = schema.Find("item");
+  ASSERT_NE(item, nullptr);
+  ASSERT_EQ(item->attributes.size(), 6u);
+  EXPECT_EQ(item->attributes[0].type, AttributeDecl::Type::kId);
+  EXPECT_EQ(item->attributes[0].default_kind,
+            AttributeDecl::Default::kRequired);
+  EXPECT_EQ(item->attributes[1].type, AttributeDecl::Type::kIdref);
+  EXPECT_EQ(item->attributes[2].type, AttributeDecl::Type::kIdrefs);
+  EXPECT_EQ(item->attributes[3].default_value, "default text");
+  EXPECT_EQ(item->attributes[4].enum_values,
+            (std::vector<std::string>{"large", "small"}));
+  EXPECT_EQ(item->attributes[5].default_kind, AttributeDecl::Default::kFixed);
+  EXPECT_EQ(item->attributes[5].default_value, "1.0");
+}
+
+TEST(DtdParserTest, CommentsAndEntitiesSkipped) {
+  DtdSchema schema = MustParseDtd(R"dtd(
+    <!-- a comment with <!ELEMENT fake (a)> inside -->
+    <!ENTITY % shared "(#PCDATA)">
+    <!ELEMENT real EMPTY>
+  )dtd");
+  EXPECT_EQ(schema.Find("fake"), nullptr);
+  EXPECT_NE(schema.Find("real"), nullptr);
+}
+
+TEST(DtdParserTest, Errors) {
+  DtdSchema schema;
+  std::string error;
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b", &schema, &error));
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a >", &schema, &error));
+  EXPECT_FALSE(ParseDtd("<!ATTLIST a x BOGUS #IMPLIED>", &schema, &error));
+  EXPECT_FALSE(ParseDtd("random text", &schema, &error));
+}
+
+TEST(DtdParserTest, BundledDtdsParse) {
+  for (const char* path : {"data/auction.dtd", "data/nasa.dtd"}) {
+    DtdSchema schema;
+    std::string error;
+    ASSERT_TRUE(ParseDtdFile(path, &schema, &error)) << path << ": " << error;
+    EXPECT_GT(schema.declarations.size(), 30u) << path;
+  }
+}
+
+TEST(DtdGeneratorTest, GeneratedDocumentsValidate) {
+  DtdSchema schema;
+  std::string error;
+  ASSERT_TRUE(ParseDtdFile("data/auction.dtd", &schema, &error)) << error;
+  DtdGeneratorOptions options;
+  options.element_budget = 8000;
+  options.max_repeats = 20;
+  options.p_more = 0.9;
+  options.seed = 7;
+  options.idref_targets = {
+      {"incategory/category", "category"}, {"interest/category", "category"},
+      {"watch/open_auction", "open_auction"}, {"personref/person", "person"},
+      {"seller/person", "person"},         {"buyer/person", "person"},
+      {"author/person", "person"},         {"itemref/item", "item"},
+      {"edge/from", "category"},           {"edge/to", "category"},
+  };
+  XmlDocument doc;
+  ASSERT_TRUE(GenerateFromDtd(schema, "site", options, &doc, &error)) << error;
+  EXPECT_GT(doc.root->CountElements(), 800);
+
+  DtdValidator validator(&schema);
+  std::vector<std::string> violations;
+  bool valid = validator.Validate(doc, &violations);
+  EXPECT_TRUE(valid && violations.empty())
+      << violations.size() << " violations, first: "
+      << (violations.empty() ? std::string() : violations[0]);
+}
+
+TEST(DtdGeneratorTest, NasaDtdRoundTrip) {
+  DtdSchema schema;
+  std::string error;
+  ASSERT_TRUE(ParseDtdFile("data/nasa.dtd", &schema, &error)) << error;
+  DtdGeneratorOptions options;
+  options.element_budget = 2000;
+  options.seed = 11;
+  XmlDocument doc;
+  ASSERT_TRUE(GenerateFromDtd(schema, "datasets", options, &doc, &error))
+      << error;
+  DtdValidator validator(&schema);
+  std::vector<std::string> violations;
+  EXPECT_TRUE(validator.Validate(doc, &violations))
+      << (violations.empty() ? "" : violations[0]);
+
+  // The generated text parses back and indexes end to end.
+  std::string xml = WriteXml(doc);
+  XmlToGraphResult loaded;
+  XmlToGraphOptions graph_options;
+  graph_options.idref_attributes = {"ref"};
+  graph_options.idref_suffix_heuristic = false;
+  ASSERT_TRUE(LoadXmlAsGraph(xml, graph_options, &loaded, &error)) << error;
+  EXPECT_TRUE(AllReachableFromRoot(loaded.graph));
+
+  LabelRequirements reqs;
+  LabelId title = loaded.graph.labels().Find("title");
+  if (title != kInvalidLabel) reqs[title] = 2;
+  DkIndex dk = DkIndex::Build(&loaded.graph, reqs);
+  std::string invariant;
+  EXPECT_TRUE(dk.index().ValidateDkConstraint(&invariant)) << invariant;
+}
+
+TEST(DtdGeneratorTest, BudgetBoundsDocumentSize) {
+  DtdSchema schema = MustParseDtd(R"(
+    <!ELEMENT root (branch*)>
+    <!ELEMENT branch (leaf, branch?)>
+    <!ELEMENT leaf (#PCDATA)>
+  )");
+  DtdGeneratorOptions options;
+  options.element_budget = 50;
+  options.p_more = 0.95;     // try hard to blow up
+  options.p_optional = 0.95;
+  options.max_repeats = 20;
+  XmlDocument doc;
+  std::string error;
+  ASSERT_TRUE(GenerateFromDtd(schema, "root", options, &doc, &error)) << error;
+  // Budget plus the minimal completions of in-flight expansions: well under
+  // twice the budget for this schema.
+  EXPECT_LE(doc.root->CountElements(), 120);
+  DtdValidator validator(&schema);
+  std::vector<std::string> violations;
+  EXPECT_TRUE(validator.Validate(doc, &violations))
+      << (violations.empty() ? "" : violations[0]);
+}
+
+TEST(DtdGeneratorTest, RejectsRequiredRecursion) {
+  DtdSchema schema = MustParseDtd(R"(
+    <!ELEMENT a (b)>
+    <!ELEMENT b (a)>
+  )");
+  XmlDocument doc;
+  std::string error;
+  EXPECT_FALSE(GenerateFromDtd(schema, "a", {}, &doc, &error));
+  EXPECT_NE(error.find("finite"), std::string::npos);
+}
+
+TEST(DtdGeneratorTest, RejectsUnknownRoot) {
+  DtdSchema schema = MustParseDtd("<!ELEMENT a EMPTY>");
+  XmlDocument doc;
+  std::string error;
+  EXPECT_FALSE(GenerateFromDtd(schema, "nosuch", {}, &doc, &error));
+}
+
+TEST(DtdGeneratorTest, Deterministic) {
+  DtdSchema schema;
+  std::string error;
+  ASSERT_TRUE(ParseDtdFile("data/nasa.dtd", &schema, &error)) << error;
+  DtdGeneratorOptions options;
+  options.element_budget = 500;
+  XmlDocument a, b;
+  ASSERT_TRUE(GenerateFromDtd(schema, "datasets", options, &a, &error));
+  ASSERT_TRUE(GenerateFromDtd(schema, "datasets", options, &b, &error));
+  EXPECT_EQ(WriteXml(a), WriteXml(b));
+  options.seed = 2;
+  XmlDocument c;
+  ASSERT_TRUE(GenerateFromDtd(schema, "datasets", options, &c, &error));
+  EXPECT_NE(WriteXml(a), WriteXml(c));
+}
+
+TEST(DtdValidatorTest, CatchesViolations) {
+  DtdSchema schema = MustParseDtd(R"(
+    <!ELEMENT root (a, b?)>
+    <!ELEMENT a EMPTY>
+    <!ATTLIST a id ID #REQUIRED kind (x | y) #IMPLIED>
+    <!ELEMENT b (#PCDATA)>
+  )");
+  DtdValidator validator(&schema);
+
+  struct Case {
+    const char* xml;
+    const char* expect;  // substring of the first violation
+  };
+  const Case cases[] = {
+      {"<root><b>t</b></root>", "violates its content model"},
+      {"<root><a id='1'/><b>t</b><b>t</b></root>", "content model"},
+      {"<root><a/></root>", "missing required attribute"},
+      {"<root><a id='1' kind='z'/></root>", "enumeration"},
+      {"<root><a id='1' bogus='v'/></root>", "undeclared attribute"},
+      {"<root><c/></root>", "undeclared element"},
+      {"<root><a id='1'/><b><a id='2'/></b></root>", "child elements"},
+  };
+  for (const Case& c : cases) {
+    XmlDocument doc;
+    std::string error;
+    ASSERT_TRUE(ParseXml(c.xml, &doc, &error)) << c.xml;
+    std::vector<std::string> violations;
+    EXPECT_FALSE(validator.Validate(doc, &violations)) << c.xml;
+    ASSERT_FALSE(violations.empty()) << c.xml;
+    EXPECT_NE(violations[0].find(c.expect), std::string::npos)
+        << c.xml << " -> " << violations[0];
+  }
+  // And a valid document passes.
+  XmlDocument doc;
+  std::string error;
+  ASSERT_TRUE(
+      ParseXml("<root><a id='1' kind='x'/><b>t</b></root>", &doc, &error));
+  std::vector<std::string> violations;
+  EXPECT_TRUE(validator.Validate(doc, &violations))
+      << (violations.empty() ? "" : violations[0]);
+}
+
+TEST(DtdValidatorTest, IdUniquenessAndIdrefResolution) {
+  DtdSchema schema = MustParseDtd(R"(
+    <!ELEMENT root (a*)>
+    <!ELEMENT a EMPTY>
+    <!ATTLIST a id ID #IMPLIED ref IDREF #IMPLIED>
+  )");
+  DtdValidator validator(&schema);
+  XmlDocument doc;
+  std::string error;
+  ASSERT_TRUE(ParseXml(
+      "<root><a id='x'/><a id='x'/><a ref='missing'/></root>", &doc, &error));
+  std::vector<std::string> violations;
+  EXPECT_FALSE(validator.Validate(doc, &violations));
+  bool saw_dup = false, saw_dangling = false;
+  for (const std::string& v : violations) {
+    saw_dup |= v.find("duplicate ID") != std::string::npos;
+    saw_dangling |= v.find("no matching ID") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_dup);
+  EXPECT_TRUE(saw_dangling);
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,58 @@
+#include "graph/label_table.h"
+
+#include <gtest/gtest.h>
+
+namespace dki {
+namespace {
+
+TEST(LabelTableTest, ReservedLabelsArePreInterned) {
+  LabelTable t;
+  EXPECT_EQ(t.Find("ROOT"), LabelTable::kRootLabel);
+  EXPECT_EQ(t.Find("VALUE"), LabelTable::kValueLabel);
+  EXPECT_EQ(t.Name(LabelTable::kRootLabel), "ROOT");
+  EXPECT_EQ(t.Name(LabelTable::kValueLabel), "VALUE");
+  EXPECT_EQ(t.size(), 2);
+}
+
+TEST(LabelTableTest, InternIsIdempotent) {
+  LabelTable t;
+  LabelId a = t.Intern("movie");
+  LabelId b = t.Intern("movie");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(t.Name(a), "movie");
+}
+
+TEST(LabelTableTest, DistinctNamesGetDistinctIds) {
+  LabelTable t;
+  LabelId a = t.Intern("movie");
+  LabelId b = t.Intern("actor");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.Find("actor"), b);
+}
+
+TEST(LabelTableTest, FindUnknownReturnsInvalid) {
+  LabelTable t;
+  EXPECT_EQ(t.Find("nope"), kInvalidLabel);
+}
+
+TEST(LabelTableTest, ManyLabels) {
+  LabelTable t;
+  for (int i = 0; i < 1000; ++i) {
+    t.Intern("label" + std::to_string(i));
+  }
+  EXPECT_EQ(t.size(), 1002);
+  EXPECT_EQ(t.Name(t.Find("label999")), "label999");
+}
+
+TEST(LabelTableTest, CopySemantics) {
+  LabelTable t;
+  t.Intern("x");
+  LabelTable copy = t;
+  EXPECT_EQ(copy.Find("x"), t.Find("x"));
+  copy.Intern("y");
+  EXPECT_EQ(t.Find("y"), kInvalidLabel);  // deep copy, original untouched
+}
+
+}  // namespace
+}  // namespace dki

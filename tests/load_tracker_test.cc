@@ -1,0 +1,150 @@
+#include "query/load_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/evaluator.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+class LoadTrackerTest : public ::testing::Test {
+ protected:
+  LoadTrackerTest() {
+    a_ = labels_.Intern("a");
+    b_ = labels_.Intern("b");
+    c_ = labels_.Intern("c");
+  }
+
+  void Record(QueryLoadTracker* tracker, const std::string& text,
+              int64_t count) {
+    tracker->Record(testing_util::MustParse(text, labels_), labels_, count);
+  }
+
+  LabelTable labels_;
+  LabelId a_, b_, c_;
+};
+
+TEST_F(LoadTrackerTest, FullCoverageMatchesPaperRule) {
+  QueryLoadTracker tracker;
+  Record(&tracker, "a.b.c", 1);
+  Record(&tracker, "b.c", 99);
+  LabelRequirements reqs = tracker.MineRequirements(1.0);
+  EXPECT_EQ(reqs.at(c_), 2);  // deepest query wins at coverage 1.0
+  EXPECT_EQ(tracker.total_queries(), 100);
+  EXPECT_EQ(tracker.label_traffic(c_), 100);
+}
+
+TEST_F(LoadTrackerTest, PartialCoverageIgnoresRareDeepQueries) {
+  QueryLoadTracker tracker;
+  Record(&tracker, "a.b.c", 1);   // 1% of traffic needs k=2
+  Record(&tracker, "b.c", 99);    // 99% needs k=1
+  LabelRequirements reqs = tracker.MineRequirements(0.95);
+  EXPECT_EQ(reqs.at(c_), 1);  // the rare deep query validates instead
+}
+
+TEST_F(LoadTrackerTest, ZeroRequirementLabelsOmitted) {
+  QueryLoadTracker tracker;
+  Record(&tracker, "c", 50);  // single label: no similarity needed
+  LabelRequirements reqs = tracker.MineRequirements(1.0);
+  EXPECT_TRUE(reqs.empty());
+  EXPECT_EQ(tracker.label_traffic(c_), 50);  // still counted as traffic
+}
+
+TEST_F(LoadTrackerTest, TrafficMixSelectsPerLabelCoverage) {
+  QueryLoadTracker tracker;
+  Record(&tracker, "b.c", 60);
+  Record(&tracker, "a.b.c", 40);
+  EXPECT_EQ(tracker.MineRequirements(0.6).at(c_), 1);
+  EXPECT_EQ(tracker.MineRequirements(0.61).at(c_), 2);
+}
+
+TEST_F(LoadTrackerTest, DecayFadesOldPatterns) {
+  QueryLoadTracker tracker;
+  Record(&tracker, "a.b.c", 4);
+  EXPECT_EQ(tracker.MineRequirements(1.0).at(c_), 2);
+  tracker.Decay(0.1);  // 4 * 0.1 < 1: pattern evicted
+  EXPECT_TRUE(tracker.MineRequirements(1.0).empty());
+  EXPECT_EQ(tracker.total_queries(), 0);
+}
+
+TEST_F(LoadTrackerTest, DecayKeepsHotPatterns) {
+  QueryLoadTracker tracker;
+  Record(&tracker, "a.b.c", 1000);
+  tracker.Decay(0.5);
+  EXPECT_EQ(tracker.MineRequirements(1.0).at(c_), 2);
+  EXPECT_EQ(tracker.total_queries(), 500);
+}
+
+TEST_F(LoadTrackerTest, RegexQueriesAttributeToEndLabels) {
+  QueryLoadTracker tracker;
+  Record(&tracker, "a.a.(b|c)", 10);
+  LabelRequirements reqs = tracker.MineRequirements(1.0);
+  EXPECT_EQ(reqs.at(b_), 2);
+  EXPECT_EQ(reqs.at(c_), 2);
+}
+
+TEST(LoadTrackerAdviseTest, PlansPromotionsAndDemotions) {
+  Rng rng(401);
+  DataGraph g = testing_util::RandomGraph(120, 4, 20, &rng);
+  // Build an index for a shallow load, then record a deeper one.
+  std::string shallow = testing_util::RandomChainQuery(g, 2, &rng);
+  LabelRequirements initial =
+      MineRequirementsFromText({shallow}, g.labels(), nullptr);
+  DkIndex dk = DkIndex::Build(&g, initial);
+
+  QueryLoadTracker tracker;
+  std::string deep;
+  for (int tries = 0; tries < 50 && deep.empty(); ++tries) {
+    std::string candidate = testing_util::RandomChainQuery(g, 4, &rng);
+    PathExpression q = testing_util::MustParse(candidate, g.labels());
+    if (q.chain_labels().size() == 4) deep = candidate;
+  }
+  ASSERT_FALSE(deep.empty());
+  tracker.Record(testing_util::MustParse(deep, g.labels()), g.labels(), 10);
+
+  auto plan = tracker.Advise(dk, 1.0);
+  ASSERT_FALSE(plan.target.empty());
+  // The deep query's end label needs k=3, above anything the shallow index
+  // has, so it must appear in the promotions.
+  PathExpression q = testing_util::MustParse(deep, g.labels());
+  LabelId end = q.chain_labels().back();
+  ASSERT_TRUE(plan.promotions.count(end) > 0);
+  EXPECT_EQ(plan.promotions.at(end), 3);
+
+  // Applying the plan makes the deep query sound without validation.
+  dk.PromoteBatch(plan.promotions);
+  EvalStats stats;
+  EXPECT_EQ(EvaluateOnIndex(dk.index(), q, &stats),
+            EvaluateOnDataGraph(g, q));
+  EXPECT_EQ(stats.uncertain_index_nodes, 0);
+}
+
+TEST(LoadTrackerAdviseTest, DemotableListsOverRefinedLabels) {
+  Rng rng(409);
+  DataGraph g = testing_util::RandomGraph(100, 4, 15, &rng);
+  std::string query;
+  for (int tries = 0; tries < 50 && query.empty(); ++tries) {
+    std::string candidate = testing_util::RandomChainQuery(g, 3, &rng);
+    PathExpression q = testing_util::MustParse(candidate, g.labels());
+    if (q.chain_labels().size() == 3) query = candidate;
+  }
+  ASSERT_FALSE(query.empty());
+  LabelRequirements reqs =
+      MineRequirementsFromText({query}, g.labels(), nullptr);
+  DkIndex dk = DkIndex::Build(&g, reqs);
+
+  // Tracker sees nothing: everything refined is demotable.
+  QueryLoadTracker tracker;
+  auto plan = tracker.Advise(dk, 1.0);
+  EXPECT_TRUE(plan.promotions.empty());
+  EXPECT_FALSE(plan.demotable.empty());
+  dk.Demote(plan.target);  // empty target: back to the label split
+  for (IndexNodeId i = 0; i < dk.index().NumIndexNodes(); ++i) {
+    EXPECT_EQ(dk.index().k(i), 0);
+  }
+}
+
+}  // namespace
+}  // namespace dki

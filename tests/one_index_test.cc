@@ -1,0 +1,68 @@
+#include "index/one_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/partition.h"
+#include "query/evaluator.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+TEST(OneIndexTest, BothAlgorithmsAgree) {
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    DataGraph g = testing_util::RandomGraph(100, 4, 20, &rng);
+    IndexGraph a = OneIndex::Build(&g, OneIndex::Algorithm::kSplitterQueue);
+    IndexGraph b =
+        OneIndex::Build(&g, OneIndex::Algorithm::kIteratedRefinement);
+    EXPECT_EQ(a.NumIndexNodes(), b.NumIndexNodes());
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v = u + 1; v < g.NumNodes(); ++v) {
+        EXPECT_EQ(a.index_of(u) == a.index_of(v),
+                  b.index_of(u) == b.index_of(v));
+      }
+    }
+  }
+}
+
+TEST(OneIndexTest, InfiniteLocalSimilarity) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  IndexGraph index = OneIndex::Build(&g);
+  for (IndexNodeId i = 0; i < index.NumIndexNodes(); ++i) {
+    EXPECT_EQ(index.k(i), IndexGraph::kInfiniteSimilarity);
+  }
+  std::string error;
+  EXPECT_TRUE(index.ValidatePartition(&error)) << error;
+  EXPECT_TRUE(index.ValidateEdges(&error)) << error;
+  EXPECT_TRUE(index.ValidateDkConstraint(&error)) << error;
+}
+
+TEST(OneIndexTest, SoundAndSafeForAnyQuery) {
+  // The 1-index answers any path expression exactly, with no validation.
+  Rng rng(23);
+  DataGraph g = testing_util::RandomGraph(150, 5, 30, &rng);
+  IndexGraph index = OneIndex::Build(&g);
+  for (int i = 0; i < 20; ++i) {
+    int len = static_cast<int>(rng.UniformInt(1, 5));
+    std::string text = testing_util::RandomChainQuery(g, len, &rng);
+    PathExpression q = testing_util::MustParse(text, g.labels());
+    EvalStats truth_stats, index_stats;
+    auto truth = EvaluateOnDataGraph(g, q, &truth_stats);
+    auto result = EvaluateOnIndex(index, q, &index_stats);
+    EXPECT_EQ(result, truth) << text;
+    EXPECT_EQ(index_stats.data_nodes_visited, 0) << text;
+    EXPECT_EQ(index_stats.uncertain_index_nodes, 0) << text;
+  }
+}
+
+TEST(OneIndexTest, NeverLargerThanDataGraph) {
+  Rng rng(29);
+  DataGraph g = testing_util::RandomGraph(200, 3, 50, &rng);
+  IndexGraph index = OneIndex::Build(&g);
+  EXPECT_LE(index.NumIndexNodes(), g.NumNodes());
+}
+
+}  // namespace
+}  // namespace dki

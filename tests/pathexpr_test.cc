@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "pathexpr/ast.h"
+#include "pathexpr/parser.h"
+#include "pathexpr/tokenizer.h"
+
+namespace dki {
+namespace {
+
+std::string ParseToString(const std::string& input) {
+  std::string error;
+  AstPtr ast = ParsePathExpression(input, &error);
+  if (ast == nullptr) return "ERROR: " + error;
+  return AstToString(*ast);
+}
+
+TEST(TokenizerTest, AllTokenKinds) {
+  std::vector<Token> tokens;
+  std::string error;
+  ASSERT_TRUE(Tokenize("a.b|c*d+e?(_)//f", &tokens, &error)) << error;
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kLabel, TokenKind::kDot, TokenKind::kLabel,
+                TokenKind::kPipe, TokenKind::kLabel, TokenKind::kStar,
+                TokenKind::kLabel, TokenKind::kPlus, TokenKind::kLabel,
+                TokenKind::kQuestion, TokenKind::kLParen,
+                TokenKind::kWildcard, TokenKind::kRParen,
+                TokenKind::kDoubleSlash, TokenKind::kLabel,
+                TokenKind::kEnd}));
+}
+
+TEST(TokenizerTest, LabelsWithDigitsAndDashes) {
+  std::vector<Token> tokens;
+  std::string error;
+  ASSERT_TRUE(Tokenize("open_auction.closed-auction2", &tokens, &error));
+  EXPECT_EQ(tokens[0].text, "open_auction");
+  EXPECT_EQ(tokens[2].text, "closed-auction2");
+}
+
+TEST(TokenizerTest, WhitespaceIgnored) {
+  std::vector<Token> tokens;
+  std::string error;
+  ASSERT_TRUE(Tokenize("  a .  b ", &tokens, &error));
+  EXPECT_EQ(tokens.size(), 4u);  // a . b END
+}
+
+TEST(TokenizerTest, SingleSlashRejected) {
+  std::vector<Token> tokens;
+  std::string error;
+  EXPECT_FALSE(Tokenize("a/b", &tokens, &error));
+  EXPECT_NE(error.find("'//'"), std::string::npos);
+}
+
+TEST(TokenizerTest, UnexpectedCharacter) {
+  std::vector<Token> tokens;
+  std::string error;
+  EXPECT_FALSE(Tokenize("a.b$", &tokens, &error));
+  EXPECT_NE(error.find("'$'"), std::string::npos);
+}
+
+TEST(ParserTest, ChainBindsLeft) {
+  EXPECT_EQ(ParseToString("a.b.c"), "((a.b).c)");
+}
+
+TEST(ParserTest, AlternationBindsLoosest) {
+  EXPECT_EQ(ParseToString("a.b|c"), "((a.b)|c)");
+  EXPECT_EQ(ParseToString("a.(b|c)"), "(a.(b|c))");
+}
+
+TEST(ParserTest, PostfixOperators) {
+  EXPECT_EQ(ParseToString("a*"), "a*");
+  EXPECT_EQ(ParseToString("a+?"), "a+?");
+  EXPECT_EQ(ParseToString("(a.b)*"), "(a.b)*");
+}
+
+TEST(ParserTest, WildcardAndOptional) {
+  EXPECT_EQ(ParseToString("movieDB.(_)?.movie"), "((movieDB._?).movie)");
+}
+
+TEST(ParserTest, DescendantDesugarsToWildcardStar) {
+  EXPECT_EQ(ParseToString("a//b"), "(a.(_*.b))");
+  EXPECT_EQ(ParseToString("//name"), "name");  // leading // is a no-op
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_NE(ParseToString("a.").find("ERROR"), std::string::npos);
+  EXPECT_NE(ParseToString("(a"). find("ERROR"), std::string::npos);
+  EXPECT_NE(ParseToString("|a").find("ERROR"), std::string::npos);
+  EXPECT_NE(ParseToString("a b").find("ERROR"), std::string::npos);
+  EXPECT_NE(ParseToString("").find("ERROR"), std::string::npos);
+  EXPECT_NE(ParseToString("*a").find("ERROR"), std::string::npos);
+}
+
+TEST(AstTest, IsLabelChain) {
+  std::string error;
+  std::vector<std::string> labels;
+  AstPtr chain = ParsePathExpression("director.movie.title", &error);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_TRUE(IsLabelChain(*chain, &labels));
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"director", "movie", "title"}));
+
+  labels.clear();
+  AstPtr not_chain = ParsePathExpression("a.b*", &error);
+  ASSERT_NE(not_chain, nullptr);
+  EXPECT_FALSE(IsLabelChain(*not_chain, &labels));
+}
+
+TEST(AstTest, FactoryShapes) {
+  AstPtr n = AstNode::Alt(AstNode::Label("x"),
+                          AstNode::Star(AstNode::Wildcard()));
+  EXPECT_EQ(AstToString(*n), "(x|_*)");
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,161 @@
+#include "io/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.h"
+#include "datagen/xmark_generator.h"
+#include "query/evaluator.h"
+#include "query/load_analyzer.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+TEST(SerializationTest, GraphRoundTrip) {
+  Rng rng(501);
+  DataGraph g = testing_util::RandomGraph(200, 5, 40, &rng);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveGraph(g, &out));
+
+  std::istringstream in(out.str());
+  DataGraph loaded;
+  std::string error;
+  ASSERT_TRUE(LoadGraph(&in, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.NumNodes(), g.NumNodes());
+  ASSERT_EQ(loaded.NumEdges(), g.NumEdges());
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_EQ(loaded.label_name(n), g.label_name(n));
+    EXPECT_EQ(loaded.children(n), g.children(n));
+  }
+}
+
+TEST(SerializationTest, IndexRoundTrip) {
+  Rng rng(503);
+  DataGraph g = testing_util::RandomGraph(150, 4, 25, &rng);
+  LabelRequirements reqs;
+  reqs[2] = 2;
+  reqs[3] = 3;
+  DkIndex dk = DkIndex::Build(&g, reqs);
+
+  std::ostringstream out;
+  ASSERT_TRUE(SaveIndex(dk.index(), &out));
+  std::istringstream in(out.str());
+  IndexGraph loaded(&g);
+  std::string error;
+  ASSERT_TRUE(LoadIndex(&in, &g, &loaded, &error)) << error;
+
+  ASSERT_EQ(loaded.NumIndexNodes(), dk.index().NumIndexNodes());
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_EQ(loaded.index_of(n), dk.index().index_of(n));
+  }
+  for (IndexNodeId i = 0; i < loaded.NumIndexNodes(); ++i) {
+    EXPECT_EQ(loaded.k(i), dk.index().k(i));
+    EXPECT_EQ(loaded.label(i), dk.index().label(i));
+  }
+  EXPECT_TRUE(loaded.ValidateEdges(&error)) << error;  // adjacency rederived
+}
+
+TEST(SerializationTest, DkIndexRoundTripPreservesBehavior) {
+  XmarkOptions options;
+  options.scale = 0.1;
+  DataGraph g = GenerateXmarkGraph(options).graph;
+  Rng rng(505);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(testing_util::RandomChainQuery(
+        g, static_cast<int>(rng.UniformInt(2, 4)), &rng));
+  }
+  LabelRequirements reqs =
+      MineRequirementsFromText(queries, g.labels(), nullptr);
+  DkIndex dk = DkIndex::Build(&g, reqs);
+
+  std::ostringstream out;
+  ASSERT_TRUE(SaveDkIndex(dk, &out));
+  std::istringstream in(out.str());
+  DataGraph loaded_graph;
+  std::string error;
+  auto loaded = LoadDkIndex(&in, &loaded_graph, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  // Identical answers and identical tuning semantics after the round trip.
+  for (const std::string& text : queries) {
+    PathExpression q = testing_util::MustParse(text, loaded_graph.labels());
+    PathExpression q0 = testing_util::MustParse(text, g.labels());
+    EXPECT_EQ(EvaluateOnIndex(loaded->index(), q),
+              EvaluateOnIndex(dk.index(), q0))
+        << text;
+  }
+  for (LabelId l = 0; l < g.labels().size(); ++l) {
+    EXPECT_EQ(loaded->effective_requirement(l), dk.effective_requirement(l));
+  }
+  // The loaded index keeps working as a live index: updates still apply.
+  auto edges = loaded_graph.NodesWithLabel(
+      loaded_graph.labels().Find("person"));
+  ASSERT_FALSE(edges.empty());
+  loaded->AddEdge(edges.front(), edges.back());
+  std::string invariant;
+  EXPECT_TRUE(loaded->index().ValidateDkConstraint(&invariant)) << invariant;
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  Rng rng(507);
+  DataGraph g = testing_util::RandomGraph(80, 3, 10, &rng);
+  DkIndex dk = DkIndex::Build(&g, {{2, 2}});
+  const std::string path = "/tmp/dki_serialization_test.dki";
+  ASSERT_TRUE(SaveDkIndexToFile(dk, path));
+  DataGraph loaded_graph;
+  std::string error;
+  auto loaded = LoadDkIndexFromFile(path, &loaded_graph, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->index().NumIndexNodes(), dk.index().NumIndexNodes());
+}
+
+TEST(SerializationTest, RejectsCorruptInput) {
+  struct Case {
+    const char* name;
+    const char* data;
+  };
+  const Case cases[] = {
+      {"empty", ""},
+      {"bad magic", "dki-blob v1\nlabels 2\nROOT\nVALUE\n"},
+      {"bad version", "dki-graph v2\n"},
+      {"missing labels", "dki-graph v1\nnodes 1\n0\nedges 0\n"},
+      {"root not ROOT",
+       "dki-graph v1\nlabels 3\nROOT\nVALUE\na\nnodes 1\n2\nedges 0\n"},
+      {"edge out of range",
+       "dki-graph v1\nlabels 2\nROOT\nVALUE\nnodes 1\n0\nedges 1\n0 5\n"},
+      {"truncated edges",
+       "dki-graph v1\nlabels 2\nROOT\nVALUE\nnodes 1\n0\nedges 3\n"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream in(c.data);
+    DataGraph g;
+    std::string error;
+    EXPECT_FALSE(LoadGraph(&in, &g, &error)) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+  }
+}
+
+TEST(SerializationTest, RejectsCorruptIndex) {
+  DataGraph g;
+  NodeId a = g.AddNode("a");
+  (void)a;
+  const char* bad_cases[] = {
+      "dki-index v1\nindex_nodes 1\n",                    // truncated
+      "dki-index v1\nindex_nodes 1\n0 0 1 5\n",           // member range
+      "dki-index v1\nindex_nodes 1\n0 0 2 0 0\n",         // duplicate member
+      "dki-index v1\nindex_nodes 1\n2 0 2 0 1\n",         // label mismatch
+      "dki-index v1\nindex_nodes 1\n0 0 1 0\n",           // node 1 missing
+  };
+  for (const char* data : bad_cases) {
+    std::istringstream in(data);
+    IndexGraph index(&g);
+    std::string error;
+    EXPECT_FALSE(LoadIndex(&in, &g, &index, &error)) << data;
+  }
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,156 @@
+#include "twig/twig.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "index/ak_index.h"
+#include "index/fb_index.h"
+#include "index/one_index.h"
+#include "query/evaluator.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+TwigQuery MustParseTwig(const std::string& text, const LabelTable& labels) {
+  std::string error;
+  auto query = TwigQuery::Parse(text, labels, &error);
+  EXPECT_TRUE(query.has_value()) << text << ": " << error;
+  return std::move(*query);
+}
+
+TEST(TwigParseTest, StepsAndPredicates) {
+  LabelTable labels;
+  labels.Intern("a");
+  labels.Intern("b");
+  labels.Intern("c");
+  TwigQuery q = MustParseTwig("a[b][c.b].b[_].c", labels);
+  EXPECT_EQ(q.num_steps(), 3u);
+
+  std::string error;
+  EXPECT_FALSE(TwigQuery::Parse("", labels, &error).has_value());
+  EXPECT_FALSE(TwigQuery::Parse("a[", labels, &error).has_value());
+  EXPECT_FALSE(TwigQuery::Parse("a[]", labels, &error).has_value());
+  EXPECT_FALSE(TwigQuery::Parse("a[b]x", labels, &error).has_value());
+  EXPECT_FALSE(TwigQuery::Parse("a[b..c]", labels, &error).has_value());
+  EXPECT_FALSE(TwigQuery::Parse("a..b", labels, &error).has_value());
+}
+
+TEST(TwigEvalTest, MovieDbBranchingQueries) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  const LabelTable& labels = g.labels();
+
+  // Titles of movies that also have an actor child: only the actor's own
+  // movie (with a nested actor) qualifies.
+  TwigQuery q1 = MustParseTwig("movie[actor].title", labels);
+  auto r1 = q1.EvaluateOnDataGraph(g);
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(g.label_name(r1[0]), "title");
+
+  // Directors that have a movie with a title: all directors.
+  TwigQuery q2 = MustParseTwig("director[movie.title]", labels);
+  EXPECT_EQ(q2.EvaluateOnDataGraph(g).size(), 2u);
+
+  // Without predicates a twig is a plain chain: agrees with the path
+  // evaluator.
+  TwigQuery q3 = MustParseTwig("director.movie.title", labels);
+  PathExpression p3 =
+      testing_util::MustParse("director.movie.title", labels);
+  EXPECT_EQ(q3.EvaluateOnDataGraph(g), EvaluateOnDataGraph(g, p3));
+
+  // Regular-expression predicates: movies with some name below any child.
+  TwigQuery q4 = MustParseTwig("movie[_*.name]", labels);
+  auto r4 = q4.EvaluateOnDataGraph(g);
+  EXPECT_EQ(r4.size(), 1u);  // only the movie containing an actor
+
+  // Wildcard steps.
+  TwigQuery q5 = MustParseTwig("movieDB._[movie]", labels);
+  auto r5 = q5.EvaluateOnDataGraph(g);
+  std::set<std::string> names;
+  for (NodeId n : r5) names.insert(g.label_name(n));
+  EXPECT_EQ(names, (std::set<std::string>{"director", "actor"}));
+}
+
+TEST(TwigEvalTest, FbIndexIsExactForTwigs) {
+  Rng rng(811);
+  for (int trial = 0; trial < 6; ++trial) {
+    DataGraph g = testing_util::RandomGraph(80 + trial * 20, 4, 15, &rng);
+    IndexGraph fb = FbIndex::Build(&g);
+
+    for (int i = 0; i < 10; ++i) {
+      // Random chain with a random existential predicate on a middle step.
+      std::string chain = testing_util::RandomChainQuery(g, 3, &rng);
+      auto dot = chain.find('.');
+      if (dot == std::string::npos) continue;
+      std::string pred = testing_util::RandomChainQuery(g, 2, &rng);
+      std::string text = chain.substr(0, dot) + "[" + pred + "]" +
+                         chain.substr(dot);
+      TwigQuery twig = MustParseTwig(text, g.labels());
+      EXPECT_EQ(twig.EvaluateOnIndex(fb), twig.EvaluateOnDataGraph(g))
+          << text;
+    }
+  }
+}
+
+TEST(TwigEvalTest, BackwardOnlyIndexesAreSafeButNotExact) {
+  Rng rng(821);
+  // Safety: the 1-index twig answer always contains the truth.
+  bool saw_overapproximation = false;
+  for (int trial = 0; trial < 10; ++trial) {
+    DataGraph g = testing_util::RandomGraph(60, 3, 12, &rng);
+    IndexGraph one = OneIndex::Build(&g);
+    for (int i = 0; i < 10; ++i) {
+      std::string base = testing_util::RandomChainQuery(g, 2, &rng);
+      std::string pred = testing_util::RandomChainQuery(g, 2, &rng);
+      auto dot = base.find('.');
+      std::string text =
+          dot == std::string::npos
+              ? base + "[" + pred + "]"
+              : base.substr(0, dot) + "[" + pred + "]" + base.substr(dot);
+      TwigQuery twig = MustParseTwig(text, g.labels());
+      auto truth = twig.EvaluateOnDataGraph(g);
+      auto raw = twig.EvaluateOnIndex(one);
+      for (NodeId n : truth) {
+        ASSERT_TRUE(std::binary_search(raw.begin(), raw.end(), n)) << text;
+      }
+      saw_overapproximation |= raw.size() > truth.size();
+    }
+  }
+  // Across this many random twigs the backward-only 1-index must have
+  // over-approximated at least once — the reason the F&B index exists.
+  EXPECT_TRUE(saw_overapproximation);
+}
+
+TEST(TwigEvalTest, UnknownLabelsAndDeadSteps) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  TwigQuery q = MustParseTwig("nosuchlabel[movie]", g.labels());
+  EXPECT_TRUE(q.EvaluateOnDataGraph(g).empty());
+  TwigQuery q2 = MustParseTwig("movie[nosuchlabel]", g.labels());
+  EXPECT_TRUE(q2.EvaluateOnDataGraph(g).empty());
+}
+
+TEST(TwigEvalTest, NullablePredicateIsTriviallyTrue) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  TwigQuery with = MustParseTwig("movie[title?]", g.labels());
+  TwigQuery without = MustParseTwig("movie", g.labels());
+  EXPECT_EQ(with.EvaluateOnDataGraph(g), without.EvaluateOnDataGraph(g));
+}
+
+TEST(TwigEvalTest, PredicateOnCyclicGraphTerminates) {
+  DataGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  g.AddEdge(g.root(), a);
+  g.AddEdge(a, b);
+  g.AddEdge(b, a);
+  TwigQuery q = MustParseTwig("a[b.a.b.a.b]", g.labels());
+  EXPECT_EQ(q.EvaluateOnDataGraph(g), (std::vector<NodeId>{a}));
+  TwigQuery q2 = MustParseTwig("a[(b.a)*.b.c]", g.labels());
+  EXPECT_TRUE(q2.EvaluateOnDataGraph(g).empty());
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,140 @@
+#include "query/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+#include "datagen/xmark_generator.h"
+#include "query/evaluator.h"
+#include "query/load_analyzer.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedCountAndLengths) {
+  XmarkOptions options;
+  options.scale = 0.2;
+  DataGraph g = GenerateXmarkGraph(options).graph;
+  Rng rng(1);
+  WorkloadOptions wopts;
+  wopts.num_queries = 100;
+  Workload w = GenerateWorkload(g, wopts, &rng);
+  EXPECT_EQ(w.queries.size(), 100u);
+  std::set<std::string> unique(w.queries.begin(), w.queries.end());
+  EXPECT_EQ(unique.size(), w.queries.size());
+  for (const std::string& q : w.queries) {
+    size_t len = StrSplit(q, '.').size();
+    EXPECT_GE(len, 2u) << q;
+    EXPECT_LE(len, 5u) << q;
+  }
+}
+
+TEST(WorkloadTest, QueriesParseAndHaveNonEmptyResults) {
+  XmarkOptions options;
+  options.scale = 0.1;
+  DataGraph g = GenerateXmarkGraph(options).graph;
+  Rng rng(2);
+  WorkloadOptions wopts;
+  wopts.num_queries = 50;
+  Workload w = GenerateWorkload(g, wopts, &rng);
+  for (const std::string& text : w.queries) {
+    PathExpression q = testing_util::MustParse(text, g.labels());
+    EXPECT_FALSE(EvaluateOnDataGraph(g, q).empty()) << text;
+  }
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  Rng rng_g(3);
+  DataGraph g = testing_util::RandomGraph(300, 6, 50, &rng_g);
+  WorkloadOptions wopts;
+  wopts.num_queries = 30;
+  Rng r1(77), r2(77), r3(78);
+  Workload w1 = GenerateWorkload(g, wopts, &r1);
+  Workload w2 = GenerateWorkload(g, wopts, &r2);
+  Workload w3 = GenerateWorkload(g, wopts, &r3);
+  EXPECT_EQ(w1.queries, w2.queries);
+  EXPECT_NE(w1.queries, w3.queries);
+}
+
+TEST(WorkloadTest, ExcludesRootAndValueByDefault) {
+  Rng rng_g(4);
+  DataGraph g = testing_util::RandomGraph(200, 4, 30, &rng_g);
+  Rng rng(5);
+  Workload w = GenerateWorkload(g, {}, &rng);
+  for (const std::string& q : w.queries) {
+    EXPECT_EQ(q.find("ROOT"), std::string::npos) << q;
+    EXPECT_EQ(q.find("VALUE"), std::string::npos) << q;
+  }
+}
+
+TEST(LoadAnalyzerTest, ChainRequirementIsLengthMinusOne) {
+  LabelTable labels;
+  LabelId a = labels.Intern("a");
+  LabelId b = labels.Intern("b");
+  LabelId c = labels.Intern("c");
+  std::vector<PathExpression> queries = {
+      testing_util::MustParse("a.b.c", labels),  // req(c) = 2
+      testing_util::MustParse("b.c", labels),    // req(c) = 1 (max kept)
+      testing_util::MustParse("a.b", labels),    // req(b) = 1
+  };
+  LabelRequirements reqs = MineRequirements(queries, labels);
+  EXPECT_EQ(reqs.at(c), 2);
+  EXPECT_EQ(reqs.at(b), 1);
+  EXPECT_EQ(reqs.count(a), 0u);  // never a query target
+}
+
+TEST(LoadAnalyzerTest, SingleLabelQueryNeedsNoSimilarity) {
+  LabelTable labels;
+  LabelId a = labels.Intern("a");
+  std::vector<PathExpression> queries = {
+      testing_util::MustParse("a", labels)};
+  LabelRequirements reqs = MineRequirements(queries, labels);
+  EXPECT_EQ(reqs.count(a), 0u);  // length 1 => requirement 0 => omitted
+}
+
+TEST(LoadAnalyzerTest, UnboundedQueriesClampToMax) {
+  LabelTable labels;
+  labels.Intern("a");
+  LabelId b = labels.Intern("b");
+  std::vector<PathExpression> queries = {
+      testing_util::MustParse("a//b", labels)};
+  LoadAnalyzerOptions options;
+  options.max_requirement = 4;
+  LabelRequirements reqs = MineRequirements(queries, labels, options);
+  EXPECT_EQ(reqs.at(b), 4);
+}
+
+TEST(LoadAnalyzerTest, AlternationRaisesAllEndLabels) {
+  LabelTable labels;
+  labels.Intern("a");
+  LabelId b = labels.Intern("b");
+  LabelId c = labels.Intern("c");
+  std::vector<PathExpression> queries = {
+      testing_util::MustParse("a.a.(b|c)", labels)};
+  LabelRequirements reqs = MineRequirements(queries, labels);
+  EXPECT_EQ(reqs.at(b), 2);
+  EXPECT_EQ(reqs.at(c), 2);
+}
+
+TEST(LoadAnalyzerTest, FromTextSkipsAndReportsBadQueries) {
+  LabelTable labels;
+  LabelId b = labels.Intern("b");
+  std::vector<std::string> errors;
+  LabelRequirements reqs = MineRequirementsFromText(
+      {"a.b", "((broken", "x..y"}, labels, &errors);
+  EXPECT_EQ(reqs.at(b), 1);
+  EXPECT_EQ(errors.size(), 2u);
+}
+
+TEST(LoadAnalyzerTest, UnknownLabelsIgnored) {
+  LabelTable labels;
+  labels.Intern("a");
+  LabelRequirements reqs =
+      MineRequirementsFromText({"a.zzz"}, labels, nullptr);
+  EXPECT_TRUE(reqs.empty());  // zzz not in the data: no requirement
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,136 @@
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_writer.h"
+
+namespace dki {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  XmlDocument doc;
+  std::string error;
+  ASSERT_TRUE(ParseXml("<root/>", &doc, &error)) << error;
+  EXPECT_EQ(doc.root->tag, "root");
+  EXPECT_TRUE(doc.root->children.empty());
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  XmlDocument doc;
+  std::string error;
+  ASSERT_TRUE(ParseXml("<a><b>hello</b><c><d/></c></a>", &doc, &error))
+      << error;
+  ASSERT_EQ(doc.root->children.size(), 2u);
+  EXPECT_EQ(doc.root->children[0]->tag, "b");
+  EXPECT_EQ(doc.root->children[0]->text, "hello");
+  EXPECT_EQ(doc.root->children[1]->children[0]->tag, "d");
+  EXPECT_EQ(doc.root->CountElements(), 4);
+}
+
+TEST(XmlParserTest, Attributes) {
+  XmlDocument doc;
+  std::string error;
+  ASSERT_TRUE(ParseXml(
+      "<item id=\"item0\" category='cat &amp; dog'><name>x</name></item>",
+      &doc, &error))
+      << error;
+  ASSERT_EQ(doc.root->attributes.size(), 2u);
+  EXPECT_EQ(doc.root->attributes[0].first, "id");
+  EXPECT_EQ(doc.root->attributes[0].second, "item0");
+  EXPECT_EQ(doc.root->attributes[1].second, "cat & dog");
+  EXPECT_EQ(*doc.root->FindAttribute("id"), "item0");
+  EXPECT_EQ(doc.root->FindAttribute("missing"), nullptr);
+}
+
+TEST(XmlParserTest, PrologCommentsDoctypePis) {
+  XmlDocument doc;
+  std::string error;
+  const char* xml =
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- a comment -->\n"
+      "<!DOCTYPE site SYSTEM \"auction.dtd\" [ <!ENTITY x \"y\"> ]>\n"
+      "<?pi data?>\n"
+      "<site><!-- inner --><a/><?inner-pi?></site>\n";
+  ASSERT_TRUE(ParseXml(xml, &doc, &error)) << error;
+  EXPECT_EQ(doc.root->tag, "site");
+  ASSERT_EQ(doc.root->children.size(), 1u);
+}
+
+TEST(XmlParserTest, CdataSection) {
+  XmlDocument doc;
+  std::string error;
+  ASSERT_TRUE(
+      ParseXml("<a><![CDATA[raw <unparsed> & data]]></a>", &doc, &error))
+      << error;
+  EXPECT_EQ(doc.root->text, "raw <unparsed> & data");
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  EXPECT_EQ(DecodeEntities("a &lt; b &amp;&amp; c &gt; d"), "a < b && c > d");
+  EXPECT_EQ(DecodeEntities("&quot;q&quot; &apos;a&apos;"), "\"q\" 'a'");
+  EXPECT_EQ(DecodeEntities("&#65;&#x42;"), "AB");
+  EXPECT_EQ(DecodeEntities("&#233;"), "\xC3\xA9");  // é as UTF-8
+  EXPECT_EQ(DecodeEntities("&unknown; &"), "&unknown; &");
+}
+
+TEST(XmlParserTest, EscapeRoundTrip) {
+  std::string raw = "a<b>&\"c'";
+  EXPECT_EQ(DecodeEntities(EscapeXml(raw)), raw);
+}
+
+TEST(XmlParserTest, ErrorMismatchedTags) {
+  XmlDocument doc;
+  std::string error;
+  EXPECT_FALSE(ParseXml("<a><b></a></b>", &doc, &error));
+  EXPECT_NE(error.find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParserTest, ErrorUnterminated) {
+  XmlDocument doc;
+  std::string error;
+  EXPECT_FALSE(ParseXml("<a><b>", &doc, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(XmlParserTest, ErrorContentAfterRoot) {
+  XmlDocument doc;
+  std::string error;
+  EXPECT_FALSE(ParseXml("<a/><b/>", &doc, &error));
+  EXPECT_NE(error.find("after root"), std::string::npos);
+}
+
+TEST(XmlParserTest, ErrorGarbage) {
+  XmlDocument doc;
+  std::string error;
+  EXPECT_FALSE(ParseXml("not xml at all", &doc, &error));
+}
+
+TEST(XmlWriterTest, RoundTripPreservesStructure) {
+  const char* xml =
+      "<site><item id=\"i0\"><name>lamp &amp; shade</name></item>"
+      "<person id=\"p0\" age='3'/></site>";
+  XmlDocument doc;
+  std::string error;
+  ASSERT_TRUE(ParseXml(xml, &doc, &error)) << error;
+
+  std::string serialized = WriteXml(doc);
+  XmlDocument doc2;
+  ASSERT_TRUE(ParseXml(serialized, &doc2, &error)) << error << "\n"
+                                                   << serialized;
+  EXPECT_EQ(doc2.root->CountElements(), doc.root->CountElements());
+  EXPECT_EQ(doc2.root->children[0]->children[0]->text, "lamp & shade");
+  EXPECT_EQ(*doc2.root->children[1]->FindAttribute("age"), "3");
+}
+
+TEST(XmlWriterTest, CompactMode) {
+  XmlDocument doc;
+  std::string error;
+  ASSERT_TRUE(ParseXml("<a><b/></a>", &doc, &error));
+  XmlWriteOptions options;
+  options.pretty = false;
+  options.prolog = false;
+  EXPECT_EQ(WriteXml(doc, options), "<a><b/></a>\n");
+}
+
+}  // namespace
+}  // namespace dki

@@ -1,0 +1,106 @@
+#include "xml/xml_to_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.h"
+
+namespace dki {
+namespace {
+
+XmlToGraphResult Load(const std::string& xml, const XmlToGraphOptions& opts) {
+  XmlToGraphResult result;
+  std::string error;
+  bool ok = LoadXmlAsGraph(xml, opts, &result, &error);
+  EXPECT_TRUE(ok) << error;
+  return result;
+}
+
+TEST(XmlToGraphTest, ElementsBecomeLabeledNodes) {
+  XmlToGraphResult r = Load("<db><movie><title>t</title></movie></db>", {});
+  const DataGraph& g = r.graph;
+  // ROOT -> db -> movie -> title -> VALUE
+  EXPECT_EQ(g.NumNodes(), 5);
+  EXPECT_EQ(g.NumEdges(), 4);
+  LabelId title = g.labels().Find("title");
+  ASSERT_NE(title, kInvalidLabel);
+  NodeId t = g.NodesWithLabel(title)[0];
+  EXPECT_EQ(g.label(g.children(t)[0]), LabelTable::kValueLabel);
+}
+
+TEST(XmlToGraphTest, IdIdrefBecomesReferenceEdge) {
+  XmlToGraphResult r = Load(
+      "<db><item id=\"i1\"/><link idref=\"i1\"/></db>", {});
+  const DataGraph& g = r.graph;
+  NodeId item = g.NodesWithLabel(g.labels().Find("item"))[0];
+  NodeId link = g.NodesWithLabel(g.labels().Find("link"))[0];
+  EXPECT_TRUE(g.HasEdge(link, item));
+  EXPECT_EQ(r.dangling_refs, 0);
+  EXPECT_EQ(r.ids.at("i1"), item);
+}
+
+TEST(XmlToGraphTest, IdrefSuffixHeuristic) {
+  XmlToGraphOptions opts;
+  opts.idref_suffix_heuristic = true;
+  XmlToGraphResult r = Load(
+      "<db><person id=\"p\"/><seller personref=\"p\"/></db>", opts);
+  const DataGraph& g = r.graph;
+  NodeId person = g.NodesWithLabel(g.labels().Find("person"))[0];
+  NodeId seller = g.NodesWithLabel(g.labels().Find("seller"))[0];
+  EXPECT_TRUE(g.HasEdge(seller, person));
+}
+
+TEST(XmlToGraphTest, CustomIdrefAttributeNames) {
+  XmlToGraphOptions opts;
+  opts.idref_attributes = {"person"};
+  opts.idref_suffix_heuristic = false;
+  XmlToGraphResult r = Load(
+      "<db><person id=\"p0\"/><bidder><personref person=\"p0\"/></bidder>"
+      "</db>",
+      opts);
+  const DataGraph& g = r.graph;
+  NodeId person = g.NodesWithLabel(g.labels().Find("person"))[0];
+  NodeId pref = g.NodesWithLabel(g.labels().Find("personref"))[0];
+  EXPECT_TRUE(g.HasEdge(pref, person));
+}
+
+TEST(XmlToGraphTest, IdrefsListResolvesAllTargets) {
+  XmlToGraphResult r = Load(
+      "<db><a id=\"x\"/><a id=\"y\"/><m idref=\"x y\"/></db>", {});
+  const DataGraph& g = r.graph;
+  NodeId m = g.NodesWithLabel(g.labels().Find("m"))[0];
+  EXPECT_EQ(g.children(m).size(), 2u);
+}
+
+TEST(XmlToGraphTest, DanglingRefCounted) {
+  XmlToGraphResult r = Load("<db><m idref=\"missing\"/></db>", {});
+  EXPECT_EQ(r.dangling_refs, 1);
+}
+
+TEST(XmlToGraphTest, ValueNodesOptional) {
+  XmlToGraphOptions opts;
+  opts.value_nodes = false;
+  XmlToGraphResult r = Load("<db><t>text</t></db>", opts);
+  EXPECT_EQ(r.graph.NumNodes(), 3);  // ROOT, db, t — no VALUE
+}
+
+TEST(XmlToGraphTest, AttributesAsChildren) {
+  XmlToGraphOptions opts;
+  opts.attributes_as_children = true;
+  XmlToGraphResult r = Load("<db><item color=\"red\"/></db>", opts);
+  const DataGraph& g = r.graph;
+  LabelId color = g.labels().Find("color");
+  ASSERT_NE(color, kInvalidLabel);
+  NodeId c = g.NodesWithLabel(color)[0];
+  NodeId item = g.NodesWithLabel(g.labels().Find("item"))[0];
+  EXPECT_TRUE(g.HasEdge(item, c));
+  EXPECT_EQ(g.label(g.children(c)[0]), LabelTable::kValueLabel);
+}
+
+TEST(XmlToGraphTest, GraphIsFullyReachable) {
+  XmlToGraphResult r = Load(
+      "<db><a id=\"1\"><b/></a><c idref=\"1\"><d>txt</d></c></db>", {});
+  EXPECT_TRUE(AllReachableFromRoot(r.graph));
+}
+
+}  // namespace
+}  // namespace dki

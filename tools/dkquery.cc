@@ -1,0 +1,286 @@
+// dkquery — command-line front end for the library.
+//
+//   dkquery stats <file.xml>
+//       Parse an XML file and print data-graph statistics plus the sizes of
+//       the whole index family (A(0..4), D(k) untuned, 1-index, F&B).
+//
+//   dkquery query <file.xml> <expr> [expr ...] [--index=one|a<k>|dk|none]
+//       Evaluate path expressions. --index=dk tunes a D(k)-index to the
+//       given expressions first (they are its query load); `none` evaluates
+//       directly on the data graph. Default: dk.
+//
+//   dkquery build <file.xml> <out.dki> <expr> [expr ...]
+//       Build a D(k)-index tuned to the expressions and persist graph +
+//       index + requirements to <out.dki>.
+//
+//   dkquery run <index.dki> <expr> [expr ...]
+//       Load a persisted index and evaluate the expressions on it.
+//
+// Exit status: 0 on success, 1 on usage/input errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/graph_algos.h"
+#include "index/ak_index.h"
+#include "index/dk_index.h"
+#include "index/fb_index.h"
+#include "index/one_index.h"
+#include "io/serialization.h"
+#include "query/evaluator.h"
+#include "query/load_analyzer.h"
+#include "xml/xml_to_graph.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dkquery stats <file.xml>\n"
+               "       dkquery query <file.xml> <expr>... [--index=MODE]\n"
+               "       dkquery build <file.xml> <out.dki> <expr>...\n"
+               "       dkquery run <index.dki> <expr>...\n"
+               "MODE: dk (default), one, a0..a9, none\n");
+  return 1;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "dkquery: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool LoadXml(const std::string& path, dki::DataGraph* graph) {
+  std::string xml;
+  if (!ReadFile(path, &xml)) return false;
+  dki::XmlToGraphResult result;
+  std::string error;
+  if (!dki::LoadXmlAsGraph(xml, {}, &result, &error)) {
+    std::fprintf(stderr, "dkquery: XML error in %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  if (result.dangling_refs > 0) {
+    std::fprintf(stderr, "dkquery: warning: %lld dangling IDREFs dropped\n",
+                 static_cast<long long>(result.dangling_refs));
+  }
+  *graph = std::move(result.graph);
+  return true;
+}
+
+std::vector<dki::PathExpression> ParseQueries(
+    const std::vector<std::string>& texts, const dki::LabelTable& labels,
+    bool* ok) {
+  std::vector<dki::PathExpression> out;
+  *ok = true;
+  for (const std::string& text : texts) {
+    std::string error;
+    auto q = dki::PathExpression::Parse(text, labels, &error);
+    if (!q.has_value()) {
+      std::fprintf(stderr, "dkquery: bad expression '%s': %s\n", text.c_str(),
+                   error.c_str());
+      *ok = false;
+      continue;
+    }
+    out.push_back(std::move(*q));
+  }
+  return out;
+}
+
+void PrintResult(const dki::PathExpression& query,
+                 const std::vector<dki::NodeId>& result,
+                 const dki::EvalStats& stats) {
+  std::printf("%s: %zu nodes, cost=%lld", query.text().c_str(), result.size(),
+              static_cast<long long>(stats.cost()));
+  if (stats.uncertain_index_nodes > 0) {
+    std::printf(" (validated %lld candidates)",
+                static_cast<long long>(stats.validated_candidates));
+  }
+  std::printf("\n  ids:");
+  size_t shown = std::min<size_t>(result.size(), 20);
+  for (size_t i = 0; i < shown; ++i) std::printf(" %d", result[i]);
+  if (shown < result.size()) std::printf(" ... (%zu more)",
+                                         result.size() - shown);
+  std::printf("\n");
+}
+
+int CmdStats(const std::string& path) {
+  dki::DataGraph g;
+  if (!LoadXml(path, &g)) return 1;
+  dki::GraphStats s = dki::ComputeStats(g);
+  std::printf("file:            %s\n", path.c_str());
+  std::printf("nodes:           %lld\n", static_cast<long long>(s.num_nodes));
+  std::printf("edges:           %lld (%lld references)\n",
+              static_cast<long long>(s.num_edges),
+              static_cast<long long>(s.num_non_tree_edges));
+  std::printf("labels:          %lld\n", static_cast<long long>(s.num_labels));
+  std::printf("depth:           %d\n", s.max_depth);
+  std::printf("avg out-degree:  %.2f\n\n", s.avg_out_degree);
+
+  std::printf("%-14s %12s %10s\n", "index", "nodes", "build_ms");
+  for (int k = 0; k <= 4; ++k) {
+    dki::DataGraph copy = g;
+    dki::WallTimer timer;
+    dki::AkIndex ak = dki::AkIndex::Build(&copy, k);
+    std::printf("%-14s %12lld %10.1f\n",
+                ("A(" + std::to_string(k) + ")").c_str(),
+                static_cast<long long>(ak.index().NumIndexNodes()),
+                timer.ElapsedMillis());
+  }
+  {
+    dki::DataGraph copy = g;
+    dki::WallTimer timer;
+    dki::DkIndex dk = dki::DkIndex::Build(&copy, {});
+    std::printf("%-14s %12lld %10.1f\n", "D(k) untuned",
+                static_cast<long long>(dk.index().NumIndexNodes()),
+                timer.ElapsedMillis());
+  }
+  {
+    dki::DataGraph copy = g;
+    dki::WallTimer timer;
+    dki::IndexGraph one = dki::OneIndex::Build(&copy);
+    std::printf("%-14s %12lld %10.1f\n", "1-index",
+                static_cast<long long>(one.NumIndexNodes()),
+                timer.ElapsedMillis());
+  }
+  {
+    dki::DataGraph copy = g;
+    dki::WallTimer timer;
+    dki::IndexGraph fb = dki::FbIndex::Build(&copy);
+    std::printf("%-14s %12lld %10.1f\n", "F&B",
+                static_cast<long long>(fb.NumIndexNodes()),
+                timer.ElapsedMillis());
+  }
+  return 0;
+}
+
+int CmdQuery(const std::string& path, const std::vector<std::string>& texts,
+             const std::string& mode) {
+  dki::DataGraph g;
+  if (!LoadXml(path, &g)) return 1;
+  bool ok = false;
+  auto queries = ParseQueries(texts, g.labels(), &ok);
+  if (!ok || queries.empty()) return 1;
+
+  std::unique_ptr<dki::AkIndex> ak;
+  std::unique_ptr<dki::DkIndex> dk;
+  std::unique_ptr<dki::IndexGraph> one;
+  const dki::IndexGraph* index = nullptr;
+  if (mode == "dk") {
+    dki::LabelRequirements reqs = dki::MineRequirements(queries, g.labels());
+    dk = std::make_unique<dki::DkIndex>(dki::DkIndex::Build(&g, reqs));
+    index = &dk->index();
+  } else if (mode == "one") {
+    one = std::make_unique<dki::IndexGraph>(dki::OneIndex::Build(&g));
+    index = one.get();
+  } else if (mode.size() >= 2 && mode[0] == 'a' &&
+             std::isdigit(static_cast<unsigned char>(mode[1]))) {
+    ak = std::make_unique<dki::AkIndex>(
+        dki::AkIndex::Build(&g, std::atoi(mode.c_str() + 1)));
+    index = &ak->index();
+  } else if (mode != "none") {
+    std::fprintf(stderr, "dkquery: unknown --index mode '%s'\n", mode.c_str());
+    return 1;
+  }
+  if (index != nullptr) {
+    std::printf("index: %s, %lld nodes\n\n", mode.c_str(),
+                static_cast<long long>(index->NumIndexNodes()));
+  }
+
+  for (const auto& q : queries) {
+    dki::EvalStats stats;
+    auto result = index != nullptr
+                      ? dki::EvaluateOnIndex(*index, q, &stats)
+                      : dki::EvaluateOnDataGraph(g, q, &stats);
+    PrintResult(q, result, stats);
+  }
+  return 0;
+}
+
+int CmdBuild(const std::string& xml_path, const std::string& out_path,
+             const std::vector<std::string>& texts) {
+  dki::DataGraph g;
+  if (!LoadXml(xml_path, &g)) return 1;
+  bool ok = false;
+  auto queries = ParseQueries(texts, g.labels(), &ok);
+  if (!ok) return 1;
+  dki::LabelRequirements reqs = dki::MineRequirements(queries, g.labels());
+  dki::DkIndex dk = dki::DkIndex::Build(&g, reqs);
+  if (!dki::SaveDkIndexToFile(dk, out_path)) {
+    std::fprintf(stderr, "dkquery: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("built D(k)-index: %lld index nodes over %lld data nodes -> %s\n",
+              static_cast<long long>(dk.index().NumIndexNodes()),
+              static_cast<long long>(g.NumNodes()), out_path.c_str());
+  return 0;
+}
+
+int CmdRun(const std::string& index_path,
+           const std::vector<std::string>& texts) {
+  dki::DataGraph g;
+  std::string error;
+  auto dk = dki::LoadDkIndexFromFile(index_path, &g, &error);
+  if (!dk.has_value()) {
+    std::fprintf(stderr, "dkquery: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %lld index nodes over %lld data nodes\n\n",
+              index_path.c_str(),
+              static_cast<long long>(dk->index().NumIndexNodes()),
+              static_cast<long long>(g.NumNodes()));
+  bool ok = false;
+  auto queries = ParseQueries(texts, g.labels(), &ok);
+  if (!ok) return 1;
+  for (const auto& q : queries) {
+    dki::EvalStats stats;
+    auto result = dki::EvaluateOnIndex(dk->index(), q, &stats);
+    PrintResult(q, result, stats);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string& command = args[0];
+
+  std::string mode = "dk";
+  std::vector<std::string> positional;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i].rfind("--index=", 0) == 0) {
+      mode = args[i].substr(8);
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+
+  if (command == "stats" && positional.size() == 1) {
+    return CmdStats(positional[0]);
+  }
+  if (command == "query" && positional.size() >= 2) {
+    return CmdQuery(positional[0],
+                    {positional.begin() + 1, positional.end()}, mode);
+  }
+  if (command == "build" && positional.size() >= 3) {
+    return CmdBuild(positional[0], positional[1],
+                    {positional.begin() + 2, positional.end()});
+  }
+  if (command == "run" && positional.size() >= 2) {
+    return CmdRun(positional[0], {positional.begin() + 1, positional.end()});
+  }
+  return Usage();
+}
