@@ -2,15 +2,19 @@
 // the index family — A(k) for k = 0..5, the 1-index via both engines
 // (splitter queue vs iterated refinement), and D(k) with workload-mined
 // requirements (reporting the broadcast's share). Also sweeps the demoting
-// process to show Theorem 2 quotienting is much cheaper than rebuilding.
+// process to show Theorem 2 quotienting is much cheaper than rebuilding,
+// and the parallel-engine thread sweep (1/2/4/8 lanes) for EXPERIMENTS.md's
+// construction-scaling table.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "index/ak_index.h"
+#include "index/build_options.h"
 #include "index/dk_index.h"
 #include "index/one_index.h"
 
@@ -85,6 +89,68 @@ void RunConstruction(Dataset dataset) {
   std::printf("\n");
 }
 
+// Construction-scaling sweep for the parallel refinement engine
+// (src/index/parallel_refine.h): the same builds at 1/2/4/8 lanes,
+// reporting speedup over the sequential engine. Numbers are only
+// meaningful on a machine with that many cores — the sweep prints the
+// hardware concurrency so EXPERIMENTS.md rows are interpretable.
+void RunThreadSweep(Dataset dataset) {
+  PrintDatasetBanner(dataset);
+  std::printf("hardware threads: %d\n", ThreadPool::HardwareConcurrency());
+  std::printf("%-22s %8s %12s %12s %9s\n", "construction", "threads",
+              "index_nodes", "time_ms", "speedup");
+
+  const int kThreads[] = {1, 2, 4, 8};
+
+  std::vector<PathExpression> workload =
+      MakeWorkload(dataset.graph, 100, 20030609);
+  LabelRequirements reqs =
+      MineWorkloadRequirements(workload, dataset.graph.labels());
+
+  double dk_base_ms = 0.0;
+  for (int threads : kThreads) {
+    DataGraph copy = dataset.graph;
+    WallTimer timer;
+    DkIndex dk = DkIndex::Build(&copy, reqs,
+                                BuildOptions{.num_threads = threads});
+    double ms = timer.ElapsedMillis();
+    if (threads == 1) dk_base_ms = ms;
+    std::printf("%-22s %8d %12lld %12.1f %8.2fx\n", "D(k)(mined reqs)",
+                threads,
+                static_cast<long long>(dk.index().NumIndexNodes()), ms,
+                ms > 0 ? dk_base_ms / ms : 0.0);
+  }
+
+  double ak_base_ms = 0.0;
+  for (int threads : kThreads) {
+    DataGraph copy = dataset.graph;
+    WallTimer timer;
+    AkIndex ak =
+        AkIndex::Build(&copy, 4, BuildOptions{.num_threads = threads});
+    double ms = timer.ElapsedMillis();
+    if (threads == 1) ak_base_ms = ms;
+    std::printf("%-22s %8d %12lld %12.1f %8.2fx\n", "A(4)", threads,
+                static_cast<long long>(ak.index().NumIndexNodes()), ms,
+                ms > 0 ? ak_base_ms / ms : 0.0);
+  }
+
+  double one_base_ms = 0.0;
+  for (int threads : kThreads) {
+    DataGraph copy = dataset.graph;
+    WallTimer timer;
+    IndexGraph one =
+        OneIndex::Build(&copy, OneIndex::Algorithm::kIteratedRefinement,
+                        BuildOptions{.num_threads = threads});
+    double ms = timer.ElapsedMillis();
+    if (threads == 1) one_base_ms = ms;
+    std::printf("%-22s %8d %12lld %12.1f %8.2fx\n", "1-index(fixpoint)",
+                threads,
+                static_cast<long long>(one.NumIndexNodes()), ms,
+                ms > 0 ? one_base_ms / ms : 0.0);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace dki
@@ -93,5 +159,7 @@ int main() {
   double scale = dki::bench::ScaleFromEnv();
   dki::bench::RunConstruction(dki::bench::MakeXmark(scale * 6.0));
   dki::bench::RunConstruction(dki::bench::MakeNasa(scale * 6.0));
+  dki::bench::RunThreadSweep(dki::bench::MakeXmark(scale * 6.0));
+  dki::bench::RunThreadSweep(dki::bench::MakeNasa(scale * 6.0));
   return 0;
 }

@@ -1,0 +1,127 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dki {
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads == 0 ? HardwareConcurrency()
+                                    : std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::vector<int64_t> ThreadPool::ChunkBounds(int64_t total, int num_chunks) {
+  DKI_CHECK_GE(total, 0);
+  num_chunks = static_cast<int>(
+      std::clamp<int64_t>(num_chunks, 1, std::max<int64_t>(total, 1)));
+  std::vector<int64_t> bounds(static_cast<size_t>(num_chunks) + 1);
+  // Distribute the remainder over the leading chunks: sizes differ by at
+  // most one, and depend only on (total, num_chunks).
+  int64_t base = total / num_chunks;
+  int64_t extra = total % num_chunks;
+  bounds[0] = 0;
+  for (int c = 0; c < num_chunks; ++c) {
+    bounds[static_cast<size_t>(c) + 1] =
+        bounds[static_cast<size_t>(c)] + base + (c < extra ? 1 : 0);
+  }
+  return bounds;
+}
+
+int ThreadPool::NumChunks(int64_t total) const {
+  if (total <= 0) return 1;
+  constexpr int kChunksPerLane = 4;  // headroom for skewed per-item cost
+  return static_cast<int>(std::min<int64_t>(
+      total, static_cast<int64_t>(num_threads_) * kChunksPerLane));
+}
+
+void ThreadPool::ParallelFor(int64_t total, const ChunkBody& body) {
+  ParallelFor(total, NumChunks(total), body);
+}
+
+void ThreadPool::ParallelFor(int64_t total, int num_chunks,
+                             const ChunkBody& body) {
+  DKI_CHECK_GE(total, 0);
+  if (total == 0) return;
+
+  Job job;
+  job.body = &body;
+  job.bounds = ChunkBounds(total, num_chunks);
+  job.num_chunks = static_cast<int>(job.bounds.size()) - 1;
+
+  if (num_threads_ <= 1) {
+    // Inline sequential execution; exceptions propagate naturally.
+    for (int c = 0; c < job.num_chunks; ++c) {
+      body(c, job.bounds[static_cast<size_t>(c)],
+           job.bounds[static_cast<size_t>(c) + 1]);
+    }
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  DKI_CHECK(job_ == nullptr);  // reentrant ParallelFor is not supported
+  job_ = &job;
+  ++job_generation_;
+  work_cv_.notify_all();
+
+  // The calling thread is lane 0: it claims chunks like any worker, then
+  // waits for stragglers.
+  RunChunks(&lock);
+  done_cv_.wait(lock, [&] { return job.chunks_done == job.num_chunks; });
+  job_ = nullptr;
+  std::exception_ptr first = job.first_exception;
+  lock.unlock();
+
+  if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::RunChunks(std::unique_lock<std::mutex>* lock) {
+  Job* job = job_;
+  while (job->next_chunk < job->num_chunks) {
+    int c = job->next_chunk++;
+    lock->unlock();
+    std::exception_ptr ep;
+    try {
+      (*job->body)(c, job->bounds[static_cast<size_t>(c)],
+                   job->bounds[static_cast<size_t>(c) + 1]);
+    } catch (...) {
+      ep = std::current_exception();
+    }
+    lock->lock();
+    if (ep && !job->first_exception) job->first_exception = ep;
+    if (++job->chunks_done == job->num_chunks) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_generation = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && job_generation_ != seen_generation);
+    });
+    if (shutdown_) return;
+    seen_generation = job_generation_;
+    RunChunks(&lock);
+  }
+}
+
+}  // namespace dki

@@ -1,0 +1,106 @@
+#ifndef DKINDEX_COMMON_THREAD_POOL_H_
+#define DKINDEX_COMMON_THREAD_POOL_H_
+
+// A small reusable worker pool with a deterministic chunked parallel-for —
+// the substrate of the parallel partition-refinement engine
+// (src/index/parallel_refine.h).
+//
+// Design constraints, in order:
+//   1. Determinism. ParallelFor splits [0, total) into *contiguous* chunks
+//      whose boundaries depend only on (total, num_chunks) — never on
+//      scheduling. Callers that reduce per-chunk results in chunk-index
+//      order therefore get bit-identical output run-to-run and
+//      thread-count-to-thread-count.
+//   2. Reuse. Workers are spawned once and parked on a condition variable;
+//      a refinement build issues one ParallelFor per round, so per-call
+//      thread spawning would dominate small rounds.
+//   3. Exception safety. The project itself does not throw (see
+//      common/logging.h), but user-supplied bodies may; the first exception
+//      is captured and rethrown on the calling thread after the loop
+//      drains, leaving the pool reusable.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dki {
+
+class ThreadPool {
+ public:
+  // A pool with `num_threads` total lanes of parallelism, *including* the
+  // thread that calls ParallelFor: num_threads - 1 workers are spawned.
+  // num_threads <= 1 spawns nothing and runs every body inline (the
+  // sequential engine, with zero synchronization overhead).
+  // num_threads == 0 means HardwareConcurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // max(1, std::thread::hardware_concurrency()).
+  static int HardwareConcurrency();
+
+  // The body of a ParallelFor: called once per chunk with the chunk index
+  // and the half-open item range [begin, end).
+  using ChunkBody = std::function<void(int chunk, int64_t begin, int64_t end)>;
+
+  // Runs `body` over [0, total) split into exactly NumChunks(total)
+  // contiguous chunks (in-order item coverage; chunk c covers items before
+  // chunk c+1). Chunks are claimed dynamically by the workers plus the
+  // calling thread, so the *execution* order is nondeterministic — only the
+  // chunk boundaries are fixed. Blocks until every chunk body has returned;
+  // rethrows the first exception thrown by any body. Reentrant calls (a
+  // body calling ParallelFor on the same pool) are not supported.
+  void ParallelFor(int64_t total, const ChunkBody& body);
+
+  // Same, with an explicit chunk count (clamped to [1, total]; total == 0
+  // runs nothing). Use when per-chunk state is reduced afterwards and the
+  // caller wants to size that state, or to oversplit for load balancing.
+  void ParallelFor(int64_t total, int num_chunks, const ChunkBody& body);
+
+  // The default chunk count for `total` items: enough chunks per lane that
+  // dynamic claiming smooths skewed per-item cost, never more chunks than
+  // items. Deterministic in (total, num_threads()).
+  int NumChunks(int64_t total) const;
+
+  // The boundaries ParallelFor(total, num_chunks, ...) uses: chunk c is
+  // [bounds[c], bounds[c + 1]). Exposed so reductions can re-derive ranges.
+  static std::vector<int64_t> ChunkBounds(int64_t total, int num_chunks);
+
+ private:
+  struct Job {
+    const ChunkBody* body = nullptr;
+    std::vector<int64_t> bounds;        // ChunkBounds(total, num_chunks)
+    int num_chunks = 0;
+    int next_chunk = 0;                 // guarded by mu_
+    int chunks_done = 0;                // guarded by mu_
+    std::exception_ptr first_exception; // guarded by mu_
+  };
+
+  // Claims and runs chunks of job_ until none remain. Returns with mu_ held
+  // by the caller released/reacquired internally.
+  void RunChunks(std::unique_lock<std::mutex>* lock);
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a job / shutdown
+  std::condition_variable done_cv_;   // caller waits for chunks_done
+  Job* job_ = nullptr;                // current job, null when idle
+  uint64_t job_generation_ = 0;       // bumped per job so workers wake once
+  bool shutdown_ = false;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_COMMON_THREAD_POOL_H_

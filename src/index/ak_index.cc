@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "index/parallel_refine.h"
 #include "index/partition.h"
 
 namespace dki {
@@ -14,10 +16,17 @@ namespace dki {
 AkIndex::AkIndex(DataGraph* graph, int k, IndexGraph index)
     : graph_(graph), k_(k), index_(std::move(index)) {}
 
-AkIndex AkIndex::Build(DataGraph* graph, int k) {
+AkIndex AkIndex::Build(DataGraph* graph, int k, const BuildOptions& options) {
   DKI_CHECK(graph != nullptr);
   DKI_CHECK_GE(k, 0);
-  Partition p = ComputeKBisimulation(*graph, k);
+  int num_threads = options.ResolvedNumThreads();
+  Partition p;
+  if (num_threads > 1) {
+    ThreadPool pool(num_threads);
+    p = ParallelComputeKBisimulation(*graph, k, pool);
+  } else {
+    p = ComputeKBisimulation(*graph, k);
+  }
   std::vector<int> block_k(static_cast<size_t>(p.num_blocks), k);
   IndexGraph index =
       IndexGraph::FromPartition(graph, p.block_of, p.num_blocks, block_k);

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "graph/data_graph.h"
+#include "index/build_options.h"
 #include "index/index_graph.h"
 
 namespace dki {
@@ -19,8 +20,10 @@ namespace dki {
 class AkIndex {
  public:
   // Builds the A(k)-index over `*graph`. The graph is borrowed and mutable:
-  // AddEdgeBaseline() inserts edges into it.
-  static AkIndex Build(DataGraph* graph, int k);
+  // AddEdgeBaseline() inserts edges into it. `options.num_threads` selects
+  // the refinement engine; both engines produce the identical index.
+  static AkIndex Build(DataGraph* graph, int k,
+                       const BuildOptions& options = {});
 
   AkIndex(const AkIndex&) = default;
   AkIndex& operator=(const AkIndex&) = default;

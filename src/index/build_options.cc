@@ -1,0 +1,18 @@
+#include "index/build_options.h"
+
+#include <cstdlib>
+
+#include "common/thread_pool.h"
+
+namespace dki {
+
+int BuildOptions::ResolvedNumThreads() const {
+  if (num_threads > 0) return num_threads;
+  if (const char* env = std::getenv("DKI_NUM_THREADS")) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return ThreadPool::HardwareConcurrency();
+}
+
+}  // namespace dki

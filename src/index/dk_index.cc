@@ -65,11 +65,19 @@ std::vector<int> DkIndex::EffectiveRequirements(const DataGraph& g,
                                     std::move(initial));
 }
 
-DkIndex DkIndex::Build(DataGraph* graph, const LabelRequirements& reqs) {
+DkIndex DkIndex::Build(DataGraph* graph, const LabelRequirements& reqs,
+                       const BuildOptions& options) {
   DKI_CHECK(graph != nullptr);
   std::vector<int> effective = EffectiveRequirements(*graph, reqs);
   std::vector<int> block_k;
-  Partition p = BuildDkPartition(*graph, effective, &block_k);
+  int num_threads = options.ResolvedNumThreads();
+  Partition p;
+  if (num_threads > 1) {
+    ThreadPool pool(num_threads);
+    p = ParallelBuildDkPartition(*graph, effective, &block_k, pool);
+  } else {
+    p = BuildDkPartition(*graph, effective, &block_k);
+  }
   IndexGraph index =
       IndexGraph::FromPartition(graph, p.block_of, p.num_blocks, block_k);
   return DkIndex(graph, std::move(index), std::move(effective));

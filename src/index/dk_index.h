@@ -5,8 +5,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/data_graph.h"
+#include "index/build_options.h"
 #include "index/index_graph.h"
+#include "index/parallel_refine.h"
 #include "index/partition.h"
 
 namespace dki {
@@ -29,19 +32,27 @@ std::vector<int> BroadcastLabelRequirements(
     std::vector<int> initial);
 
 // Builds the label-adjacency (parents per label) of `g`'s label-split graph.
+// A lazily allocated per-child-label seen bitmap keeps the dedup O(1) per
+// parent edge — O(edges + labels²) total instead of the O(parents²)-per-node
+// linear rescan of the adjacency list (which collapsed on high-fanin labels
+// like XMark's person/item reference targets).
 template <typename GraphT>
 std::vector<std::vector<LabelId>> ComputeLabelParents(const GraphT& g,
                                                       int64_t num_labels) {
   std::vector<std::vector<LabelId>> parents(
       static_cast<size_t>(num_labels));
+  std::vector<std::vector<char>> seen(static_cast<size_t>(num_labels));
   for (int64_t n = 0; n < g.NumNodes(); ++n) {
     LabelId child = g.label(static_cast<int32_t>(n));
     auto& list = parents[static_cast<size_t>(child)];
+    auto& mark = seen[static_cast<size_t>(child)];
+    if (mark.empty()) mark.resize(static_cast<size_t>(num_labels), 0);
     for (int32_t p : g.parents(static_cast<int32_t>(n))) {
       LabelId pl = g.label(p);
-      bool present = false;
-      for (LabelId existing : list) present |= (existing == pl);
-      if (!present) list.push_back(pl);
+      if (!mark[static_cast<size_t>(pl)]) {
+        mark[static_cast<size_t>(pl)] = 1;
+        list.push_back(pl);
+      }
     }
   }
   return parents;
@@ -55,7 +66,8 @@ std::vector<std::vector<LabelId>> ComputeLabelParents(const GraphT& g,
 template <typename GraphT>
 Partition BuildDkPartition(const GraphT& g,
                            const std::vector<int>& effective_req,
-                           std::vector<int>* block_k) {
+                           std::vector<int>* block_k,
+                           ThreadPool* pool = nullptr) {
   Partition p = LabelSplit(g);
   int kmax = 0;
   for (LabelId l : p.block_label) {
@@ -71,13 +83,28 @@ Partition BuildDkPartition(const GraphT& g,
       any |= refine[static_cast<size_t>(b)];
     }
     if (!any) break;
-    p = RefineOnce(g, p, refine);
+    p = pool != nullptr ? ParallelRefineOnce(g, p, refine, *pool)
+                        : RefineOnce(g, p, refine);
   }
   block_k->clear();
   for (LabelId l : p.block_label) {
     block_k->push_back(effective_req[static_cast<size_t>(l)]);
   }
   return p;
+}
+
+// The parallel D(k) construction: identical round schedule, with each
+// round's signature computation fanned out over `pool`. D(k)'s
+// requirement-ordered rounds parallelize safely because round r reads only
+// the round-r-1 partition — the per-block refine mask depends on labels,
+// which are round-invariant (see docs/ALGORITHMS.md). Produces the
+// identical partition (block numbering included) to the sequential engine.
+template <typename GraphT>
+Partition ParallelBuildDkPartition(const GraphT& g,
+                                   const std::vector<int>& effective_req,
+                                   std::vector<int>* block_k,
+                                   ThreadPool& pool) {
+  return BuildDkPartition(g, effective_req, block_k, &pool);
 }
 
 // The D(k)-index (the paper's core contribution): an index graph whose nodes
@@ -94,7 +121,10 @@ class DkIndex {
  public:
   // Builds the D(k)-index over `*graph` for the given query-load
   // requirements. The graph is borrowed and mutable (updates insert into it).
-  static DkIndex Build(DataGraph* graph, const LabelRequirements& reqs);
+  // `options.num_threads` selects the refinement engine (sequential or
+  // parallel); both produce the identical index.
+  static DkIndex Build(DataGraph* graph, const LabelRequirements& reqs,
+                       const BuildOptions& options = {});
 
   DkIndex(const DkIndex&) = default;
   DkIndex& operator=(const DkIndex&) = default;

@@ -1,14 +1,24 @@
 #include "index/one_index.h"
 
+#include "common/thread_pool.h"
 #include "index/paige_tarjan.h"
+#include "index/parallel_refine.h"
 #include "index/partition.h"
 
 namespace dki {
 
-IndexGraph OneIndex::Build(const DataGraph* graph, Algorithm algorithm) {
-  Partition p = algorithm == Algorithm::kSplitterQueue
-                    ? CoarsestStablePartition(*graph)
-                    : ComputeFullBisimulation(*graph);
+IndexGraph OneIndex::Build(const DataGraph* graph, Algorithm algorithm,
+                           const BuildOptions& options) {
+  Partition p;
+  if (algorithm == Algorithm::kSplitterQueue) {
+    p = CoarsestStablePartition(*graph);
+  } else if (int num_threads = options.ResolvedNumThreads();
+             num_threads > 1) {
+    ThreadPool pool(num_threads);
+    p = ParallelComputeFullBisimulation(*graph, pool);
+  } else {
+    p = ComputeFullBisimulation(*graph);
+  }
   std::vector<int> block_k(static_cast<size_t>(p.num_blocks),
                            IndexGraph::kInfiniteSimilarity);
   return IndexGraph::FromPartition(graph, p.block_of, p.num_blocks, block_k);

@@ -2,6 +2,7 @@
 #define DKINDEX_INDEX_ONE_INDEX_H_
 
 #include "graph/data_graph.h"
+#include "index/build_options.h"
 #include "index/index_graph.h"
 
 namespace dki {
@@ -17,8 +18,13 @@ class OneIndex {
   };
 
   // Builds the 1-index over `graph` (borrowed; must outlive the result).
+  // `options.num_threads` parallelizes the kIteratedRefinement engine; the
+  // splitter queue is inherently sequential (its worklist order is the
+  // algorithm) and ignores the knob. All engine/thread combinations
+  // produce the same partition (splitter queue up to renumbering).
   static IndexGraph Build(const DataGraph* graph,
-                          Algorithm algorithm = Algorithm::kSplitterQueue);
+                          Algorithm algorithm = Algorithm::kSplitterQueue,
+                          const BuildOptions& options = {});
 };
 
 }  // namespace dki

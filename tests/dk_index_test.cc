@@ -12,6 +12,36 @@
 namespace dki {
 namespace {
 
+TEST(ComputeLabelParentsTest, HighFaninLabelDeduplicates) {
+  // One target label with thousands of same-labeled parents: the per-label
+  // seen-mark must collapse them to a single adjacency entry (the old
+  // linear rescan was O(parents²) per node on exactly this shape).
+  DataGraph g;
+  NodeId hub = g.AddNode("hub");
+  g.AddEdge(g.root(), hub);
+  std::vector<NodeId> fans;
+  for (int i = 0; i < 4000; ++i) {
+    NodeId fan = g.AddNode("fan");
+    g.AddEdgeUnchecked(g.root(), fan);
+    g.AddEdgeUnchecked(fan, hub);
+  }
+  // A second child label under the fans, sharing the seen-marks per label.
+  NodeId leaf = g.AddNode("leaf");
+  g.AddEdgeUnchecked(g.AddNode("fan"), leaf);
+  g.AddEdgeUnchecked(g.root(), leaf);
+
+  auto parents = ComputeLabelParents(g, g.labels().size());
+  LabelId hub_l = g.label(hub);
+  LabelId fan_l = g.labels().Find("fan");
+  // hub's parents collapse to exactly {ROOT, fan} despite 4000 fan edges.
+  ASSERT_EQ(parents[static_cast<size_t>(hub_l)].size(), 2u);
+  EXPECT_EQ(parents[static_cast<size_t>(hub_l)][0], g.label(g.root()));
+  EXPECT_EQ(parents[static_cast<size_t>(hub_l)][1], fan_l);
+  // fan's parents: ROOT only (the extra fan node has no parent edge from
+  // another label).
+  EXPECT_EQ(parents[static_cast<size_t>(fan_l)].size(), 1u);
+}
+
 TEST(BroadcastTest, PaperRule) {
   // Labels: 0 -> 1 (0 is parent of 1). If req(1) = 2 and req(0) = 0, the
   // broadcast must raise req(0) to 1 (the Section 4.2 example).

@@ -1,0 +1,126 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dki {
+namespace {
+
+TEST(ThreadPoolTest, ChunkBoundsCoverRangeContiguously) {
+  for (int64_t total : {0, 1, 5, 7, 100, 101}) {
+    for (int chunks : {1, 2, 3, 8, 200}) {
+      std::vector<int64_t> bounds = ThreadPool::ChunkBounds(total, chunks);
+      ASSERT_GE(bounds.size(), 2u);
+      EXPECT_EQ(bounds.front(), 0);
+      EXPECT_EQ(bounds.back(), total);
+      for (size_t i = 1; i < bounds.size(); ++i) {
+        EXPECT_LE(bounds[i - 1], bounds[i]);
+        // Sizes differ by at most one (deterministic balanced split).
+        if (total > 0) {
+          int64_t size = bounds[i] - bounds[i - 1];
+          EXPECT_GE(size, total / (static_cast<int64_t>(bounds.size()) - 1));
+        }
+      }
+      // Never more chunks than items (unless the range is empty).
+      if (total > 0) {
+        EXPECT_LE(static_cast<int64_t>(bounds.size()) - 1, total);
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](int, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kTotal = 10007;  // prime: uneven chunk sizes
+  std::vector<std::atomic<int>> hits(kTotal);
+  pool.ParallelFor(kTotal, [&](int, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int64_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPoolTest, MoreChunksThanWorkers) {
+  ThreadPool pool(2);
+  constexpr int kChunks = 64;  // far more chunks than the 2 lanes
+  std::vector<std::atomic<int>> chunk_hits(kChunks);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(1000, kChunks, [&](int c, int64_t begin, int64_t end) {
+    ++chunk_hits[static_cast<size_t>(c)];
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) local += i;
+    sum += local;
+  });
+  for (int c = 0; c < kChunks; ++c) {
+    EXPECT_EQ(chunk_hits[static_cast<size_t>(c)].load(), 1) << "chunk " << c;
+  }
+  EXPECT_EQ(sum.load(), 999LL * 1000 / 2);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;  // safe without atomics: everything is inline
+  pool.ParallelFor(10, 4, [&](int c, int64_t, int64_t) { order.push_back(c); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](int c, int64_t, int64_t) {
+                         if (c == 2) throw std::runtime_error("chunk failed");
+                       }),
+      std::runtime_error);
+
+  // The failed loop must drain fully; the pool remains reusable after.
+  std::atomic<int64_t> count{0};
+  pool.ParallelFor(100, [&](int, int64_t begin, int64_t end) {
+    count += end - begin;
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionOnCallingThreadWithSingleLane) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(
+                   5, [](int, int64_t, int64_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(3);
+  int64_t expected = 0;
+  std::atomic<int64_t> got{0};
+  for (int iter = 0; iter < 50; ++iter) {
+    int64_t total = iter * 13 % 97;
+    expected += total;
+    pool.ParallelFor(total, [&](int, int64_t begin, int64_t end) {
+      got += end - begin;
+    });
+  }
+  EXPECT_EQ(got.load(), expected);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareConcurrency());
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+}  // namespace
+}  // namespace dki
