@@ -1,11 +1,14 @@
 #include "bench/bench_experiments.h"
 
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "index/ak_index.h"
 #include "index/dk_index.h"
+#include "query/result_cache.h"
 
 namespace dki {
 namespace bench {
@@ -43,6 +46,75 @@ void PrintShapeCheck(const std::vector<SeriesRow>& rows) {
                 static_cast<double>(dk.index_nodes));
 }
 
+// Repeated-workload serving through the epoch-invalidated result cache:
+// the same workload replayed `passes` times against the same index, once
+// uncached and once through a ResultCache. Prints timing, hit statistics
+// and a bit-identical check, then the global metrics snapshot.
+void RunCachedWorkloadReplay(const DkIndex& dk,
+                             const std::vector<PathExpression>& workload,
+                             int passes) {
+  WallTimer uncached_timer;
+  int64_t uncached_visits = 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const PathExpression& q : workload) {
+      EvalStats stats;
+      auto result = EvaluateOnIndex(dk.index(), q, &stats);
+      uncached_visits += stats.index_nodes_visited + stats.data_nodes_visited;
+      (void)result;
+    }
+  }
+  double uncached_ms = uncached_timer.ElapsedMillis();
+
+  ResultCache cache;
+  WallTimer cached_timer;
+  int64_t cached_visits = 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const PathExpression& q : workload) {
+      EvalStats stats;
+      auto result = cache.CachedEvaluate(dk.index(), q, &stats);
+      cached_visits += stats.index_nodes_visited + stats.data_nodes_visited;
+      (void)result;
+    }
+  }
+  double cached_ms = cached_timer.ElapsedMillis();
+
+  bool identical = true;
+  for (const PathExpression& q : workload) {
+    if (cache.CachedEvaluate(dk.index(), q) !=
+        EvaluateOnIndex(dk.index(), q)) {
+      identical = false;
+    }
+  }
+
+  ResultCache::Stats cs = cache.stats();
+  std::printf(
+      "\n== cached serving: %d x %zu repeated queries on D(k) ==\n", passes,
+      workload.size());
+  std::printf("%-10s %12s %16s\n", "mode", "time(ms)", "nodes visited");
+  std::printf("%-10s %12.1f %16lld\n", "uncached", uncached_ms,
+              static_cast<long long>(uncached_visits));
+  std::printf("%-10s %12.1f %16lld\n", "cached", cached_ms,
+              static_cast<long long>(cached_visits));
+  std::printf(
+      "cache: hits=%lld misses=%lld stale_drops=%lld evictions=%lld "
+      "entries=%lld bytes=%lld\n",
+      static_cast<long long>(cs.hits), static_cast<long long>(cs.misses),
+      static_cast<long long>(cs.stale_drops),
+      static_cast<long long>(cs.evictions),
+      static_cast<long long>(cs.entries), static_cast<long long>(cs.bytes));
+  std::printf("shape_check: cache hits on repeats: %s (hit rate %.2f)\n",
+              cs.hits > 0 ? "yes" : "NO",
+              cs.hits + cs.misses == 0
+                  ? 0.0
+                  : static_cast<double>(cs.hits) /
+                        static_cast<double>(cs.hits + cs.misses));
+  std::printf("shape_check: cached results bit-identical to uncached: %s\n",
+              identical ? "yes" : "NO");
+
+  std::printf("\n== metrics snapshot ==\n");
+  MetricsRegistry::Global().Dump(&std::cout);
+}
+
 }  // namespace
 
 void RunEvalBeforeUpdating(Dataset dataset, const std::string& figure_name) {
@@ -69,6 +141,7 @@ void RunEvalBeforeUpdating(Dataset dataset, const std::string& figure_name) {
                   "(X=index_nodes, Y=avg_cost)",
               rows);
   PrintShapeCheck(rows);
+  RunCachedWorkloadReplay(dk, workload, /*passes=*/5);
 }
 
 void RunUpdateEfficiency(Dataset xmark, Dataset nasa) {

@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "bench/bench_common.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "dtd/dtd_generator.h"
 #include "dtd/dtd_parser.h"
@@ -17,6 +20,7 @@
 #include "index/partition.h"
 #include "query/evaluator.h"
 #include "query/load_analyzer.h"
+#include "query/result_cache.h"
 #include "twig/twig.h"
 
 namespace dki {
@@ -197,6 +201,75 @@ void BM_DtdGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_DtdGenerate);
 
+// Repeated-query serving through the epoch-invalidated result cache versus
+// re-evaluating every time. Both cycle the same 20-query workload; after
+// the first pass the cached variant is pure lookups.
+void BM_CachedEvaluateRepeats(benchmark::State& state) {
+  const bench::Dataset& dataset = SharedXmark();
+  DataGraph copy = dataset.graph;
+  auto workload = bench::MakeWorkload(copy, 20, 20030609);
+  LabelRequirements reqs =
+      bench::MineWorkloadRequirements(workload, copy.labels());
+  DkIndex dk = DkIndex::Build(&copy, reqs);
+  ResultCache cache;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result =
+        cache.CachedEvaluate(dk.index(), workload[i++ % workload.size()]);
+    benchmark::DoNotOptimize(result.size());
+  }
+  ResultCache::Stats stats = cache.stats();
+  state.counters["hit_rate"] =
+      stats.hits + stats.misses == 0
+          ? 0.0
+          : static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses);
+}
+BENCHMARK(BM_CachedEvaluateRepeats);
+
+void BM_UncachedEvaluateRepeats(benchmark::State& state) {
+  const bench::Dataset& dataset = SharedXmark();
+  DataGraph copy = dataset.graph;
+  auto workload = bench::MakeWorkload(copy, 20, 20030609);
+  LabelRequirements reqs =
+      bench::MineWorkloadRequirements(workload, copy.labels());
+  DkIndex dk = DkIndex::Build(&copy, reqs);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result =
+        EvaluateOnIndex(dk.index(), workload[i++ % workload.size()]);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_UncachedEvaluateRepeats);
+
+// The cost of a miss-after-invalidation: every iteration toggles an edge
+// (add if absent, remove if present), which bumps the epoch, so each lookup
+// stale-drops and re-evaluates — the cache's worst case.
+void BM_CachedEvaluateInvalidated(benchmark::State& state) {
+  const bench::Dataset& dataset = SharedXmark();
+  auto edges = bench::MakeUpdateEdges(dataset, 64, 7);
+  DataGraph copy = dataset.graph;
+  auto workload = bench::MakeWorkload(copy, 20, 20030609);
+  LabelRequirements reqs =
+      bench::MineWorkloadRequirements(workload, copy.labels());
+  DkIndex dk = DkIndex::Build(&copy, reqs);
+  ResultCache cache;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = edges[i % edges.size()];
+    if (copy.HasEdge(u, v)) {
+      dk.RemoveEdge(u, v);
+    } else {
+      dk.AddEdge(u, v);
+    }
+    auto result =
+        cache.CachedEvaluate(dk.index(), workload[i++ % workload.size()]);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_CachedEvaluateInvalidated);
+
 void BM_AkEdgeAdditionBaseline(benchmark::State& state) {
   const bench::Dataset& dataset = SharedXmark();
   auto edges = bench::MakeUpdateEdges(dataset, 512, 7);
@@ -214,4 +287,14 @@ BENCHMARK(BM_AkEdgeAdditionBaseline)->Arg(1)->Arg(2);
 }  // namespace
 }  // namespace dki
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), plus a dump of every counter/timer the library
+// recorded while the benchmarks ran.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::cout << "\n== metrics snapshot ==\n";
+  dki::MetricsRegistry::Global().Dump(&std::cout);
+  return 0;
+}

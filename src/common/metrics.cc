@@ -1,0 +1,83 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dki {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(TimerMetric* metric)
+    : metric_(metric), start_nanos_(NowNanos()) {}
+
+ScopedTimer::~ScopedTimer() {
+  metric_->RecordNanos(NowNanos() - start_nanos_);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) return *c;
+  }
+  counters_.push_back(std::make_unique<Counter>(name));
+  return *counters_.back();
+}
+
+TimerMetric& MetricsRegistry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& t : timers_) {
+    if (t->name() == name) return *t;
+  }
+  timers_.push_back(std::make_unique<TimerMetric>(name));
+  return *timers_.back();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(counters_.size() + timers_.size());
+    for (const auto& c : counters_) {
+      out.push_back({c->name(), c->value(), -1});
+    }
+    for (const auto& t : timers_) {
+      out.push_back({t->name(), t->total_nanos(), t->count()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::Dump(std::ostream* out) const {
+  for (const MetricSample& s : Snapshot()) {
+    if (s.count < 0) {
+      *out << s.name << " " << s.value << "\n";
+    } else {
+      *out << s.name << " " << static_cast<double>(s.value) / 1e6
+           << "ms count=" << s.count << "\n";
+    }
+  }
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_) c->Reset();
+  for (const auto& t : timers_) t->Reset();
+}
+
+}  // namespace dki

@@ -1,0 +1,138 @@
+#ifndef DKINDEX_COMMON_METRICS_H_
+#define DKINDEX_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dki {
+
+// Process-wide observability for the serving path: named monotonic counters
+// and accumulating timers, registered on first use and kept for the process
+// lifetime. Increments are lock-free (relaxed atomics — the values are
+// statistics, not synchronization), so instrumenting a hot loop costs one
+// uncontended atomic add. Registration takes a mutex but happens once per
+// name; call sites cache the returned reference (see DKI_METRIC_COUNTER).
+//
+// Naming convention: dotted lowercase paths grouped by subsystem, e.g.
+// "eval.index.calls", "cache.result.hits", "index.dk.add_edge.calls".
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  // Test support: counters are process-global, so tests compare deltas or
+  // reset explicitly.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+// Accumulated wall time plus invocation count; records are lock-free.
+class TimerMetric {
+ public:
+  explicit TimerMetric(std::string name) : name_(std::move(name)) {}
+
+  void RecordNanos(int64_t nanos) {
+    total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  int64_t total_nanos() const {
+    return total_nanos_.load(std::memory_order_relaxed);
+  }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  void Reset() {
+    total_nanos_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  const std::string name_;
+  std::atomic<int64_t> total_nanos_{0};
+  std::atomic<int64_t> count_{0};
+};
+
+// RAII scope timer feeding a TimerMetric.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerMetric* metric);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerMetric* metric_;
+  int64_t start_nanos_;
+};
+
+// One row of MetricsRegistry::Snapshot().
+struct MetricSample {
+  std::string name;
+  int64_t value = 0;        // counter value, or timer total in nanoseconds
+  int64_t count = -1;       // -1 for counters; invocation count for timers
+};
+
+// The process-wide registry. Metric objects are never destroyed or
+// re-registered, so references returned here stay valid forever — cache them
+// at call sites instead of re-looking-up per event.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Returns the counter/timer registered under `name`, creating it if new.
+  Counter& GetCounter(const std::string& name);
+  TimerMetric& GetTimer(const std::string& name);
+
+  // A consistent-enough view for reporting: every metric that existed at the
+  // call, with relaxed-loaded values, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  // Human-readable dump of Snapshot() (one "name value" line per metric,
+  // timers as total milliseconds + count).
+  void Dump(std::ostream* out) const;
+
+  // Zeroes every registered metric (tests and bench phase boundaries).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;  // guards the maps, not the metric values
+  // Stable addresses: the registry hands out references into these.
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<TimerMetric>> timers_;
+};
+
+// Caches the registry lookup in a function-local static so hot paths pay
+// only the atomic increment after the first call.
+#define DKI_METRIC_COUNTER(name)                                        \
+  ([]() -> ::dki::Counter& {                                            \
+    static ::dki::Counter& counter =                                    \
+        ::dki::MetricsRegistry::Global().GetCounter(name);              \
+    return counter;                                                     \
+  }())
+
+#define DKI_METRIC_TIMER(name)                                          \
+  ([]() -> ::dki::TimerMetric& {                                        \
+    static ::dki::TimerMetric& timer =                                  \
+        ::dki::MetricsRegistry::Global().GetTimer(name);                \
+    return timer;                                                       \
+  }())
+
+}  // namespace dki
+
+#endif  // DKINDEX_COMMON_METRICS_H_

@@ -135,6 +135,13 @@ class DkIndex {
   IndexGraph* mutable_index() { return &index_; }
   const DataGraph& graph() const { return *graph_; }
 
+  // Update epoch of the underlying index (see IndexGraph::epoch): bumped by
+  // every mutating operation routed through this class — AddEdge,
+  // RemoveEdge, AddSubgraph, Promote*/Demote — and kept monotonic across
+  // the whole-index rebuilds those trigger. Cached query results are keyed
+  // by it (query/result_cache.h).
+  uint64_t epoch() const { return index_.epoch(); }
+
   // Effective (post-broadcast) requirement of a label; 0 if unknown.
   int effective_requirement(LabelId label) const;
   // All effective requirements, indexed by label id (serialization support).
@@ -172,14 +179,27 @@ class DkIndex {
   // Edge *removal* — one of the "other update operations [that] can be
   // built on these two basic cases" (Section 5). The partition is kept (it
   // stays a safe index: removing an edge only removes label paths, and the
-  // adjacency is re-derived), while local similarities are adjusted
-  // conservatively: the target's k drops to 0 — its extent members may no
-  // longer share parents at all — and the Algorithm 5 demotion wave caps
-  // every descendant at its distance, which is exactly the horizon below
-  // which the removed edge cannot influence incoming paths. Lost similarity
-  // is recoverable later through the promoting process. Returns false if
-  // the edge did not exist.
+  // adjacency is re-derived), while the target's local similarity is
+  // recomputed with the Algorithm 4 label-path machinery run in reverse
+  // (RemovalLocalSimilarity): k(v) survives at level l as long as every
+  // label path that arrived through the removed edge still arrives through
+  // v's surviving parents, and drops (followed by the Algorithm 5 demotion
+  // wave) only below the first level where a path is genuinely lost. Lost
+  // similarity is recoverable later through the promoting process. Returns
+  // false if the edge did not exist.
   bool RemoveEdge(NodeId u, NodeId v);
+
+  // RemoveEdge's analogue of Algorithm 4 (exposed for tests): the maximal
+  // l <= k_old such that every label path of length <= l that reached data
+  // node `v` through the removed edge (whose source lay in `u_node`) is
+  // still realized through v's surviving data parents. Level 1 is checked
+  // against the data graph directly; deeper levels expand through the index
+  // graph, which is exact only up to the surviving parents' own local
+  // similarities — beyond that horizon the search stops conservatively.
+  // Call after the data edge is removed and adjacency recomputed.
+  int RemovalLocalSimilarity(IndexNodeId u_node, NodeId v, int k_old,
+                             int64_t* label_paths_expanded = nullptr,
+                             int64_t cap_paths = 100000) const;
 
   // --- Section 5.1: subgraph addition ------------------------------------
 

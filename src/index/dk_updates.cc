@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "index/dk_index.h"
 
 namespace dki {
@@ -120,6 +121,8 @@ int64_t DkIndex::DemotionWave(IndexNodeId start) {
 }
 
 DkIndex::EdgeUpdateStats DkIndex::AddEdge(NodeId u, NodeId v) {
+  DKI_METRIC_COUNTER("index.dk.add_edge.calls").Increment();
+  ScopedTimer timer(&DKI_METRIC_TIMER("index.dk.add_edge"));
   EdgeUpdateStats stats;
   if (graph_->HasEdge(u, v)) {
     stats.new_local_similarity = index_.k(index_.index_of(v));
@@ -136,25 +139,95 @@ DkIndex::EdgeUpdateStats DkIndex::AddEdge(NodeId u, NodeId v) {
 
   graph_->AddEdge(u, v);
   index_.AddIndexEdge(u_node, v_node);
+  // The data graph changed even when the index adjacency already carried
+  // this edge (another member pair supported it) — validation answers can
+  // differ, so cached results must go stale regardless.
+  index_.BumpEpoch();
 
   if (k_n < index_.k(v_node)) index_.set_k(v_node, k_n);
   stats.new_local_similarity = index_.k(v_node);
   stats.index_nodes_touched = DemotionWave(v_node);
+  DKI_METRIC_COUNTER("index.dk.add_edge.nodes_touched")
+      .Increment(stats.index_nodes_touched);
   return stats;
+}
+
+int DkIndex::RemovalLocalSimilarity(IndexNodeId u_node, NodeId v, int k_old,
+                                    int64_t* label_paths_expanded,
+                                    int64_t cap_paths) const {
+  int64_t dummy = 0;
+  if (label_paths_expanded == nullptr) label_paths_expanded = &dummy;
+  if (k_old <= 0) return 0;
+
+  // Length-1 paths lost through the removed edge: just [label(u)]. Length-1
+  // paths v still has: the labels of its surviving data parents (exact by
+  // construction). Longer removed paths expand through u_node's incoming
+  // index structure (an over-approximation of the lost paths — safe);
+  // longer remaining paths expand through the surviving parents' index
+  // nodes, which is exact only while the depth stays within those parents'
+  // own local similarities (`parent_horizon`).
+  PathMap removed;
+  removed[{index_.label(u_node)}] = {u_node};
+  PathMap remaining;
+  int parent_horizon = k_old;
+  for (NodeId p : graph_->parents(v)) {
+    IndexNodeId p_node = index_.index_of(p);
+    remaining[{index_.label(p_node)}].insert(p_node);
+    parent_horizon = std::min(parent_horizon, index_.k(p_node));
+  }
+
+  int k_n = 0;
+  while (k_n < k_old) {
+    if (!KeysSubset(removed, remaining)) break;
+    ++k_n;
+    if (k_n >= k_old) break;
+    // Next level is k_n + 1; remaining paths there need index paths of
+    // length k_n into the surviving parents, exact only when
+    // k_n <= parent_horizon.
+    if (k_n > parent_horizon) break;
+    removed = ExpandBackwards(index_, removed, label_paths_expanded);
+    remaining = ExpandBackwards(index_, remaining, label_paths_expanded);
+    if (removed.empty()) {
+      // Nothing longer was lost through the removed edge.
+      k_n = k_old;
+      break;
+    }
+    if (TotalStarts(removed) + TotalStarts(remaining) > cap_paths) {
+      break;  // defensive cap: stop with the (conservative) current k_n
+    }
+  }
+  return k_n;
 }
 
 bool DkIndex::RemoveEdge(NodeId u, NodeId v) {
   if (!graph_->RemoveEdge(u, v)) return false;
+  DKI_METRIC_COUNTER("index.dk.remove_edge.calls").Increment();
+  ScopedTimer timer(&DKI_METRIC_TIMER("index.dk.remove_edge"));
   IndexNodeId u_node = index_.index_of(u);
   IndexNodeId v_node = index_.index_of(v);
   // Drop the derived index edge iff no other data edge supports it.
   index_.RecomputeEdgesLocal({u_node, v_node});
-  index_.set_k(v_node, 0);
-  DemotionWave(v_node);
+  // Recompute a tight-but-sound local similarity for the target instead of
+  // demoting to 0: v's extent stays k-similar at every level where the
+  // removed edge's label paths are still realized by surviving parents.
+  int k_new = RemovalLocalSimilarity(u_node, v, index_.k(v_node));
+  if (k_new < index_.k(v_node)) {
+    index_.set_k(v_node, k_new);
+    DemotionWave(v_node);
+  }
+  // The data graph changed even when k and adjacency survived intact;
+  // validation answers can differ, so cached results must go stale.
+  index_.BumpEpoch();
   return true;
 }
 
 void DkIndex::QuotientRebuild(const std::vector<int>& effective_req) {
+  DKI_METRIC_COUNTER("index.dk.quotient_rebuild.calls").Increment();
+  ScopedTimer timer(&DKI_METRIC_TIMER("index.dk.quotient_rebuild"));
+  // The rebuilt IndexGraph starts life with a fresh epoch; carry the old one
+  // forward (plus one for the rebuild itself) so the epoch never revisits a
+  // value a cached result may still be stamped with.
+  const uint64_t old_epoch = index_.epoch();
   IndexGraphView view(&index_);
   std::vector<int> block_k;
   Partition p = BuildDkPartition(view, effective_req, &block_k);
@@ -177,9 +250,13 @@ void DkIndex::QuotientRebuild(const std::vector<int>& effective_req) {
   }
   index_ =
       IndexGraph::FromPartition(graph_, block_of_data, p.num_blocks, final_k);
+  index_.set_epoch(old_epoch + 1);
 }
 
 std::vector<NodeId> DkIndex::AddSubgraph(const DataGraph& h) {
+  DKI_METRIC_COUNTER("index.dk.add_subgraph.calls").Increment();
+  ScopedTimer timer(&DKI_METRIC_TIMER("index.dk.add_subgraph"));
+  const uint64_t old_epoch = index_.epoch();
   // --- copy H into the data graph (H's root is identified with our root).
   std::vector<LabelId> label_map(static_cast<size_t>(h.labels().size()),
                                  kInvalidLabel);
@@ -230,6 +307,7 @@ std::vector<NodeId> DkIndex::AddSubgraph(const DataGraph& h) {
     Partition p = BuildDkPartition(*graph_, effective_req_, &block_k);
     index_ =
         IndexGraph::FromPartition(graph_, p.block_of, p.num_blocks, block_k);
+    index_.set_epoch(old_epoch + 1);
     return node_map;
   }
 
@@ -278,6 +356,7 @@ std::vector<NodeId> DkIndex::AddSubgraph(const DataGraph& h) {
   }
   index_ = IndexGraph::FromPartition(graph_, block_of_data, next_block,
                                      combined_k);
+  index_.set_epoch(old_epoch + 1);
 
   // --- Algorithm 3 step 3+4: treat the combined index graph as a data graph
   // and recompute its D(k)-index, merging extents (Theorem 2).

@@ -94,6 +94,7 @@ IndexNodeId IndexGraph::SplitOff(IndexNodeId src,
     DKI_CHECK_EQ(node_to_index_[static_cast<size_t>(n)], src);
     node_to_index_[static_cast<size_t>(n)] = fresh;
   }
+  ++epoch_;
   return fresh;
 }
 
@@ -108,6 +109,7 @@ IndexNodeId IndexGraph::AppendNode(LabelId label, int k,
     node_to_index_[static_cast<size_t>(n)] = id;
   }
   nodes_.push_back(std::move(node));
+  ++epoch_;
   return id;
 }
 
@@ -145,6 +147,7 @@ void IndexGraph::AddIndexEdge(IndexNodeId a, IndexNodeId b) {
   if (std::find(ch.begin(), ch.end(), b) != ch.end()) return;
   ch.push_back(b);
   nodes_[static_cast<size_t>(b)].parents.push_back(a);
+  ++epoch_;
 }
 
 void IndexGraph::RecomputeEdgesLocal(
@@ -195,6 +198,7 @@ void IndexGraph::RecomputeEdgesLocal(
       if (std::find(c.begin(), c.end(), a) == c.end()) c.push_back(a);
     }
   }
+  ++epoch_;
 }
 
 void IndexGraph::RecomputeAllEdges() {
@@ -217,6 +221,7 @@ void IndexGraph::RecomputeAllEdges() {
     nodes_[static_cast<size_t>(a)].children.push_back(b);
     nodes_[static_cast<size_t>(b)].parents.push_back(a);
   }
+  ++epoch_;
 }
 
 bool IndexGraph::ValidatePartition(std::string* error) const {

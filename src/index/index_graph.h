@@ -60,6 +60,20 @@ class IndexGraph {
   // a copied graph in experiments).
   void set_graph(const DataGraph* graph) { graph_ = graph; }
 
+  // --- update epoch ------------------------------------------------------
+  //
+  // Monotonic mutation counter consumed by the query-result cache
+  // (query/result_cache.h): every mutation that can change a query answer —
+  // extent splits, adjacency changes, k adjustments, and (via DkIndex) data
+  // graph edits and Theorem-2 rebuilds — advances it, so a cached result
+  // stamped with an older epoch is provably stale. DkIndex carries the epoch
+  // forward across whole-index rebuilds (Demote/AddSubgraph) precisely so it
+  // never moves backwards and a stale entry can never alias a live epoch.
+  uint64_t epoch() const { return epoch_; }
+  void BumpEpoch() { ++epoch_; }
+  // Used when a rebuilt index replaces an older one: restores monotonicity.
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+
   int64_t NumIndexNodes() const {
     return static_cast<int64_t>(nodes_.size());
   }
@@ -69,7 +83,11 @@ class IndexGraph {
     return nodes_[static_cast<size_t>(i)].label;
   }
   int k(IndexNodeId i) const { return nodes_[static_cast<size_t>(i)].k; }
-  void set_k(IndexNodeId i, int k) { nodes_[static_cast<size_t>(i)].k = k; }
+  void set_k(IndexNodeId i, int k) {
+    if (nodes_[static_cast<size_t>(i)].k == k) return;
+    nodes_[static_cast<size_t>(i)].k = k;
+    ++epoch_;
+  }
 
   const std::vector<NodeId>& extent(IndexNodeId i) const {
     return nodes_[static_cast<size_t>(i)].extent;
@@ -137,6 +155,7 @@ class IndexGraph {
   const DataGraph* graph_;
   std::vector<IndexNode> nodes_;
   std::vector<IndexNodeId> node_to_index_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace dki

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -23,6 +24,13 @@ bool ReadInt(std::istream* in, int64_t* value) {
   return static_cast<bool>(*in >> *value);
 }
 
+// Discards the remainder of the current line (typically just the '\n' after
+// a count read with operator>>), positioning the stream at the next line.
+bool SkipRestOfLine(std::istream* in) {
+  return static_cast<bool>(
+      in->ignore(std::numeric_limits<std::streamsize>::max(), '\n'));
+}
+
 bool ExpectHeader(std::istream* in, const std::string& magic,
                   const std::string& version, std::string* error) {
   std::string m, v;
@@ -39,6 +47,16 @@ bool ExpectHeader(std::istream* in, const std::string& magic,
 }  // namespace
 
 bool SaveGraph(const DataGraph& graph, std::ostream* out) {
+  // The label table is written one name per line (names may contain spaces,
+  // e.g. "open auction"); a name containing a newline cannot round-trip
+  // through the line-based format, so refuse to save it.
+  for (LabelId l = 0; l < graph.labels().size(); ++l) {
+    const std::string& name = graph.labels().Name(l);
+    if (name.find('\n') != std::string::npos ||
+        name.find('\r') != std::string::npos) {
+      return false;
+    }
+  }
   *out << "dki-graph v1\n";
   *out << "labels " << graph.labels().size() << "\n";
   for (LabelId l = 0; l < graph.labels().size(); ++l) {
@@ -63,13 +81,15 @@ bool LoadGraph(std::istream* in, DataGraph* graph, std::string* error) {
   int64_t count = 0;
 
   if (!ReadToken(in, &keyword) || keyword != "labels" ||
-      !ReadInt(in, &count) || count < 2) {
+      !ReadInt(in, &count) || count < 2 || !SkipRestOfLine(in)) {
     return Fail(error, "bad labels section");
   }
   DataGraph loaded;
   for (int64_t i = 0; i < count; ++i) {
     std::string name;
-    if (!ReadToken(in, &name)) return Fail(error, "truncated label table");
+    // Line-based: label names may contain whitespace (matches SaveGraph's
+    // one-name-per-line layout).
+    if (!std::getline(*in, name)) return Fail(error, "truncated label table");
     LabelId id = loaded.labels().Intern(name);
     if (id != static_cast<LabelId>(i)) {
       return Fail(error, "label table not dense (duplicate '" + name + "')");

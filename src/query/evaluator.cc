@@ -6,9 +6,43 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace dki {
 namespace {
+
+// Cached counter references for one evaluation subsystem ("eval.data" /
+// "eval.index"); resolved once, then every evaluation pays only the relaxed
+// atomic adds.
+struct EvalCounters {
+  explicit EvalCounters(const std::string& prefix)
+      : calls(MetricsRegistry::Global().GetCounter(prefix + ".calls")),
+        index_nodes_visited(MetricsRegistry::Global().GetCounter(
+            prefix + ".index_nodes_visited")),
+        data_nodes_visited(MetricsRegistry::Global().GetCounter(
+            prefix + ".data_nodes_visited")),
+        validated_candidates(MetricsRegistry::Global().GetCounter(
+            prefix + ".validated_candidates")),
+        uncertain_index_nodes(MetricsRegistry::Global().GetCounter(
+            prefix + ".uncertain_index_nodes")),
+        results(MetricsRegistry::Global().GetCounter(prefix + ".results")) {}
+
+  void Record(const EvalStats& s) {
+    calls.Increment();
+    index_nodes_visited.Increment(s.index_nodes_visited);
+    data_nodes_visited.Increment(s.data_nodes_visited);
+    validated_candidates.Increment(s.validated_candidates);
+    uncertain_index_nodes.Increment(s.uncertain_index_nodes);
+    results.Increment(s.result_size);
+  }
+
+  Counter& calls;
+  Counter& index_nodes_visited;
+  Counter& data_nodes_visited;
+  Counter& validated_candidates;
+  Counter& uncertain_index_nodes;
+  Counter& results;
+};
 
 // Visited-set over (node, state) pairs: a bitmask per node when the
 // automaton is small (the common case), a hash set otherwise.
@@ -104,6 +138,8 @@ std::vector<NodeId> EvaluateOnDataGraph(const DataGraph& g,
     if (in_result[static_cast<size_t>(v)]) result.push_back(v);
   }
   local.result_size = static_cast<int64_t>(result.size());
+  static EvalCounters& counters = *new EvalCounters("eval.data");
+  counters.Record(local);
   if (stats != nullptr) stats->Accumulate(local);
   return result;
 }
@@ -198,6 +234,8 @@ std::vector<NodeId> EvaluateOnIndex(const IndexGraph& index,
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());
   local.result_size = static_cast<int64_t>(result.size());
+  static EvalCounters& counters = *new EvalCounters("eval.index");
+  counters.Record(local);
   if (stats != nullptr) stats->Accumulate(local);
   return result;
 }

@@ -23,7 +23,7 @@ void QueryLoadTracker::Record(const PathExpression& query,
       per_label_[label][k] += static_cast<double>(count);
     }
   }
-  total_ += count;
+  total_ += static_cast<double>(count);
 }
 
 int64_t QueryLoadTracker::label_traffic(LabelId label) const {
@@ -46,7 +46,18 @@ void QueryLoadTracker::Decay(double factor) {
     label_it = buckets.empty() ? per_label_.erase(label_it)
                                : std::next(label_it);
   }
-  total_ = static_cast<int64_t>(static_cast<double>(total_) * factor);
+  // Recompute the total from the survivors instead of just scaling it: the
+  // sweep above also *erases* buckets that decayed below 1, and a scaled
+  // total would keep counting that erased weight forever, skewing every
+  // coverage fraction computed against it.
+  total_ = 0.0;
+  for (const auto& [label, buckets] : per_label_) {
+    (void)label;
+    for (const auto& [k, count] : buckets) {
+      (void)k;
+      total_ += count;
+    }
+  }
 }
 
 LabelRequirements QueryLoadTracker::MineRequirements(double coverage) const {

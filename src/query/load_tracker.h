@@ -1,6 +1,7 @@
 #ifndef DKINDEX_QUERY_LOAD_TRACKER_H_
 #define DKINDEX_QUERY_LOAD_TRACKER_H_
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <unordered_map>
@@ -32,8 +33,12 @@ class QueryLoadTracker {
   void Record(const PathExpression& query, const LabelTable& labels,
               int64_t count = 1);
 
-  // Total recorded executions.
-  int64_t total_queries() const { return total_; }
+  // Total live weight: recorded executions, decayed alongside the buckets.
+  // Invariant after Decay: equals the sum of all surviving bucket counts
+  // (bucket-less Record calls only survive until the next decay sweep).
+  int64_t total_queries() const {
+    return static_cast<int64_t>(std::llround(total_));
+  }
   // Recorded executions targeting `label`.
   int64_t label_traffic(LabelId label) const;
 
@@ -62,7 +67,7 @@ class QueryLoadTracker {
   LoadAnalyzerOptions options_;
   // Per target label: required-k -> recorded executions needing exactly it.
   std::unordered_map<LabelId, std::map<int, double>> per_label_;
-  int64_t total_ = 0;
+  double total_ = 0.0;
 };
 
 }  // namespace dki

@@ -1,0 +1,162 @@
+#include "query/result_cache.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "pathexpr/tokenizer.h"
+
+namespace dki {
+namespace {
+
+// Fixed per-entry bookkeeping charge: list node, hash map slot, vector
+// headers. An estimate — the budget is a retention policy, not an allocator.
+constexpr int64_t kEntryOverheadBytes = 96;
+
+}  // namespace
+
+std::string CanonicalizeQuery(std::string_view text) {
+  std::vector<Token> tokens;
+  std::string error;
+  if (!Tokenize(text, &tokens, &error)) return std::string(text);
+  std::string out;
+  out.reserve(text.size());
+  for (const Token& t : tokens) {
+    switch (t.kind) {
+      case TokenKind::kLabel:
+        out += t.text;
+        break;
+      case TokenKind::kWildcard:
+        out += '_';
+        break;
+      case TokenKind::kDot:
+        out += '.';
+        break;
+      case TokenKind::kDoubleSlash:
+        out += "//";
+        break;
+      case TokenKind::kPipe:
+        out += '|';
+        break;
+      case TokenKind::kStar:
+        out += '*';
+        break;
+      case TokenKind::kPlus:
+        out += '+';
+        break;
+      case TokenKind::kQuestion:
+        out += '?';
+        break;
+      case TokenKind::kLParen:
+        out += '(';
+        break;
+      case TokenKind::kRParen:
+        out += ')';
+        break;
+      case TokenKind::kEnd:
+        break;
+    }
+  }
+  return out;
+}
+
+ResultCache::ResultCache(Options options) : options_(options) {}
+
+int64_t ResultCache::EntryBytes(const Entry& e) const {
+  return kEntryOverheadBytes + static_cast<int64_t>(e.key.size()) +
+         static_cast<int64_t>(e.result.size() * sizeof(NodeId));
+}
+
+void ResultCache::EraseLocked(LruList::iterator it) {
+  bytes_ -= it->bytes;
+  by_key_.erase(it->key);
+  lru_.erase(it);
+}
+
+void ResultCache::EvictToBudgetLocked() {
+  while (bytes_ > options_.byte_budget && !lru_.empty()) {
+    EraseLocked(std::prev(lru_.end()));
+    ++stats_.evictions;
+    DKI_METRIC_COUNTER("cache.result.evictions").Increment();
+  }
+}
+
+bool ResultCache::TryGet(const std::string& key, uint64_t epoch,
+                         std::vector<NodeId>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    ++stats_.misses;
+    DKI_METRIC_COUNTER("cache.result.misses").Increment();
+    return false;
+  }
+  if (it->second->epoch != epoch) {
+    // The index mutated since this result was computed; the entry can never
+    // become valid again (epochs are monotonic), so drop it now.
+    EraseLocked(it->second);
+    ++stats_.stale_drops;
+    ++stats_.misses;
+    DKI_METRIC_COUNTER("cache.result.stale_drops").Increment();
+    DKI_METRIC_COUNTER("cache.result.misses").Increment();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
+  *out = it->second->result;
+  ++stats_.hits;
+  DKI_METRIC_COUNTER("cache.result.hits").Increment();
+  return true;
+}
+
+void ResultCache::Put(const std::string& key, uint64_t epoch,
+                      std::vector<NodeId> result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) EraseLocked(it->second);
+  Entry entry;
+  entry.key = key;
+  entry.epoch = epoch;
+  entry.result = std::move(result);
+  entry.bytes = EntryBytes(entry);
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  by_key_[lru_.front().key] = lru_.begin();
+  EvictToBudgetLocked();
+}
+
+std::vector<NodeId> ResultCache::CachedEvaluate(const IndexGraph& index,
+                                                const PathExpression& query,
+                                                EvalStats* stats,
+                                                bool validate) {
+  std::string key = CanonicalizeQuery(query.text());
+  if (!validate) key += "#raw";  // raw answers are a different result space
+  const uint64_t epoch = index.epoch();
+
+  std::vector<NodeId> result;
+  if (TryGet(key, epoch, &result)) {
+    if (stats != nullptr) {
+      EvalStats hit;
+      hit.result_size = static_cast<int64_t>(result.size());
+      stats->Accumulate(hit);
+    }
+    return result;
+  }
+  result = EvaluateOnIndex(index, query, stats, validate);
+  Put(key, epoch, result);
+  return result;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.entries = static_cast<int64_t>(lru_.size());
+  s.bytes = bytes_;
+  return s;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  by_key_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace dki

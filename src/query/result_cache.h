@@ -1,0 +1,111 @@
+#ifndef DKINDEX_QUERY_RESULT_CACHE_H_
+#define DKINDEX_QUERY_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/index_graph.h"
+#include "pathexpr/path_expression.h"
+#include "query/evaluator.h"
+
+namespace dki {
+
+// Rewrites a path expression to a canonical spelling so that textual
+// variants of the same query ("a.b", "a . b", "(a).b" stays distinct — only
+// token spacing is normalized) share one cache entry: the token stream is
+// re-joined without whitespace. Returns `text` unchanged when it does not
+// tokenize (such strings never parse into a PathExpression either).
+std::string CanonicalizeQuery(std::string_view text);
+
+// An LRU cache of query results for ONE index graph, invalidated by the
+// index's update epoch (IndexGraph::epoch): every entry is stamped with the
+// epoch at evaluation time, and a lookup whose stamp disagrees with the
+// index's current epoch drops the entry ("stale drop") and reports a miss.
+// Repeated-traffic serving therefore reuses results for free between
+// updates, and can never return a pre-update answer after one — Section 5's
+// update operations all bump the epoch (see DkIndex::epoch).
+//
+// Capacity is byte-budgeted: each entry is charged its key size, its result
+// vector's bytes and a fixed bookkeeping overhead, and the least recently
+// used entries are evicted until the total fits. All operations take an
+// internal mutex, so one cache may serve concurrent readers; the underlying
+// index must not be mutated concurrently with evaluation (the evaluator
+// itself reads the index unlocked).
+//
+// One ResultCache instance must serve exactly one index: the key does not
+// encode the index identity, only the query text, the validate flag and the
+// epoch.
+class ResultCache {
+ public:
+  struct Options {
+    // Total bytes of cached keys+results to retain (approximate).
+    int64_t byte_budget = 8 * 1024 * 1024;
+  };
+
+  ResultCache() : ResultCache(Options()) {}
+  explicit ResultCache(Options options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // The serving entry point: returns the cached result when a fresh entry
+  // exists, otherwise falls through to EvaluateOnIndex, caches, and returns.
+  // On a hit `stats` (if given) only accumulates result_size — no nodes were
+  // visited. Bit-identical to EvaluateOnIndex by construction: hits return
+  // the stored vector of a previous identical evaluation of the same epoch.
+  std::vector<NodeId> CachedEvaluate(const IndexGraph& index,
+                                     const PathExpression& query,
+                                     EvalStats* stats = nullptr,
+                                     bool validate = true);
+
+  // Lower-level API (exposed for tests and custom serving loops). `key` is
+  // CanonicalizeQuery output plus any caller suffix; `epoch` the index epoch
+  // the result belongs to.
+  bool TryGet(const std::string& key, uint64_t epoch,
+              std::vector<NodeId>* out);
+  void Put(const std::string& key, uint64_t epoch,
+           std::vector<NodeId> result);
+
+  void Clear();
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t stale_drops = 0;
+    int64_t entries = 0;
+    int64_t bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t epoch = 0;
+    std::vector<NodeId> result;
+    int64_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  int64_t EntryBytes(const Entry& e) const;
+  // Both require `mutex_` held.
+  void EvictToBudgetLocked();
+  void EraseLocked(LruList::iterator it);
+
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> by_key_;
+  int64_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_QUERY_RESULT_CACHE_H_

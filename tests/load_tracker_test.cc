@@ -77,6 +77,41 @@ TEST_F(LoadTrackerTest, DecayKeepsHotPatterns) {
   EXPECT_EQ(tracker.total_queries(), 500);
 }
 
+TEST_F(LoadTrackerTest, DecayRecomputesTotalFromSurvivors) {
+  QueryLoadTracker tracker;
+  Record(&tracker, "a.b.c", 4);     // c's k=2 bucket
+  Record(&tracker, "b.c", 1000);    // c's k=1 bucket
+  Record(&tracker, "a.b", 300);     // b's k=1 bucket
+  EXPECT_EQ(tracker.total_queries(), 1304);
+
+  // Nothing evicted: the total just scales.
+  tracker.Decay(0.5);
+  EXPECT_EQ(tracker.total_queries(), 652);
+  EXPECT_EQ(tracker.total_queries(),
+            tracker.label_traffic(b_) + tracker.label_traffic(c_));
+
+  // The k=2 bucket decays to 0.8 and is evicted; the total must drop to the
+  // surviving weight (500*0.4 + 150*0.4 = 260), not the scaled 260.8.
+  tracker.Decay(0.4);
+  EXPECT_EQ(tracker.total_queries(), 260);
+  EXPECT_EQ(tracker.total_queries(),
+            tracker.label_traffic(b_) + tracker.label_traffic(c_));
+  EXPECT_EQ(tracker.MineRequirements(1.0).at(c_), 1);  // deep pattern gone
+
+  // Repeated decays keep the invariant total == sum of surviving buckets
+  // (factor 0.5 keeps every bucket integral, so the rounded per-label sums
+  // are exact).
+  for (int i = 0; i < 2; ++i) {
+    tracker.Decay(0.5);
+    EXPECT_EQ(tracker.total_queries(),
+              tracker.label_traffic(b_) + tracker.label_traffic(c_));
+  }
+  tracker.Decay(0.001);  // everything evicted
+  EXPECT_EQ(tracker.total_queries(), 0);
+  EXPECT_EQ(tracker.label_traffic(b_), 0);
+  EXPECT_EQ(tracker.label_traffic(c_), 0);
+}
+
 TEST_F(LoadTrackerTest, RegexQueriesAttributeToEndLabels) {
   QueryLoadTracker tracker;
   Record(&tracker, "a.a.(b|c)", 10);

@@ -1,0 +1,98 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "index/dk_index.h"
+#include "query/evaluator.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+TEST(MetricsTest, CounterRegistrationIsStableAndNamed) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test.metrics.stable");
+  Counter& again = MetricsRegistry::Global().GetCounter("test.metrics.stable");
+  EXPECT_EQ(&c, &again);  // one object per name, forever
+  c.Reset();
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  EXPECT_EQ(c.name(), "test.metrics.stable");
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreLossless) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test.metrics.concurrent");
+  c.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, TimerAccumulates) {
+  TimerMetric& t = MetricsRegistry::Global().GetTimer("test.metrics.timer");
+  t.Reset();
+  { ScopedTimer scope(&t); }
+  { ScopedTimer scope(&t); }
+  EXPECT_EQ(t.count(), 2);
+  EXPECT_GE(t.total_nanos(), 0);
+}
+
+TEST(MetricsTest, SnapshotContainsRegisteredMetricsSorted) {
+  MetricsRegistry::Global().GetCounter("test.metrics.snap_b").Reset();
+  MetricsRegistry::Global().GetCounter("test.metrics.snap_a").Increment(7);
+  auto snapshot = MetricsRegistry::Global().Snapshot();
+  ASSERT_GE(snapshot.size(), 2u);
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_LE(snapshot[i - 1].name, snapshot[i].name);
+  }
+  bool found = false;
+  for (const MetricSample& s : snapshot) {
+    if (s.name == "test.metrics.snap_a") {
+      found = true;
+      EXPECT_EQ(s.value, 7);
+      EXPECT_EQ(s.count, -1);  // counters carry no invocation count
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MetricsTest, ServingPathIsInstrumented) {
+  MetricsRegistry::Global().ResetAll();
+  DataGraph g = testing_util::BuildMovieGraph();
+  LabelRequirements reqs;
+  reqs[g.labels().Find("title")] = 2;
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  PathExpression q =
+      testing_util::MustParse("director.movie.title", g.labels());
+  EvalStats stats;
+  auto result = EvaluateOnIndex(dk.index(), q, &stats);
+
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("index.dk.build.calls").value(), 1);
+  EXPECT_EQ(registry.GetCounter("eval.index.calls").value(), 1);
+  EXPECT_EQ(registry.GetCounter("eval.index.index_nodes_visited").value(),
+            stats.index_nodes_visited);
+  EXPECT_EQ(registry.GetCounter("eval.index.results").value(),
+            static_cast<int64_t>(result.size()));
+
+  dk.AddEdge(1, 2);
+  EXPECT_EQ(registry.GetCounter("index.dk.add_edge.calls").value(), 1);
+
+  std::ostringstream dump;
+  registry.Dump(&dump);
+  EXPECT_NE(dump.str().find("eval.index.calls 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dki

@@ -62,6 +62,82 @@ TEST(RemoveEdgeTest, IndexStaysConsistentAndExact) {
   }
 }
 
+TEST(RemoveEdgeTest, RedundantParentKeepsSimilarity) {
+  // b has two parents with identical upstream label paths; removing one of
+  // the edges changes nothing about b's label paths, so the removal-time
+  // recomputation must keep k(b) instead of demoting it to 0 (which the old
+  // unconditional demotion did, degrading every query through b to
+  // validation until the next promotion).
+  DataGraph g;
+  NodeId a1 = g.AddNode("a");
+  NodeId a2 = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  g.AddEdge(g.root(), a1);
+  g.AddEdge(g.root(), a2);
+  g.AddEdge(a1, b);
+  g.AddEdge(a2, b);
+  g.AddEdge(b, c);
+
+  LabelRequirements reqs;
+  reqs[g.labels().Find("c")] = 3;
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  int k_before = dk.index().k(dk.index().index_of(b));
+  ASSERT_GE(k_before, 2);
+
+  ASSERT_TRUE(dk.RemoveEdge(a1, b));
+  EXPECT_EQ(dk.index().k(dk.index().index_of(b)), k_before);
+  std::string error;
+  ASSERT_TRUE(dk.index().ValidateDkConstraint(&error)) << error;
+
+  // The surviving similarity keeps the query certain — no validation pass.
+  PathExpression q = testing_util::MustParse("a.b.c", g.labels());
+  EvalStats stats;
+  EXPECT_EQ(EvaluateOnIndex(dk.index(), q, &stats),
+            EvaluateOnDataGraph(g, q));
+  EXPECT_EQ(stats.uncertain_index_nodes, 0);
+}
+
+TEST(RemoveEdgeTest, MatchesFreshBuildAfterRemovals) {
+  Rng rng(613);
+  for (int trial = 0; trial < 3; ++trial) {
+    DataGraph g = testing_util::RandomGraph(120, 4, 25, &rng);
+    LabelRequirements reqs;
+    reqs[static_cast<LabelId>(rng.UniformInt(2, g.labels().size() - 1))] = 3;
+    DkIndex dk = DkIndex::Build(&g, reqs);
+
+    int removed = 0;
+    for (int attempts = 0; attempts < 300 && removed < 10; ++attempts) {
+      NodeId v = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+      if (g.parents(v).size() < 2) continue;
+      NodeId u = g.parents(v)[0];
+      ASSERT_TRUE(dk.RemoveEdge(u, v));
+      ++removed;
+    }
+    ASSERT_GT(removed, 0);
+
+    // A fresh build of the mutated graph assigns every node the effective
+    // requirement of its label; the incremental index only ever demotes
+    // below that, so per data node its k is bounded by the fresh one.
+    DkIndex fresh = DkIndex::Build(&g, reqs);
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      EXPECT_LE(dk.index().k(dk.index().index_of(n)),
+                fresh.index().k(fresh.index().index_of(n)))
+          << "node " << n << " trial " << trial;
+    }
+
+    // And both serve identical (exact) answers.
+    for (int i = 0; i < 12; ++i) {
+      int len = static_cast<int>(rng.UniformInt(1, 4));
+      std::string text = testing_util::RandomChainQuery(g, len, &rng);
+      PathExpression q = testing_util::MustParse(text, g.labels());
+      auto ground_truth = EvaluateOnDataGraph(g, q);
+      EXPECT_EQ(EvaluateOnIndex(dk.index(), q), ground_truth) << text;
+      EXPECT_EQ(EvaluateOnIndex(fresh.index(), q), ground_truth) << text;
+    }
+  }
+}
+
 TEST(RemoveEdgeTest, RemovingUnknownEdgeIsNoOp) {
   DataGraph g = testing_util::BuildMovieGraph();
   LabelRequirements reqs;

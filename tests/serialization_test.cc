@@ -31,6 +31,78 @@ TEST(SerializationTest, GraphRoundTrip) {
   }
 }
 
+TEST(SerializationTest, RoundTripsLabelsWithWhitespace) {
+  DataGraph g;
+  NodeId a = g.AddNode("movie title");
+  NodeId b = g.AddNode("  padded  ");
+  NodeId c = g.AddNode("tab\there");
+  NodeId d = g.AddNode("caf\xc3\xa9");  // UTF-8 bytes pass through verbatim
+  g.AddEdge(g.root(), a);
+  g.AddEdge(a, b);
+  g.AddEdge(a, c);
+  g.AddEdge(c, d);
+
+  std::ostringstream out;
+  ASSERT_TRUE(SaveGraph(g, &out));
+  std::istringstream in(out.str());
+  DataGraph loaded;
+  std::string error;
+  ASSERT_TRUE(LoadGraph(&in, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.NumNodes(), g.NumNodes());
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_EQ(loaded.label_name(n), g.label_name(n));
+    EXPECT_EQ(loaded.children(n), g.children(n));
+  }
+}
+
+TEST(SerializationTest, LabelNameRoundTripProperty) {
+  Rng rng(509);
+  const std::string pieces[] = {"a",  "b c",  " d", "e ",
+                                "\t", "\xc2\xb5", "x\xe2\x80\xa6", "f  g"};
+  constexpr int kNumPieces = 8;
+  for (int trial = 0; trial < 10; ++trial) {
+    DataGraph g;
+    int num_nodes = static_cast<int>(rng.UniformInt(3, 12));
+    for (int i = 0; i < num_nodes; ++i) {
+      std::string name;
+      int len = static_cast<int>(rng.UniformInt(1, 3));
+      for (int j = 0; j < len; ++j) {
+        name += pieces[static_cast<size_t>(
+            rng.UniformInt(0, kNumPieces - 1))];
+      }
+      NodeId n = g.AddNode(name);
+      g.AddEdge(static_cast<NodeId>(rng.UniformInt(0, n - 1)), n);
+    }
+
+    std::ostringstream out;
+    ASSERT_TRUE(SaveGraph(g, &out));
+    std::istringstream in(out.str());
+    DataGraph loaded;
+    std::string error;
+    ASSERT_TRUE(LoadGraph(&in, &loaded, &error)) << error;
+    ASSERT_EQ(loaded.NumNodes(), g.NumNodes());
+    ASSERT_EQ(loaded.NumEdges(), g.NumEdges());
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      EXPECT_EQ(loaded.label_name(n), g.label_name(n)) << "trial " << trial;
+      EXPECT_EQ(loaded.children(n), g.children(n)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SerializationTest, SaveRejectsNewlineLabels) {
+  DataGraph g;
+  NodeId a = g.AddNode("bad\nlabel");
+  g.AddEdge(g.root(), a);
+  std::ostringstream out;
+  EXPECT_FALSE(SaveGraph(g, &out));
+
+  DataGraph g2;
+  NodeId b = g2.AddNode("bad\rlabel");
+  g2.AddEdge(g2.root(), b);
+  std::ostringstream out2;
+  EXPECT_FALSE(SaveGraph(g2, &out2));
+}
+
 TEST(SerializationTest, IndexRoundTrip) {
   Rng rng(503);
   DataGraph g = testing_util::RandomGraph(150, 4, 25, &rng);
