@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -138,6 +139,45 @@ void BM_ValidateCandidate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ValidateCandidate);
+
+// Satellite win: validating a whole uncertain extent with one reusable
+// generation-stamped scratch versus allocating (and zeroing) fresh BFS
+// state per candidate. The fresh variant pays O(|V|) setup per candidate;
+// the shared variant pays it once per graph and O(1) per candidate.
+void BM_ValidateExtentFreshState(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  std::string error;
+  auto q = PathExpression::Parse("person.watches.watch", g.labels(), &error);
+  auto truth = EvaluateOnDataGraph(g, *q);
+  size_t extent = std::min<size_t>(truth.size(), 64);
+  for (auto _ : state) {
+    int64_t visits = 0;
+    for (size_t i = 0; i < extent; ++i) {
+      bool ok = ValidateCandidate(g, *q, truth[i], &visits);
+      benchmark::DoNotOptimize(ok);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(extent));
+}
+BENCHMARK(BM_ValidateExtentFreshState);
+
+void BM_ValidateExtentSharedScratch(benchmark::State& state) {
+  const DataGraph& g = SharedXmark().graph;
+  std::string error;
+  auto q = PathExpression::Parse("person.watches.watch", g.labels(), &error);
+  auto truth = EvaluateOnDataGraph(g, *q);
+  size_t extent = std::min<size_t>(truth.size(), 64);
+  ValidationScratch scratch;
+  for (auto _ : state) {
+    int64_t visits = 0;
+    for (size_t i = 0; i < extent; ++i) {
+      bool ok = ValidateCandidate(g, *q, truth[i], &visits, &scratch);
+      benchmark::DoNotOptimize(ok);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(extent));
+}
+BENCHMARK(BM_ValidateExtentSharedScratch);
 
 void BM_DkEdgeAddition(benchmark::State& state) {
   const bench::Dataset& dataset = SharedXmark();

@@ -1,0 +1,161 @@
+// Mixed read/update serving benchmark: N reader threads evaluate a fixed
+// query workload against QueryServer snapshots while one producer submits a
+// continuous stream of Section 6.2 edge toggles that the server's writer
+// thread applies and republishes. Reports reader throughput and republish
+// latency per reader count (the EXPERIMENTS.md "concurrent serving" table).
+//
+// Correctness of the concurrent path (bit-identical to the sequential
+// interleaving) is asserted in tests/serve_test.cc; this binary measures it.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/metrics.h"
+#include "index/dk_index.h"
+#include "serve/query_server.h"
+
+namespace dki {
+namespace {
+
+struct ConfigResult {
+  int readers = 0;
+  int64_t reads = 0;
+  double elapsed_sec = 0.0;
+  double reads_per_sec = 0.0;
+  int64_t ops_applied = 0;
+  int64_t publishes = 0;
+  double republish_mean_ms = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+ConfigResult RunConfig(const DkIndex& source,
+                       const std::vector<std::string>& queries,
+                       const std::vector<std::pair<NodeId, NodeId>>& edges,
+                       const std::set<std::pair<NodeId, NodeId>>& initial,
+                       int num_readers, double duration_sec) {
+  MetricsRegistry::Global().ResetAll();
+  QueryServer::Options options;
+  options.max_batch = 8;
+  QueryServer server(source, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> total_reads{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(num_readers));
+  for (int r = 0; r < num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      int64_t reads = 0;
+      size_t i = static_cast<size_t>(r);  // de-phase the reader loops
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = server.Evaluate(queries[i++ % queries.size()]);
+        if (!result.has_value()) break;  // parse errors are impossible here
+        ++reads;
+      }
+      total_reads.fetch_add(reads, std::memory_order_relaxed);
+    });
+  }
+
+  // The producer: toggle each recipe edge (add if absent in the served
+  // state, remove if present), paced so the writer keeps republishing for
+  // the whole window rather than going idle after an initial burst.
+  std::thread producer([&] {
+    std::set<std::pair<NodeId, NodeId>> present = initial;
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto& e = edges[i++ % edges.size()];
+      auto it = present.find(e);
+      if (it == present.end()) {
+        server.SubmitAddEdge(e.first, e.second);
+        present.insert(e);
+      } else {
+        server.SubmitRemoveEdge(e.first, e.second);
+        present.erase(it);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(duration_sec * 1000)));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  producer.join();
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  server.Flush();
+  server.Stop();
+
+  ConfigResult out;
+  out.readers = num_readers;
+  out.reads = total_reads.load();
+  out.elapsed_sec = elapsed;
+  out.reads_per_sec = static_cast<double>(out.reads) / elapsed;
+  QueryServer::Stats stats = server.stats();
+  out.ops_applied = stats.ops_applied;
+  out.publishes = stats.publishes;
+  const TimerMetric& republish =
+      MetricsRegistry::Global().GetTimer("serve.writer.republish");
+  if (republish.count() > 0) {
+    out.republish_mean_ms = static_cast<double>(republish.total_nanos()) /
+                            static_cast<double>(republish.count()) / 1e6;
+  }
+  ResultCache::Stats cs = server.cache_stats();
+  if (cs.hits + cs.misses > 0) {
+    out.cache_hit_rate = static_cast<double>(cs.hits) /
+                         static_cast<double>(cs.hits + cs.misses);
+  }
+  return out;
+}
+
+int Main() {
+  bench::Dataset dataset = bench::MakeXmark(bench::ScaleFromEnv());
+  bench::PrintDatasetBanner(dataset);
+
+  DataGraph build_copy = dataset.graph;
+  auto workload = bench::MakeWorkload(build_copy, 20, 20030609);
+  LabelRequirements reqs =
+      bench::MineWorkloadRequirements(workload, build_copy.labels());
+  DkIndex dk = DkIndex::Build(&build_copy, reqs);
+
+  std::vector<std::string> queries;
+  for (const auto& q : workload) queries.push_back(q.text());
+
+  auto edges = bench::MakeUpdateEdges(dataset, 128, 7);
+  std::set<std::pair<NodeId, NodeId>> initial;
+  for (const auto& e : edges) {
+    if (build_copy.HasEdge(e.first, e.second)) initial.insert(e);
+  }
+
+  std::printf("\nMixed workload: %d-query cycle per reader, 1 producer "
+              "toggling %zu recipe edges (~2000 ops/s), writer batch=8\n",
+              static_cast<int>(queries.size()), edges.size());
+  std::printf("\n%-8s %12s %12s %10s %10s %16s %10s\n", "readers", "reads",
+              "reads/sec", "applied", "publishes", "republish(ms)",
+              "hit_rate");
+  for (int readers : {1, 2, 4}) {
+    ConfigResult r =
+        RunConfig(dk, queries, edges, initial, readers, /*duration_sec=*/2.0);
+    std::printf("%-8d %12lld %12.0f %10lld %10lld %16.3f %10.2f\n", r.readers,
+                static_cast<long long>(r.reads), r.reads_per_sec,
+                static_cast<long long>(r.ops_applied),
+                static_cast<long long>(r.publishes), r.republish_mean_ms,
+                r.cache_hit_rate);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dki
+
+int main() { return dki::Main(); }

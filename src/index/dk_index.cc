@@ -86,6 +86,13 @@ DkIndex DkIndex::Build(DataGraph* graph, const LabelRequirements& reqs,
   return DkIndex(graph, std::move(index), std::move(effective));
 }
 
+DkIndex DkIndex::Fork(DataGraph* graph_copy) const {
+  DKI_CHECK(graph_copy != nullptr);
+  DKI_CHECK_EQ(graph_copy->NumNodes(), graph_->NumNodes());
+  DKI_CHECK_EQ(graph_copy->NumEdges(), graph_->NumEdges());
+  return DkIndex(graph_copy, index_.CloneOnto(graph_copy), effective_req_);
+}
+
 DkIndex DkIndex::FromParts(DataGraph* graph, IndexGraph index,
                            std::vector<int> effective_req) {
   DKI_CHECK(graph != nullptr);

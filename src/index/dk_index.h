@@ -155,6 +155,13 @@ class DkIndex {
   static DkIndex FromParts(DataGraph* graph, IndexGraph index,
                            std::vector<int> effective_req);
 
+  // Snapshot/fork support for the serving layer (src/serve/): a deep copy of
+  // this index rebound onto `graph_copy`, which must be a copy of graph().
+  // The fork and the original then evolve independently; the fork keeps the
+  // source's update epoch, so epoch trajectories stay comparable across
+  // forks that apply the same operations.
+  DkIndex Fork(DataGraph* graph_copy) const;
+
   // --- Section 5.2: edge addition ---------------------------------------
 
   struct EdgeUpdateStats {

@@ -60,6 +60,16 @@ class IndexGraph {
   // a copied graph in experiments).
   void set_graph(const DataGraph* graph) { graph_ = graph; }
 
+  // Snapshot support: a deep copy of this index rebound onto `graph`, which
+  // must be a copy of graph(). The serving layer (src/serve/) publishes
+  // immutable (data graph, index graph) pairs built this way; the copy
+  // carries the source's epoch.
+  IndexGraph CloneOnto(const DataGraph* graph) const {
+    IndexGraph copy(*this);
+    copy.graph_ = graph;
+    return copy;
+  }
+
   // --- update epoch ------------------------------------------------------
   //
   // Monotonic mutation counter consumed by the query-result cache

@@ -122,7 +122,7 @@ std::vector<NodeId> EvaluateOnDataGraph(const DataGraph& g,
   while (!queue.empty()) {
     PendingPair p = queue.front();
     queue.pop_front();
-    ++local.index_nodes_visited;
+    ++local.data_nodes_visited;  // this BFS pops *data* nodes
     if (a.is_accept(p.state)) in_result[static_cast<size_t>(p.node)] = true;
     for (NodeId w : g.children(p.node)) {
       next_states.clear();
@@ -144,17 +144,62 @@ std::vector<NodeId> EvaluateOnDataGraph(const DataGraph& g,
   return result;
 }
 
+void ValidationScratch::Prepare(int64_t num_nodes, int num_states) {
+  num_states_ = num_states;
+  use_masks_ = num_states <= 64;
+  if (use_masks_ &&
+      masks_.size() != static_cast<size_t>(num_nodes)) {
+    masks_.assign(static_cast<size_t>(num_nodes), 0);
+    mask_generation_.assign(static_cast<size_t>(num_nodes), 0);
+    generation_ = 0;  // generation 0 marks every slot stale
+  }
+}
+
+void ValidationScratch::BeginCandidate() {
+  queue_.clear();
+  if (use_masks_) {
+    ++generation_;  // lazily invalidates every per-node mask, O(1)
+  } else {
+    set_.clear();
+  }
+}
+
+bool ValidationScratch::Insert(int32_t node, int state) {
+  if (use_masks_) {
+    size_t i = static_cast<size_t>(node);
+    if (mask_generation_[i] != generation_) {
+      mask_generation_[i] = generation_;
+      masks_[i] = 0;
+    }
+    uint64_t bit = uint64_t{1} << state;
+    if (masks_[i] & bit) return false;
+    masks_[i] |= bit;
+    return true;
+  }
+  return set_
+      .insert(static_cast<int64_t>(node) * num_states_ + state)
+      .second;
+}
+
 bool ValidateCandidate(const DataGraph& g, const PathExpression& query,
                        NodeId node, int64_t* visited_pairs) {
+  ValidationScratch scratch;
+  return ValidateCandidate(g, query, node, visited_pairs, &scratch);
+}
+
+bool ValidateCandidate(const DataGraph& g, const PathExpression& query,
+                       NodeId node, int64_t* visited_pairs,
+                       ValidationScratch* scratch) {
   const Automaton& rev = query.reverse();
+  scratch->Prepare(g.NumNodes(), rev.num_states());
+  scratch->BeginCandidate();
+  auto& queue = scratch->queue_;
   // The reversed automaton consumes the word back to front; the first symbol
   // it reads is label(node).
-  VisitedSet visited(g.NumNodes(), rev.num_states());
-  std::deque<std::pair<NodeId, int>> queue;
   for (int q : rev.StartMove(g.label(node))) {
-    if (visited.Insert(node, q)) queue.emplace_back(node, q);
+    if (scratch->Insert(node, q)) queue.emplace_back(node, q);
   }
-  std::vector<int> next_states;
+  auto& next_states = scratch->next_states_;
   while (!queue.empty()) {
     auto [v, state] = queue.front();
     queue.pop_front();
@@ -164,7 +209,7 @@ bool ValidateCandidate(const DataGraph& g, const PathExpression& query,
       next_states.clear();
       rev.Move(state, g.label(p), &next_states);
       for (int q : next_states) {
-        if (visited.Insert(p, q)) queue.emplace_back(p, q);
+        if (scratch->Insert(p, q)) queue.emplace_back(p, q);
       }
     }
   }
@@ -211,6 +256,9 @@ std::vector<NodeId> EvaluateOnIndex(const IndexGraph& index,
   }
 
   // Theorem 1: depth <= k(n) makes the whole extent a certain answer.
+  // Uncertain extents share one validation scratch: its generation-stamped
+  // visited set costs O(touched) per candidate, not O(|V|) zeroing.
+  ValidationScratch scratch;
   std::vector<NodeId> result;
   for (const auto& [inode, depth] : accept_depth) {
     const std::vector<NodeId>& extent = index.extent(inode);
@@ -226,7 +274,8 @@ std::vector<NodeId> EvaluateOnIndex(const IndexGraph& index,
     }
     for (NodeId member : extent) {
       ++local.validated_candidates;
-      if (ValidateCandidate(g, query, member, &local.data_nodes_visited)) {
+      if (ValidateCandidate(g, query, member, &local.data_nodes_visited,
+                            &scratch)) {
         result.push_back(member);
       }
     }

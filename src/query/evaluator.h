@@ -2,6 +2,9 @@
 #define DKINDEX_QUERY_EVALUATOR_H_
 
 #include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "graph/data_graph.h"
@@ -17,8 +20,9 @@ namespace dki {
 // (node, automaton-state) expansion as one visit, uniformly across all index
 // kinds, so comparisons are apples-to-apples.
 struct EvalStats {
-  int64_t index_nodes_visited = 0;  // product-BFS pops on the queried graph
-  int64_t data_nodes_visited = 0;   // validation pairs touched
+  int64_t index_nodes_visited = 0;  // product-BFS pops on an index graph
+  int64_t data_nodes_visited = 0;   // data-graph pops: direct evaluation
+                                    // and validation pairs touched
   int64_t validated_candidates = 0; // data nodes put through validation
   int64_t uncertain_index_nodes = 0;
   int64_t result_size = 0;
@@ -56,11 +60,59 @@ std::vector<NodeId> EvaluateOnIndex(const IndexGraph& index,
                                     EvalStats* stats = nullptr,
                                     bool validate = true);
 
+class ValidationScratch;
+
 // The validation primitive: true iff some node path ending in `node`
 // matches a word of `query` (reverse-automaton BFS over parent edges).
 // Visited (node, state) pairs are added to *visited_pairs.
+//
+// This form allocates fresh O(|V|) traversal state per call; validating many
+// candidates of one query should share a ValidationScratch (below).
 bool ValidateCandidate(const DataGraph& g, const PathExpression& query,
                        NodeId node, int64_t* visited_pairs);
+
+// Same, reusing `scratch` across candidates: the visited set is
+// generation-stamped, so consecutive calls pay O(touched nodes) instead of
+// O(|V|) zeroing each. EvaluateOnIndex validates every member of an
+// uncertain extent through one scratch. The scratch may be reused across
+// queries and graphs; it re-sizes itself as needed.
+bool ValidateCandidate(const DataGraph& g, const PathExpression& query,
+                       NodeId node, int64_t* visited_pairs,
+                       ValidationScratch* scratch);
+
+// Reusable traversal state for ValidateCandidate: a per-node state bitmask
+// invalidated lazily by a generation stamp (automata up to 64 states — the
+// common case), a hash set otherwise, plus the BFS deque. One instance
+// serves one thread.
+class ValidationScratch {
+ public:
+  ValidationScratch() = default;
+
+  ValidationScratch(const ValidationScratch&) = delete;
+  ValidationScratch& operator=(const ValidationScratch&) = delete;
+
+ private:
+  friend bool ValidateCandidate(const DataGraph&, const PathExpression&,
+                                NodeId, int64_t*, ValidationScratch*);
+
+  // Sizes the visited structures for a (graph, automaton) pair; cheap when
+  // the sizes are unchanged from the previous call.
+  void Prepare(int64_t num_nodes, int num_states);
+  // Starts a candidate: clears the queue and invalidates the visited set
+  // (O(1) via the generation stamp on the bitmask path).
+  void BeginCandidate();
+  // Marks (node, state); returns true if it was new this candidate.
+  bool Insert(int32_t node, int state);
+
+  int num_states_ = 0;
+  bool use_masks_ = true;
+  uint64_t generation_ = 0;
+  std::vector<uint64_t> masks_;            // per-node state bitmask
+  std::vector<uint64_t> mask_generation_;  // candidate that wrote masks_[i]
+  std::unordered_set<int64_t> set_;        // fallback for > 64 states
+  std::deque<std::pair<int32_t, int>> queue_;
+  std::vector<int> next_states_;
+};
 
 }  // namespace dki
 

@@ -109,13 +109,21 @@ bool ResultCache::TryGet(const std::string& key, uint64_t epoch,
 void ResultCache::Put(const std::string& key, uint64_t epoch,
                       std::vector<NodeId> result) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = by_key_.find(key);
-  if (it != by_key_.end()) EraseLocked(it->second);
   Entry entry;
   entry.key = key;
   entry.epoch = epoch;
   entry.result = std::move(result);
   entry.bytes = EntryBytes(entry);
+  if (entry.bytes > options_.byte_budget) {
+    // An entry that can never fit must be rejected up front: inserting it
+    // and then evicting to budget would drain the entire LRU (every other
+    // entry plus the new one) without retaining anything.
+    ++stats_.oversized_rejects;
+    DKI_METRIC_COUNTER("cache.result.oversized_rejects").Increment();
+    return;
+  }
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) EraseLocked(it->second);
   bytes_ += entry.bytes;
   lru_.push_front(std::move(entry));
   by_key_[lru_.front().key] = lru_.begin();

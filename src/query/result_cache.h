@@ -78,6 +78,9 @@ class ResultCache {
     int64_t misses = 0;
     int64_t evictions = 0;
     int64_t stale_drops = 0;
+    // Entries larger than the whole byte budget, rejected by Put without
+    // disturbing the resident entries.
+    int64_t oversized_rejects = 0;
     int64_t entries = 0;
     int64_t bytes = 0;
   };

@@ -1,0 +1,183 @@
+#include "serve/query_server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace dki {
+
+QueryServer::QueryServer(const DkIndex& source, Options options)
+    : options_(options),
+      master_graph_(source.graph()),
+      master_(source.Fork(&master_graph_)),
+      queue_(options.queue_capacity, options.full_policy),
+      cache_(ResultCache::Options{options.cache_byte_budget}) {
+  Publish();  // readers have a snapshot before the writer even starts
+  writer_ = std::thread(&QueryServer::WriterLoop, this);
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+std::shared_ptr<const IndexSnapshot> QueryServer::snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+std::optional<std::vector<NodeId>> QueryServer::Evaluate(
+    const std::string& query_text, EvalStats* stats,
+    std::string* error) const {
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  return EvaluateOn(*snap, query_text, stats, error);
+}
+
+std::optional<std::vector<NodeId>> QueryServer::EvaluateOn(
+    const IndexSnapshot& snap, const std::string& query_text,
+    EvalStats* stats, std::string* error) const {
+  DKI_METRIC_COUNTER("serve.query.calls").Increment();
+  ScopedTimer timer(&DKI_METRIC_TIMER("serve.query"));
+  // Parse against the snapshot's own label table: labels added by a queued
+  // AddSubgraph become queryable exactly when a snapshot containing them is
+  // published.
+  std::string parse_error;
+  std::optional<PathExpression> query =
+      PathExpression::Parse(query_text, snap.graph().labels(), &parse_error);
+  if (!query.has_value()) {
+    DKI_METRIC_COUNTER("serve.query.parse_errors").Increment();
+    if (error != nullptr) *error = parse_error;
+    return std::nullopt;
+  }
+  return cache_.CachedEvaluate(snap.index(), *query, stats,
+                               options_.validate);
+}
+
+bool QueryServer::SubmitAddEdge(NodeId u, NodeId v) {
+  return Submit(UpdateOp::AddEdge(u, v));
+}
+
+bool QueryServer::SubmitRemoveEdge(NodeId u, NodeId v) {
+  return Submit(UpdateOp::RemoveEdge(u, v));
+}
+
+bool QueryServer::SubmitAddSubgraph(DataGraph h) {
+  return Submit(UpdateOp::AddSubgraph(std::move(h)));
+}
+
+bool QueryServer::Submit(UpdateOp op) {
+  {
+    // Counted before the push so a Flush racing with this Submit waits for
+    // the op; rolled back below if the queue rejects it.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++accepted_;
+  }
+  if (queue_.Push(std::move(op))) {
+    DKI_METRIC_COUNTER("serve.update.submitted").Increment();
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    --accepted_;
+    ++rejected_;
+  }
+  state_cv_.notify_all();  // the rollback may complete a pending Flush
+  DKI_METRIC_COUNTER("serve.update.rejected").Increment();
+  return false;
+}
+
+void QueryServer::Flush() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  state_cv_.wait(lock, [&] { return applied_published_ >= accepted_; });
+}
+
+void QueryServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.Close();  // writer drains the remainder, publishes, and exits
+  if (writer_.joinable()) writer_.join();
+}
+
+QueryServer::Stats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  Stats s;
+  s.ops_accepted = accepted_;
+  s.ops_rejected = rejected_;
+  s.ops_applied = applied_published_;
+  s.ops_invalid = invalid_;
+  s.batches = batches_;
+  s.publishes = publishes_;
+  return s;
+}
+
+void QueryServer::WriterLoop() {
+  std::vector<UpdateOp> batch;
+  while (queue_.PopBatch(options_.max_batch, &batch)) {
+    {
+      ScopedTimer batch_timer(&DKI_METRIC_TIMER("serve.writer.batch"));
+      for (const UpdateOp& op : batch) {
+        ScopedTimer op_timer(&DKI_METRIC_TIMER("serve.writer.op"));
+        ApplyOp(op);
+      }
+    }
+    DKI_METRIC_COUNTER("serve.writer.batches").Increment();
+    DKI_METRIC_COUNTER("serve.update.applied")
+        .Increment(static_cast<int64_t>(batch.size()));
+    Publish();
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      ++batches_;
+      applied_published_ += static_cast<int64_t>(batch.size());
+    }
+    state_cv_.notify_all();
+  }
+}
+
+void QueryServer::ApplyOp(const UpdateOp& op) {
+  // Ops are validated at apply time, not submit time: an AddSubgraph queued
+  // earlier may grow the node range an edge op refers to, so the master's
+  // state when the op is applied is the only authoritative one.
+  auto valid_node = [&](NodeId n) {
+    return n >= 0 && n < master_graph_.NumNodes();
+  };
+  switch (op.kind) {
+    case UpdateOp::Kind::kAddEdge:
+      if (!valid_node(op.u) || !valid_node(op.v)) break;
+      master_.AddEdge(op.u, op.v);
+      return;
+    case UpdateOp::Kind::kRemoveEdge:
+      if (!valid_node(op.u) || !valid_node(op.v)) break;
+      master_.RemoveEdge(op.u, op.v);
+      return;
+    case UpdateOp::Kind::kAddSubgraph:
+      if (op.subgraph == nullptr) break;
+      master_.AddSubgraph(*op.subgraph);
+      return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++invalid_;
+  }
+  DKI_METRIC_COUNTER("serve.update.invalid").Increment();
+}
+
+void QueryServer::Publish() {
+  std::shared_ptr<const IndexSnapshot> next;
+  {
+    ScopedTimer timer(&DKI_METRIC_TIMER("serve.writer.republish"));
+    next = std::make_shared<const IndexSnapshot>(master_graph_,
+                                                 master_.index());
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(next);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++publishes_;
+  }
+  DKI_METRIC_COUNTER("serve.snapshot.publishes").Increment();
+}
+
+}  // namespace dki

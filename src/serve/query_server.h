@@ -1,0 +1,176 @@
+#ifndef DKINDEX_SERVE_QUERY_SERVER_H_
+#define DKINDEX_SERVE_QUERY_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "index/dk_index.h"
+#include "query/evaluator.h"
+#include "query/result_cache.h"
+#include "serve/snapshot.h"
+#include "serve/update_queue.h"
+
+namespace dki {
+
+// Snapshot-isolated concurrent serving of a D(k)-index (the ROADMAP's
+// "heavy traffic" story): any number of reader threads answer queries
+// against immutable, epoch-stamped IndexSnapshots, while ONE writer thread
+// owns the mutable master index and drains a bounded MPSC queue of
+// Section 5 update operations.
+//
+//   readers ──► snapshot() ──► shared_ptr<const IndexSnapshot> ─┐
+//                 ▲  (shared_mutex-guarded pointer swap)        │ evaluate
+//                 │                                             ▼
+//   publish ◄── writer thread ◄── UpdateQueue ◄── SubmitAddEdge /
+//   (deep copy      applies batches to the        SubmitRemoveEdge /
+//    + swap)        private master DkIndex        SubmitAddSubgraph
+//
+// The contract:
+//   * Readers never block on the writer and never see a half-applied batch:
+//     a snapshot is either the state before a batch or after it, never
+//     between ops. A held snapshot yields bit-identical answers forever.
+//   * Updates are applied in submission order (single consumer); with one
+//     producer the served states are exactly the sequential interleaving's
+//     prefix states.
+//   * Backpressure: the queue is bounded; producers block or get rejected
+//     (Options::full_policy) when the writer falls behind.
+//   * Query results flow through the epoch-stamped ResultCache, so repeated
+//     traffic between republishes is served from memory and a stale entry
+//     can never be returned (epochs are monotonic and never reused).
+//
+// The cost of this isolation is one deep copy of (data graph, index graph)
+// per republish — the batch size knob trades update latency against copy
+// amortization; republish latency is recorded under serve.writer.republish.
+class QueryServer {
+ public:
+  struct Options {
+    // Bounded update-queue capacity (ops), and what Submit* does when the
+    // queue is full.
+    size_t queue_capacity = 1024;
+    UpdateQueue::FullPolicy full_policy = UpdateQueue::FullPolicy::kBlock;
+    // Max ops the writer applies between two republishes.
+    size_t max_batch = 64;
+    // Byte budget of the shared result cache.
+    int64_t cache_byte_budget = 8 * 1024 * 1024;
+    // Validate uncertain extents (exact answers) vs raw safe answers.
+    bool validate = true;
+  };
+
+  // Forks a private master from `source` (deep copy; `source` is not
+  // referenced afterwards), publishes the initial snapshot, and starts the
+  // writer thread.
+  explicit QueryServer(const DkIndex& source)
+      : QueryServer(source, Options()) {}
+  QueryServer(const DkIndex& source, Options options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // --- read path (any thread, lock-free against the writer) --------------
+
+  // The latest published snapshot. Holding it pins that state: evaluations
+  // against it stay bit-identical across any number of concurrent
+  // republishes.
+  std::shared_ptr<const IndexSnapshot> snapshot() const;
+
+  // Parses `query_text` against the latest snapshot's labels and evaluates
+  // through the result cache. Returns nullopt on parse errors (message in
+  // *error if given).
+  std::optional<std::vector<NodeId>> Evaluate(const std::string& query_text,
+                                              EvalStats* stats = nullptr,
+                                              std::string* error = nullptr)
+      const;
+
+  // Same against a caller-held snapshot (snapshot isolation: the caller
+  // chooses the state to read).
+  std::optional<std::vector<NodeId>> EvaluateOn(const IndexSnapshot& snap,
+                                                const std::string& query_text,
+                                                EvalStats* stats = nullptr,
+                                                std::string* error = nullptr)
+      const;
+
+  // --- update path (any thread; applied by the writer thread) ------------
+
+  // Enqueue one operation. Returns false iff rejected (full queue under
+  // kReject, or the server is stopped); a false return means the op will
+  // never be applied.
+  bool SubmitAddEdge(NodeId u, NodeId v);
+  bool SubmitRemoveEdge(NodeId u, NodeId v);
+  bool SubmitAddSubgraph(DataGraph h);
+
+  // Blocks until every op accepted so far has been applied AND published
+  // (queue quiescent). Mainly for tests and benchmarks; under continuous
+  // concurrent submission it waits for those ops too.
+  void Flush();
+
+  // Graceful shutdown: rejects new submissions, drains the queue, publishes
+  // the final state, joins the writer. Idempotent; the read path stays
+  // usable afterwards. Called by the destructor.
+  void Stop();
+
+  struct Stats {
+    int64_t ops_accepted = 0;   // Submit* calls that returned true
+    int64_t ops_rejected = 0;   // Submit* calls that returned false
+    int64_t ops_applied = 0;    // ops applied to the master and published
+    int64_t ops_invalid = 0;    // dropped at apply time (e.g. bad node id)
+    int64_t batches = 0;        // writer batches (== republishes after init)
+    int64_t publishes = 0;      // snapshots published, including the initial
+  };
+  Stats stats() const;
+
+  // The shared result cache's counters (hits/misses/stale drops/...).
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+
+  const Options& options() const { return options_; }
+
+ private:
+  void WriterLoop();
+  void ApplyOp(const UpdateOp& op);
+  // Deep-copies the master into a fresh snapshot and swaps it in.
+  void Publish();
+  bool Submit(UpdateOp op);
+
+  const Options options_;
+
+  // The writer's private master; only the writer thread (and the
+  // constructor, before the thread starts) touches these.
+  DataGraph master_graph_;
+  DkIndex master_;
+
+  UpdateQueue queue_;
+  mutable ResultCache cache_;
+
+  // Publication point. Readers copy the shared_ptr under a shared lock;
+  // the writer swaps it under an exclusive lock.
+  mutable std::shared_mutex snapshot_mu_;
+  std::shared_ptr<const IndexSnapshot> snapshot_;
+
+  // Flush/stats accounting. accepted_ is incremented BEFORE the queue push
+  // (and rolled back on rejection), so Flush's quiescence predicate
+  // `applied_published_ >= accepted_` can never be satisfied while an
+  // accepted op is still in flight.
+  mutable std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  int64_t accepted_ = 0;
+  int64_t applied_published_ = 0;
+  int64_t rejected_ = 0;
+  int64_t invalid_ = 0;
+  int64_t batches_ = 0;
+  int64_t publishes_ = 0;
+
+  std::thread writer_;
+  bool stopped_ = false;  // guarded by state_mu_
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_SERVE_QUERY_SERVER_H_

@@ -1,0 +1,43 @@
+#ifndef DKINDEX_SERVE_SNAPSHOT_H_
+#define DKINDEX_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+
+#include "graph/data_graph.h"
+#include "index/index_graph.h"
+
+namespace dki {
+
+// An immutable, epoch-stamped copy of the servable state: the data graph
+// plus the index graph rebound onto that copy. Published by QueryServer as
+// shared_ptr<const IndexSnapshot>, so any number of reader threads evaluate
+// against a consistent pair with no locking — the snapshot never changes
+// after construction, and the shared_ptr keeps it alive for as long as any
+// reader holds it, across any number of republishes.
+//
+// Both members are deep copies; readers holding a snapshot are therefore
+// fully isolated from the writer's private master, which keeps mutating.
+class IndexSnapshot {
+ public:
+  // Deep-copies `graph` and `index`, rebinding the index copy onto the
+  // graph copy. `index.graph()` must be `graph`.
+  IndexSnapshot(const DataGraph& graph, const IndexGraph& index)
+      : graph_(graph), index_(index.CloneOnto(&graph_)) {}
+
+  IndexSnapshot(const IndexSnapshot&) = delete;
+  IndexSnapshot& operator=(const IndexSnapshot&) = delete;
+
+  const DataGraph& graph() const { return graph_; }
+  const IndexGraph& index() const { return index_; }
+
+  // The update epoch the snapshot was taken at (IndexGraph::epoch).
+  uint64_t epoch() const { return index_.epoch(); }
+
+ private:
+  DataGraph graph_;   // declared first: index_ is rebound onto it
+  IndexGraph index_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_SERVE_SNAPSHOT_H_

@@ -1,0 +1,51 @@
+#include "serve/update_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dki {
+
+bool UpdateQueue::Push(UpdateOp op) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (policy_ == FullPolicy::kReject) {
+    if (closed_ || queue_.size() >= capacity_) return false;
+  } else {
+    not_full_cv_.wait(
+        lock, [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+  }
+  queue_.push_back(std::move(op));
+  not_empty_cv_.notify_one();
+  return true;
+}
+
+bool UpdateQueue::PopBatch(size_t max_batch, std::vector<UpdateOp>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // closed and drained
+  size_t n = std::min(std::max<size_t>(max_batch, 1), queue_.size());
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  not_full_cv_.notify_all();
+  return true;
+}
+
+void UpdateQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_cv_.notify_all();
+  not_empty_cv_.notify_all();
+}
+
+size_t UpdateQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace dki

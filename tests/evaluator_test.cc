@@ -73,8 +73,12 @@ TEST_F(EvaluatorTest, EmptyResultForUnknownLabel) {
 TEST_F(EvaluatorTest, StatsCountVisits) {
   EvalStats stats;
   Eval("director.movie.title", &stats);
-  EXPECT_GT(stats.index_nodes_visited, 0);
-  EXPECT_EQ(stats.data_nodes_visited, 0);  // no validation on the data graph
+  // Direct evaluation pops *data* nodes: the data/index split in metrics
+  // must reflect that (regression: these pops were booked as index visits,
+  // leaving eval.data.data_nodes_visited permanently zero).
+  EXPECT_GT(stats.data_nodes_visited, 0);
+  EXPECT_EQ(stats.index_nodes_visited, 0);  // no index graph involved
+  EXPECT_EQ(stats.cost(), stats.data_nodes_visited);
 }
 
 TEST_F(EvaluatorTest, ValidateCandidateAgreesWithForwardEvaluation) {
@@ -89,6 +93,27 @@ TEST_F(EvaluatorTest, ValidateCandidateAgreesWithForwardEvaluation) {
         << "node " << n;
   }
   EXPECT_GT(visits, 0);
+}
+
+TEST_F(EvaluatorTest, SharedScratchValidationMatchesFreshState) {
+  // The scratch-reusing overload must agree with the allocate-per-call form
+  // on verdicts AND on visited-pair counts, across many candidates and
+  // several queries through the same scratch instance.
+  Rng rng(907);
+  DataGraph g = testing_util::RandomGraph(120, 4, 40, &rng);
+  ValidationScratch scratch;
+  for (int qi = 0; qi < 5; ++qi) {
+    PathExpression q = testing_util::MustParse(
+        testing_util::RandomChainQuery(g, 3, &rng), g.labels());
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      int64_t fresh_visits = 0, scratch_visits = 0;
+      bool fresh = ValidateCandidate(g, q, n, &fresh_visits);
+      bool reused = ValidateCandidate(g, q, n, &scratch_visits, &scratch);
+      EXPECT_EQ(fresh, reused) << "query " << q.text() << " node " << n;
+      EXPECT_EQ(fresh_visits, scratch_visits)
+          << "query " << q.text() << " node " << n;
+    }
+  }
 }
 
 TEST_F(EvaluatorTest, IndexEvaluationMatchesTruthAcrossIndexKinds) {

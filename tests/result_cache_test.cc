@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "datagen/nasa_generator.h"
 #include "datagen/xmark_generator.h"
 #include "index/ak_index.h"
@@ -213,6 +214,81 @@ TEST(ResultCacheTest, LruEvictionUnderSmallByteBudget) {
   PathExpression last = testing_util::MustParse(texts.back(), g.labels());
   auto result = cache.CachedEvaluate(dk.index(), last);
   EXPECT_EQ(result, EvaluateOnIndex(dk.index(), last));
+}
+
+TEST(ResultCacheTest, OversizedEntryRejectedWithoutEviction) {
+  ResultCache::Options options;
+  options.byte_budget = 600;
+  ResultCache cache(options);
+
+  cache.Put("small_a", 1, {1, 2, 3});
+  cache.Put("small_b", 1, {4, 5, 6});
+  ResultCache::Stats before = cache.stats();
+  ASSERT_EQ(before.entries, 2);
+
+  // An entry whose own footprint exceeds the entire budget must be turned
+  // away up front — inserting it and evicting to budget would wipe every
+  // resident entry AND the new one, leaving the cache empty.
+  std::vector<NodeId> huge(1024, 7);  // 4 KiB of payload vs a 600 B budget
+  cache.Put("huge", 1, huge);
+
+  ResultCache::Stats after = cache.stats();
+  EXPECT_EQ(after.entries, 2);
+  EXPECT_EQ(after.bytes, before.bytes);
+  EXPECT_EQ(after.evictions, 0);
+  EXPECT_EQ(after.oversized_rejects, 1);
+
+  std::vector<NodeId> out;
+  EXPECT_TRUE(cache.TryGet("small_a", 1, &out));
+  EXPECT_EQ(out, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_TRUE(cache.TryGet("small_b", 1, &out));
+  EXPECT_FALSE(cache.TryGet("huge", 1, &out));
+}
+
+TEST(ResultCacheTest, ConcurrentMixedUseKeepsInvariants) {
+  ResultCache::Options options;
+  options.byte_budget = 4096;
+  ResultCache cache(options);
+
+  // Hammer TryGet/Put/Clear/stats from the thread pool; the assertions are
+  // the invariants (budget respected, stats consistent) plus, under TSan,
+  // the absence of data races.
+  ThreadPool pool(4);
+  constexpr int64_t kIters = 2000;
+  pool.ParallelFor(kIters, 8, [&](int chunk, int64_t begin, int64_t end) {
+    (void)chunk;
+    for (int64_t i = begin; i < end; ++i) {
+      std::string key = "q" + std::to_string(i % 17);
+      uint64_t epoch = static_cast<uint64_t>(i % 3);
+      switch (i % 5) {
+        case 0:
+        case 1:
+          cache.Put(key, epoch,
+                    std::vector<NodeId>(static_cast<size_t>(i % 9),
+                                        static_cast<NodeId>(i)));
+          break;
+        case 2:
+        case 3: {
+          std::vector<NodeId> out;
+          cache.TryGet(key, epoch, &out);
+          break;
+        }
+        case 4:
+          if (i % 401 == 0) {
+            cache.Clear();
+          } else {
+            ResultCache::Stats s = cache.stats();
+            EXPECT_GE(s.bytes, 0);
+            EXPECT_LE(s.bytes, options.byte_budget);
+          }
+          break;
+      }
+    }
+  });
+
+  ResultCache::Stats s = cache.stats();
+  EXPECT_LE(s.bytes, options.byte_budget);
+  EXPECT_GE(s.hits + s.misses, 0);
 }
 
 TEST(ResultCacheTest, CachedMatchesUncachedOnXmarkSeed) {

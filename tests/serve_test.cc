@@ -1,0 +1,375 @@
+#include "serve/query_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "index/dk_index.h"
+#include "query/evaluator.h"
+#include "serve/snapshot.h"
+#include "serve/update_queue.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+// ---------------------------------------------------------------------------
+// UpdateQueue: ordering, batching, backpressure, shutdown.
+// ---------------------------------------------------------------------------
+
+TEST(UpdateQueueTest, FifoOrderAndBatchBound) {
+  UpdateQueue q(16, UpdateQueue::FullPolicy::kBlock);
+  for (NodeId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.Push(UpdateOp::AddEdge(i, i + 1)));
+  }
+  EXPECT_EQ(q.size(), 5u);
+
+  std::vector<UpdateOp> batch;
+  ASSERT_TRUE(q.PopBatch(3, &batch));
+  ASSERT_EQ(batch.size(), 3u);
+  for (NodeId i = 0; i < 3; ++i) EXPECT_EQ(batch[static_cast<size_t>(i)].u, i);
+
+  ASSERT_TRUE(q.PopBatch(100, &batch));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].u, 3);
+  EXPECT_EQ(batch[1].u, 4);
+}
+
+TEST(UpdateQueueTest, RejectPolicyWhenFull) {
+  UpdateQueue q(2, UpdateQueue::FullPolicy::kReject);
+  EXPECT_TRUE(q.Push(UpdateOp::AddEdge(1, 2)));
+  EXPECT_TRUE(q.Push(UpdateOp::AddEdge(2, 3)));
+  EXPECT_FALSE(q.Push(UpdateOp::AddEdge(3, 4)));  // full: rejected, not lost
+  std::vector<UpdateOp> batch;
+  ASSERT_TRUE(q.PopBatch(10, &batch));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(q.Push(UpdateOp::AddEdge(3, 4)));  // space freed
+}
+
+TEST(UpdateQueueTest, BlockPolicyWaitsForConsumer) {
+  UpdateQueue q(1, UpdateQueue::FullPolicy::kBlock);
+  constexpr int kOps = 32;
+  std::thread consumer([&] {
+    std::vector<UpdateOp> batch;
+    int seen = 0;
+    while (seen < kOps && q.PopBatch(4, &batch)) {
+      for (const UpdateOp& op : batch) {
+        EXPECT_EQ(op.u, seen);  // FIFO survives the blocking producer
+        ++seen;
+      }
+    }
+    EXPECT_EQ(seen, kOps);
+  });
+  for (NodeId i = 0; i < kOps; ++i) {
+    EXPECT_TRUE(q.Push(UpdateOp::AddEdge(i, i)));  // blocks when full
+  }
+  consumer.join();
+}
+
+TEST(UpdateQueueTest, CloseDrainsThenUnblocks) {
+  UpdateQueue q(8, UpdateQueue::FullPolicy::kBlock);
+  ASSERT_TRUE(q.Push(UpdateOp::AddEdge(7, 8)));
+  q.Close();
+  EXPECT_FALSE(q.Push(UpdateOp::AddEdge(9, 10)));  // closed: rejected
+  std::vector<UpdateOp> batch;
+  ASSERT_TRUE(q.PopBatch(10, &batch));  // queued op still drains
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].u, 7);
+  EXPECT_FALSE(q.PopBatch(10, &batch));  // closed and empty: consumer exits
+}
+
+// ---------------------------------------------------------------------------
+// QueryServer: serving correctness.
+// ---------------------------------------------------------------------------
+
+DkIndex BuildMovieIndex(DataGraph* g) {
+  LabelRequirements reqs;
+  reqs[g->labels().Find("title")] = 2;
+  return DkIndex::Build(g, reqs);
+}
+
+TEST(QueryServerTest, ServesGroundTruthAnswers) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  DataGraph truth_graph = g;
+  DkIndex dk = BuildMovieIndex(&g);
+  QueryServer server(dk);
+
+  for (const char* text :
+       {"director.movie.title", "actor.movie.title", "movieDB//title"}) {
+    auto result = server.Evaluate(text);
+    ASSERT_TRUE(result.has_value()) << text;
+    EXPECT_EQ(*result,
+              EvaluateOnDataGraph(
+                  truth_graph,
+                  testing_util::MustParse(text, truth_graph.labels())))
+        << text;
+  }
+  // Repeats hit the shared cache.
+  auto repeat = server.Evaluate("director.movie.title");
+  ASSERT_TRUE(repeat.has_value());
+  EXPECT_GT(server.cache_stats().hits, 0);
+}
+
+TEST(QueryServerTest, ParseErrorsAreReportedNotServed) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = BuildMovieIndex(&g);
+  QueryServer server(dk);
+  std::string error;
+  EXPECT_FALSE(server.Evaluate("movie..", nullptr, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(QueryServerTest, AppliesUpdatesInSubmissionOrder) {
+  Rng rng(4001);
+  DataGraph original = testing_util::RandomGraph(150, 4, 25, &rng);
+  LabelRequirements reqs;
+  reqs[static_cast<LabelId>(rng.UniformInt(2, original.labels().size() - 1))] =
+      2;
+
+  // Offline reference: apply the ops sequentially to a private copy.
+  DataGraph offline_graph = original;
+  DkIndex offline = DkIndex::Build(&offline_graph, reqs);
+  std::string probe = testing_util::RandomChainQuery(original, 3, &rng);
+
+  std::vector<UpdateOp> ops;
+  for (int i = 0; i < 40; ++i) {
+    NodeId u = static_cast<NodeId>(
+        rng.UniformInt(1, offline_graph.NumNodes() - 1));
+    NodeId v = static_cast<NodeId>(
+        rng.UniformInt(1, offline_graph.NumNodes() - 1));
+    if (u == v) continue;
+    if (offline_graph.HasEdge(u, v)) {
+      ops.push_back(UpdateOp::RemoveEdge(u, v));
+      offline.RemoveEdge(u, v);
+    } else {
+      ops.push_back(UpdateOp::AddEdge(u, v));
+      offline.AddEdge(u, v);
+    }
+  }
+  auto expected = EvaluateOnIndex(
+      offline.index(),
+      testing_util::MustParse(probe, offline_graph.labels()));
+
+  // Online: same initial state, same ops through the queue.
+  DataGraph online_graph = original;
+  DkIndex dk = DkIndex::Build(&online_graph, reqs);
+  QueryServer server(dk);
+  for (const UpdateOp& op : ops) {
+    ASSERT_TRUE(op.kind == UpdateOp::Kind::kAddEdge
+                    ? server.SubmitAddEdge(op.u, op.v)
+                    : server.SubmitRemoveEdge(op.u, op.v));
+  }
+  server.Flush();
+
+  QueryServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.ops_accepted, static_cast<int64_t>(ops.size()));
+  EXPECT_EQ(stats.ops_applied, static_cast<int64_t>(ops.size()));
+  EXPECT_EQ(stats.ops_invalid, 0);
+
+  auto served = server.Evaluate(probe);
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(*served, expected);
+  // Same op sequence, same epoch trajectory: the served snapshot's epoch
+  // matches the sequential run exactly.
+  EXPECT_EQ(server.snapshot()->epoch(), offline.epoch());
+}
+
+TEST(QueryServerTest, SnapshotIsolationAcrossRepublish) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = BuildMovieIndex(&g);
+  QueryServer server(dk);
+  const std::string text = "actor.movie.title";
+
+  // An edge that grows the answer: a movie-less actor to an actor-less movie
+  // (same construction as the result-cache epoch test).
+  LabelId actor = g.labels().Find("actor");
+  LabelId movie = g.labels().Find("movie");
+  NodeId lone_actor = kInvalidNode, unshared_movie = kInvalidNode;
+  for (NodeId a : g.NodesWithLabel(actor)) {
+    bool has_movie_child = false;
+    for (NodeId c : g.children(a)) {
+      if (g.label(c) == movie) has_movie_child = true;
+    }
+    if (!has_movie_child) lone_actor = a;
+  }
+  for (NodeId m : g.NodesWithLabel(movie)) {
+    bool has_actor_parent = false;
+    for (NodeId p : g.parents(m)) {
+      if (g.label(p) == actor) has_actor_parent = true;
+    }
+    if (!has_actor_parent) unshared_movie = m;
+  }
+  ASSERT_NE(lone_actor, kInvalidNode);
+  ASSERT_NE(unshared_movie, kInvalidNode);
+
+  std::shared_ptr<const IndexSnapshot> held = server.snapshot();
+  auto before = server.EvaluateOn(*held, text);
+  ASSERT_TRUE(before.has_value());
+
+  ASSERT_TRUE(server.SubmitAddEdge(lone_actor, unshared_movie));
+  server.Flush();
+
+  // The held snapshot is bit-identical to its pre-update self...
+  auto held_again = server.EvaluateOn(*held, text);
+  ASSERT_TRUE(held_again.has_value());
+  EXPECT_EQ(*held_again, *before);
+
+  // ...while the fresh snapshot serves the new answer at a later epoch.
+  std::shared_ptr<const IndexSnapshot> fresh = server.snapshot();
+  EXPECT_GT(fresh->epoch(), held->epoch());
+  auto after = server.EvaluateOn(*fresh, text);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_NE(*after, *before);
+  EXPECT_EQ(*after,
+            EvaluateOnIndex(fresh->index(),
+                            testing_util::MustParse(
+                                text, fresh->graph().labels())));
+}
+
+TEST(QueryServerTest, AddSubgraphServesNewLabels) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = BuildMovieIndex(&g);
+  QueryServer server(dk);
+
+  DataGraph h;
+  NodeId x = h.AddNode("studio");
+  NodeId y = h.AddNode("lot");
+  h.AddEdge(h.root(), x);
+  h.AddEdge(x, y);
+
+  // Unknown labels evaluate to empty (not an error) before the update.
+  auto before = server.Evaluate("studio.lot");
+  ASSERT_TRUE(before.has_value());
+  EXPECT_TRUE(before->empty());
+
+  ASSERT_TRUE(server.SubmitAddSubgraph(std::move(h)));
+  server.Flush();
+
+  auto after = server.Evaluate("studio.lot");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->size(), 1u);
+}
+
+TEST(QueryServerTest, InvalidOpsAreDroppedNotFatal) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = BuildMovieIndex(&g);
+  QueryServer server(dk);
+  ASSERT_TRUE(server.SubmitAddEdge(1, static_cast<NodeId>(1 << 20)));
+  ASSERT_TRUE(server.SubmitRemoveEdge(-3, 1));
+  server.Flush();
+  QueryServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.ops_applied, 2);
+  EXPECT_EQ(stats.ops_invalid, 2);
+  EXPECT_TRUE(server.Evaluate("director.movie.title").has_value());
+}
+
+TEST(QueryServerTest, StopRejectsFurtherSubmissions) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = BuildMovieIndex(&g);
+  QueryServer server(dk);
+  ASSERT_TRUE(server.SubmitAddEdge(1, 2));
+  server.Stop();
+  EXPECT_FALSE(server.SubmitAddEdge(2, 3));
+  QueryServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.ops_rejected, 1);
+  EXPECT_EQ(stats.ops_applied, 1);  // pre-stop op drained before the join
+  // The read path survives shutdown.
+  EXPECT_TRUE(server.Evaluate("director.movie.title").has_value());
+}
+
+// The acceptance-criteria test: concurrent readers + one update stream must
+// observe ONLY states produced by a sequential interleaving of the same
+// ops — every (epoch, result) pair a reader records must match the answer
+// the offline sequential run computed at that exact epoch.
+TEST(QueryServerTest, ConcurrentReadersSeeOnlySequentialStates) {
+  Rng rng(4003);
+  DataGraph original = testing_util::RandomGraph(200, 4, 30, &rng);
+  LabelRequirements reqs;
+  reqs[static_cast<LabelId>(rng.UniformInt(2, original.labels().size() - 1))] =
+      2;
+  std::string probe = testing_util::RandomChainQuery(original, 3, &rng);
+
+  // Offline: map every epoch the op stream can produce to its exact answer.
+  DataGraph offline_graph = original;
+  DkIndex offline = DkIndex::Build(&offline_graph, reqs);
+  std::map<uint64_t, std::vector<NodeId>> expected;
+  auto record = [&] {
+    expected[offline.epoch()] = EvaluateOnIndex(
+        offline.index(),
+        testing_util::MustParse(probe, offline_graph.labels()));
+  };
+  record();  // the initial published state
+  std::vector<UpdateOp> ops;
+  for (int i = 0; i < 60; ++i) {
+    NodeId u = static_cast<NodeId>(
+        rng.UniformInt(1, offline_graph.NumNodes() - 1));
+    NodeId v = static_cast<NodeId>(
+        rng.UniformInt(1, offline_graph.NumNodes() - 1));
+    if (u == v) continue;
+    if (offline_graph.HasEdge(u, v)) {
+      ops.push_back(UpdateOp::RemoveEdge(u, v));
+      offline.RemoveEdge(u, v);
+    } else {
+      ops.push_back(UpdateOp::AddEdge(u, v));
+      offline.AddEdge(u, v);
+    }
+    record();  // a snapshot may be published after any op boundary
+  }
+
+  DataGraph online_graph = original;
+  DkIndex dk = DkIndex::Build(&online_graph, reqs);
+  QueryServer::Options options;
+  options.max_batch = 4;  // several republishes along the stream
+  QueryServer server(dk, options);
+
+  constexpr int kReaders = 4;
+  constexpr int kReadsPerReader = 40;
+  std::vector<std::vector<std::pair<uint64_t, std::vector<NodeId>>>> seen(
+      kReaders);
+  std::atomic<bool> start{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        std::shared_ptr<const IndexSnapshot> snap = server.snapshot();
+        auto result = server.EvaluateOn(*snap, probe);
+        ASSERT_TRUE(result.has_value());
+        seen[static_cast<size_t>(r)].emplace_back(snap->epoch(),
+                                                  std::move(*result));
+      }
+    });
+  }
+
+  start.store(true, std::memory_order_release);
+  for (const UpdateOp& op : ops) {
+    ASSERT_TRUE(op.kind == UpdateOp::Kind::kAddEdge
+                    ? server.SubmitAddEdge(op.u, op.v)
+                    : server.SubmitRemoveEdge(op.u, op.v));
+  }
+  server.Flush();
+  for (std::thread& t : readers) t.join();
+
+  int64_t observations = 0;
+  for (const auto& reader_log : seen) {
+    for (const auto& [epoch, result] : reader_log) {
+      auto it = expected.find(epoch);
+      ASSERT_NE(it, expected.end())
+          << "reader observed epoch " << epoch
+          << " that no sequential prefix produces";
+      EXPECT_EQ(result, it->second) << "at epoch " << epoch;
+      ++observations;
+    }
+  }
+  EXPECT_EQ(observations, kReaders * kReadsPerReader);
+  // And the final state agrees with the full sequential run.
+  EXPECT_EQ(server.snapshot()->epoch(), offline.epoch());
+}
+
+}  // namespace
+}  // namespace dki
