@@ -1,0 +1,179 @@
+// Durability benchmark: the cost of crash safety, measured two ways
+// (the EXPERIMENTS.md "Durability" tables).
+//
+//   1. Sustained update throughput through a durable QueryServer under the
+//      group-commit knob sync_every_n ∈ {1, 64, 1024}, against the
+//      in-memory baseline (durability off). sync_every_n = 1 fsyncs before
+//      every apply — the strongest guarantee and the worst case.
+//   2. Recovery time (checkpoint load + WAL replay) as the log tail grows:
+//      the same op stream checkpointed at the start, then recovered with
+//      tails of 0 / 250 / 1000 / 4000 ops.
+//
+// Runs standalone with no arguments; DKI_SCALE multiplies dataset sizes.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "index/dk_index.h"
+#include "io/fs_util.h"
+#include "serve/apply.h"
+#include "serve/checkpoint.h"
+#include "serve/query_server.h"
+#include "serve/update_queue.h"
+#include "serve/wal.h"
+
+namespace dki {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = "/tmp/dki_durability_bench_" + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  if (std::system(cmd.c_str()) != 0) std::abort();
+  std::string error;
+  if (!EnsureDir(dir, &error)) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 error.c_str());
+    std::abort();
+  }
+  return dir;
+}
+
+// Section 6.2-style edge toggles over the dataset's reference pairs.
+std::vector<UpdateOp> MakeOps(const bench::Dataset& dataset, int count,
+                              uint64_t seed) {
+  std::vector<std::pair<NodeId, NodeId>> candidates =
+      bench::MakeUpdateEdges(dataset, count, seed);
+  DataGraph track = dataset.graph;
+  std::vector<UpdateOp> ops;
+  ops.reserve(candidates.size());
+  for (const auto& [u, v] : candidates) {
+    if (track.HasEdge(u, v)) {
+      ops.push_back(UpdateOp::RemoveEdge(u, v));
+      track.RemoveEdge(u, v);
+    } else {
+      ops.push_back(UpdateOp::AddEdge(u, v));
+      track.AddEdge(u, v);
+    }
+  }
+  return ops;
+}
+
+struct ThroughputRow {
+  std::string config;
+  int64_t ops = 0;
+  double elapsed_sec = 0.0;
+  double ops_per_sec = 0.0;
+  int64_t checkpoints = 0;
+};
+
+ThroughputRow RunThroughput(const bench::Dataset& dataset,
+                            const std::vector<UpdateOp>& ops,
+                            int64_t sync_every_n) {
+  DataGraph g = dataset.graph;
+  DkIndex dk = DkIndex::Build(&g, {});
+  QueryServer::Options options;
+  options.max_batch = 64;
+  ThroughputRow row;
+  if (sync_every_n > 0) {
+    options.durability.dir =
+        FreshDir(dataset.name + "_sync" + std::to_string(sync_every_n));
+    options.durability.sync_every_n = sync_every_n;
+    row.config = "sync_every_n=" + std::to_string(sync_every_n);
+  } else {
+    row.config = "in-memory";
+  }
+  QueryServer server(dk, options);
+  WallTimer timer;
+  for (const UpdateOp& op : ops) {
+    bool ok = op.kind == UpdateOp::Kind::kAddEdge
+                  ? server.SubmitAddEdge(op.u, op.v)
+                  : server.SubmitRemoveEdge(op.u, op.v);
+    if (!ok) std::abort();
+  }
+  server.Flush();
+  row.elapsed_sec = timer.ElapsedMillis() / 1000.0;
+  server.Stop();
+  row.ops = static_cast<int64_t>(ops.size());
+  row.ops_per_sec = static_cast<double>(row.ops) / row.elapsed_sec;
+  row.checkpoints = server.stats().checkpoints;
+  return row;
+}
+
+void RunRecoveryTimes(const bench::Dataset& dataset,
+                      const std::vector<UpdateOp>& ops) {
+  std::printf("\n%s: recovery time vs log-tail length\n",
+              dataset.name.c_str());
+  std::printf("%12s %14s %14s %12s\n", "tail_ops", "recover_ms",
+              "replayed", "ckpt_load");
+  for (int tail : {0, 250, 1000, 4000}) {
+    if (static_cast<size_t>(tail) > ops.size()) break;
+    std::string dir = FreshDir(dataset.name + "_tail" + std::to_string(tail));
+    // Checkpoint the base state, then a log of exactly `tail` records.
+    DataGraph g = dataset.graph;
+    DkIndex dk = DkIndex::Build(&g, {});
+    CheckpointStore store(dir);
+    std::string error;
+    if (!store.Write(g, dk.index(), dk.effective_requirements(), 0,
+                     &error)) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", error.c_str());
+      std::abort();
+    }
+    WriteAheadLog wal(dir + "/wal.log", 1 << 20, 1 << 20);
+    if (!wal.Open(&error)) std::abort();
+    for (int i = 0; i < tail; ++i) {
+      if (!wal.Append(ops[static_cast<size_t>(i)],
+                      static_cast<uint64_t>(i) + 1, &error)) {
+        std::abort();
+      }
+    }
+    if (!wal.Sync(true, &error)) std::abort();
+
+    WallTimer timer;
+    DataGraph rg;
+    RecoveryStats stats;
+    auto recovered = RecoverDkIndex(dir, &rg, &stats, &error);
+    double recover_ms = timer.ElapsedMillis();
+    if (!recovered.has_value()) {
+      std::fprintf(stderr, "recovery failed: %s\n", error.c_str());
+      std::abort();
+    }
+    std::printf("%12d %14.1f %14lld %12s\n", tail, recover_ms,
+                static_cast<long long>(stats.replayed_ops),
+                stats.used_fallback ? "fallback" : "newest");
+  }
+}
+
+void RunDataset(const bench::Dataset& dataset) {
+  bench::PrintDatasetBanner(dataset);
+  std::vector<UpdateOp> ops = MakeOps(dataset, 4000, 777);
+
+  std::printf("\n%s: update throughput vs group-commit policy (%zu ops)\n",
+              dataset.name.c_str(), ops.size());
+  std::printf("%-18s %10s %12s %14s %12s\n", "config", "ops", "elapsed_s",
+              "ops_per_sec", "checkpoints");
+  for (int64_t sync_every_n : {int64_t{0}, int64_t{1024}, int64_t{64},
+                               int64_t{1}}) {
+    ThroughputRow row = RunThroughput(dataset, ops, sync_every_n);
+    std::printf("%-18s %10lld %12.2f %14.0f %12lld\n", row.config.c_str(),
+                static_cast<long long>(row.ops), row.elapsed_sec,
+                row.ops_per_sec, static_cast<long long>(row.checkpoints));
+  }
+
+  RunRecoveryTimes(dataset, ops);
+}
+
+}  // namespace
+}  // namespace dki
+
+int main() {
+  double scale = dki::bench::ScaleFromEnv();
+  dki::RunDataset(dki::bench::MakeXmark(scale));
+  dki::RunDataset(dki::bench::MakeNasa(scale));
+  return 0;
+}

@@ -1,0 +1,16 @@
+#ifndef DKINDEX_COMMON_CRC32_H_
+#define DKINDEX_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dki {
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding every
+// write-ahead-log record and checkpoint payload (src/serve/). Incremental:
+// pass a previous result as `seed` to extend it over concatenated buffers.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace dki
+
+#endif  // DKINDEX_COMMON_CRC32_H_

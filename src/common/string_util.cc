@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <limits>
 
 namespace dki {
 
@@ -36,6 +37,39 @@ std::string_view StripWhitespace(std::string_view s) {
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view s) {
+  size_t i = 0;
+  bool negative = false;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+    negative = s[i] == '-';
+    ++i;
+  }
+  if (i >= s.size()) return std::nullopt;  // empty or sign-only
+  // Accumulate negatively: |INT64_MIN| > INT64_MAX, so the negative range
+  // covers both signs without overflowing before the final negation.
+  int64_t value = 0;
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    int digit = c - '0';
+    if (value < (kMin + digit) / 10) return std::nullopt;  // would overflow
+    value = value * 10 - digit;
+  }
+  if (!negative) {
+    if (value == kMin) return std::nullopt;  // +9223372036854775808
+    value = -value;
+  }
+  return value;
+}
+
+std::optional<int64_t> ParseInt64InRange(std::string_view s, int64_t min,
+                                         int64_t max) {
+  std::optional<int64_t> v = ParseInt64(s);
+  if (!v.has_value() || *v < min || *v > max) return std::nullopt;
+  return v;
 }
 
 }  // namespace dki

@@ -1,6 +1,8 @@
 #ifndef DKINDEX_COMMON_STRING_UTIL_H_
 #define DKINDEX_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +21,18 @@ std::string_view StripWhitespace(std::string_view s);
 
 // True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Strict decimal integer parse of the ENTIRE string: optional leading '+' or
+// '-', at least one digit, no other characters (not even surrounding
+// whitespace), and the value must fit int64_t. Returns nullopt on any
+// violation — unlike std::atoi, which silently turns garbage into 0 and
+// overflow into UB. Use this for every integer that crosses a trust boundary
+// (environment variables, CLI flags, file contents).
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+// ParseInt64 restricted to [min, max]; nullopt if unparsable or outside.
+std::optional<int64_t> ParseInt64InRange(std::string_view s, int64_t min,
+                                         int64_t max);
 
 }  // namespace dki
 

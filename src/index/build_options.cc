@@ -1,16 +1,42 @@
 #include "index/build_options.h"
 
+#include <cstdio>
 #include <cstdlib>
 
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 
 namespace dki {
+namespace {
+
+// Upper bound on lanes accepted from the environment; anything larger is
+// almost certainly a typo (or an overflow), and a pool that size would only
+// thrash. Values above it are clamped, not rejected, so a generous-but-sane
+// setting still runs.
+constexpr int64_t kMaxEnvThreads = 256;
+
+}  // namespace
 
 int BuildOptions::ResolvedNumThreads() const {
   if (num_threads > 0) return num_threads;
   if (const char* env = std::getenv("DKI_NUM_THREADS")) {
-    int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
+    // Strict parse: std::atoi would turn "abc" into 0 and "999999999999"
+    // into UB; both must fall back loudly instead of silently degrading.
+    std::optional<int64_t> parsed = ParseInt64(env);
+    if (!parsed.has_value() || *parsed < 1) {
+      std::fprintf(stderr,
+                   "dki: ignoring invalid DKI_NUM_THREADS='%s' "
+                   "(want an integer >= 1); using hardware concurrency\n",
+                   env);
+      return ThreadPool::HardwareConcurrency();
+    }
+    if (*parsed > kMaxEnvThreads) {
+      std::fprintf(stderr,
+                   "dki: clamping DKI_NUM_THREADS=%s to %lld\n", env,
+                   static_cast<long long>(kMaxEnvThreads));
+      return static_cast<int>(kMaxEnvThreads);
+    }
+    return static_cast<int>(*parsed);
   }
   return ThreadPool::HardwareConcurrency();
 }

@@ -1,0 +1,117 @@
+#include "io/fs_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dki {
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message + ": " + std::strerror(errno);
+  return false;
+}
+
+// The directory component of `path` ("." when there is none).
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+bool AtomicWriteFile(const std::string& path, std::string_view contents,
+                     std::string* error) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Fail(error, "cannot create " + tmp);
+  const char* data = contents.data();
+  size_t remaining = contents.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Fail(error, "write to " + tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Fail(error, "fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    Fail(error, "close " + tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Fail(error, "rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return SyncDir(DirName(path), error);
+}
+
+bool ReadFileToString(const std::string& path, std::string* contents,
+                      std::string* error) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Fail(error, "cannot open " + path);
+  contents->clear();
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Fail(error, "read " + path);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    contents->append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+bool EnsureDir(const std::string& dir, std::string* error) {
+  if (::mkdir(dir.c_str(), 0755) == 0) return true;
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) return true;
+    errno = ENOTDIR;
+  }
+  return Fail(error, "mkdir " + dir);
+}
+
+bool SyncDir(const std::string& dir, std::string* error) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Fail(error, "cannot open dir " + dir);
+  bool ok = ::fsync(fd) == 0;
+  if (!ok) Fail(error, "fsync dir " + dir);
+  ::close(fd);
+  return ok;
+}
+
+bool RemoveFileIfExists(const std::string& path, std::string* error) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return true;
+  return Fail(error, "unlink " + path);
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace dki

@@ -1,0 +1,41 @@
+#ifndef DKINDEX_IO_FS_UTIL_H_
+#define DKINDEX_IO_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace dki {
+
+// Crash-safe filesystem primitives shared by the persistence layer
+// (io/serialization.cc) and the durability pipeline (serve/wal.cc,
+// serve/checkpoint.cc). POSIX-only, matching the project's CI targets.
+
+// Writes `contents` to `path` atomically: the bytes go to `<path>.tmp`
+// first, are fsync'd, and the temp file is renamed over `path`, followed by
+// an fsync of the containing directory. A crash at ANY point leaves either
+// the previous file intact or the complete new one — never a torn file at
+// the canonical name. Returns false (with *error set) on any I/O failure;
+// the canonical path is untouched in that case.
+bool AtomicWriteFile(const std::string& path, std::string_view contents,
+                     std::string* error);
+
+// Reads the entire file into *contents. False + error if unreadable.
+bool ReadFileToString(const std::string& path, std::string* contents,
+                      std::string* error);
+
+// Creates `dir` if it does not exist (one level; parents must exist).
+// Success if it already exists as a directory.
+bool EnsureDir(const std::string& dir, std::string* error);
+
+// fsyncs the directory itself so renames/creates inside it are durable.
+bool SyncDir(const std::string& dir, std::string* error);
+
+// Removes a file; success if it did not exist.
+bool RemoveFileIfExists(const std::string& path, std::string* error);
+
+// True if `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+}  // namespace dki
+
+#endif  // DKINDEX_IO_FS_UTIL_H_

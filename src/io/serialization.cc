@@ -1,6 +1,8 @@
 #include "io/serialization.h"
 
 #include <fstream>
+
+#include "io/fs_util.h"
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -190,13 +192,18 @@ bool LoadIndex(std::istream* in, const DataGraph* graph, IndexGraph* index,
   return true;
 }
 
-bool SaveDkIndex(const DkIndex& index, std::ostream* out) {
-  if (!SaveGraph(index.graph(), out)) return false;
-  if (!SaveIndex(index.index(), out)) return false;
-  const auto& reqs = index.effective_requirements();
+bool SaveDkIndexParts(const DataGraph& graph, const IndexGraph& index,
+                      const std::vector<int>& reqs, std::ostream* out) {
+  if (!SaveGraph(graph, out)) return false;
+  if (!SaveIndex(index, out)) return false;
   *out << "effective_requirements " << reqs.size() << "\n";
   for (int r : reqs) *out << r << "\n";
   return out->good();
+}
+
+bool SaveDkIndex(const DkIndex& index, std::ostream* out) {
+  return SaveDkIndexParts(index.graph(), index.index(),
+                          index.effective_requirements(), out);
 }
 
 std::optional<DkIndex> LoadDkIndex(std::istream* in, DataGraph* graph,
@@ -229,8 +236,10 @@ std::optional<DkIndex> LoadDkIndex(std::istream* in, DataGraph* graph,
 }
 
 bool SaveGraphToFile(const DataGraph& graph, const std::string& path) {
-  std::ofstream out(path);
-  return out.is_open() && SaveGraph(graph, &out) && out.good();
+  std::ostringstream out;
+  if (!SaveGraph(graph, &out)) return false;
+  std::string error;
+  return AtomicWriteFile(path, out.str(), &error);
 }
 
 bool LoadGraphFromFile(const std::string& path, DataGraph* graph,
@@ -241,8 +250,10 @@ bool LoadGraphFromFile(const std::string& path, DataGraph* graph,
 }
 
 bool SaveDkIndexToFile(const DkIndex& index, const std::string& path) {
-  std::ofstream out(path);
-  return out.is_open() && SaveDkIndex(index, &out) && out.good();
+  std::ostringstream out;
+  if (!SaveDkIndex(index, &out)) return false;
+  std::string error;
+  return AtomicWriteFile(path, out.str(), &error);
 }
 
 std::optional<DkIndex> LoadDkIndexFromFile(const std::string& path,

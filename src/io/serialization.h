@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "graph/data_graph.h"
 #include "index/dk_index.h"
@@ -36,7 +37,17 @@ bool SaveDkIndex(const DkIndex& index, std::ostream* out);
 std::optional<DkIndex> LoadDkIndex(std::istream* in, DataGraph* graph,
                                    std::string* error);
 
-// File-path conveniences.
+// SaveDkIndex from unbundled parts — the serving layer's checkpointer
+// (serve/checkpoint.cc) streams immutable IndexSnapshot state, which holds
+// the pieces but no DkIndex. `index.graph()` must be `graph`; `reqs` has one
+// entry per label id.
+bool SaveDkIndexParts(const DataGraph& graph, const IndexGraph& index,
+                      const std::vector<int>& reqs, std::ostream* out);
+
+// File-path conveniences. The Save* variants are crash-safe: the bytes are
+// written to `<path>.tmp` and atomically renamed over `path`
+// (io/fs_util.h), so an interrupted save never leaves a torn file shadowing
+// a previously good one at the canonical name.
 bool SaveGraphToFile(const DataGraph& graph, const std::string& path);
 bool LoadGraphFromFile(const std::string& path, DataGraph* graph,
                        std::string* error);

@@ -1,0 +1,42 @@
+#ifndef DKINDEX_SERVE_APPLY_H_
+#define DKINDEX_SERVE_APPLY_H_
+
+#include "index/dk_index.h"
+#include "serve/update_queue.h"
+
+namespace dki {
+
+// Applies one queued operation to a live D(k)-index, validating node ids
+// against the index's CURRENT graph. Returns false iff the op was invalid
+// and dropped (out-of-range node, null subgraph) — never fatal.
+//
+// This is the single definition of apply semantics, shared by the serving
+// writer thread (serve/query_server.cc) and log replay during recovery
+// (serve/checkpoint.cc). Sharing it is load-bearing for the recovery
+// invariant: replaying the WAL must take exactly the apply/drop decisions
+// the writer took, and those decisions depend only on the op and the state
+// at apply time — which replay reproduces by construction.
+inline bool ApplyUpdateOp(DkIndex* dk, const UpdateOp& op) {
+  auto valid_node = [&](NodeId n) {
+    return n >= 0 && n < dk->graph().NumNodes();
+  };
+  switch (op.kind) {
+    case UpdateOp::Kind::kAddEdge:
+      if (!valid_node(op.u) || !valid_node(op.v)) return false;
+      dk->AddEdge(op.u, op.v);
+      return true;
+    case UpdateOp::Kind::kRemoveEdge:
+      if (!valid_node(op.u) || !valid_node(op.v)) return false;
+      dk->RemoveEdge(op.u, op.v);
+      return true;
+    case UpdateOp::Kind::kAddSubgraph:
+      if (op.subgraph == nullptr) return false;
+      dk->AddSubgraph(*op.subgraph);
+      return true;
+  }
+  return false;
+}
+
+}  // namespace dki
+
+#endif  // DKINDEX_SERVE_APPLY_H_

@@ -1,0 +1,232 @@
+#include "serve/checkpoint.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "io/fs_util.h"
+#include "io/serialization.h"
+#include "serve/apply.h"
+#include "serve/wal.h"
+
+namespace dki {
+namespace {
+
+constexpr char kCheckpointPrefix[] = "checkpoint-";
+constexpr char kCheckpointSuffix[] = ".dki";
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Parses "checkpoint-<seq>.dki"; nullopt for any other name (including the
+// in-flight "*.tmp" a crashed checkpointer leaves behind).
+std::optional<uint64_t> SeqFromName(const std::string& name) {
+  std::string_view v = name;
+  if (!StartsWith(v, kCheckpointPrefix)) return std::nullopt;
+  v.remove_prefix(sizeof(kCheckpointPrefix) - 1);
+  size_t suffix = v.rfind(kCheckpointSuffix);
+  if (suffix == std::string_view::npos ||
+      suffix + sizeof(kCheckpointSuffix) - 1 != v.size()) {
+    return std::nullopt;
+  }
+  std::optional<int64_t> seq = ParseInt64(v.substr(0, suffix));
+  if (!seq.has_value() || *seq < 0) return std::nullopt;
+  return static_cast<uint64_t>(*seq);
+}
+
+// Parses and validates one checkpoint file: header, payload length, CRC.
+// On success *payload holds the SaveDkIndexParts text and *seq its seq.
+bool ReadCheckpointPayload(const std::string& path, uint64_t* seq,
+                           std::string* payload, std::string* error) {
+  std::string contents;
+  if (!ReadFileToString(path, &contents, error)) return false;
+  std::istringstream in(contents);
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != "dki-checkpoint" ||
+      version != "v1") {
+    return Fail(error, path + ": bad checkpoint header");
+  }
+  std::string keyword;
+  int64_t seq_value = -1, payload_bytes = -1;
+  uint64_t crc = 0;
+  if (!(in >> keyword >> seq_value) || keyword != "seq" || seq_value < 0) {
+    return Fail(error, path + ": bad seq line");
+  }
+  if (!(in >> keyword >> payload_bytes) || keyword != "payload_bytes" ||
+      payload_bytes < 0) {
+    return Fail(error, path + ": bad payload_bytes line");
+  }
+  if (!(in >> keyword >> crc) || keyword != "payload_crc") {
+    return Fail(error, path + ": bad payload_crc line");
+  }
+  in.get();  // the newline terminating the header
+  if (!in.good()) return Fail(error, path + ": truncated header");
+  size_t offset = static_cast<size_t>(in.tellg());
+  if (contents.size() - offset != static_cast<size_t>(payload_bytes)) {
+    return Fail(error, path + ": payload length mismatch");
+  }
+  std::string_view body(contents.data() + offset,
+                        static_cast<size_t>(payload_bytes));
+  if (Crc32(body) != static_cast<uint32_t>(crc)) {
+    return Fail(error, path + ": payload CRC mismatch");
+  }
+  *seq = static_cast<uint64_t>(seq_value);
+  payload->assign(body);
+  return true;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::vector<CheckpointStore::Info> CheckpointStore::List() const {
+  std::vector<Info> out;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return out;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::optional<uint64_t> seq = SeqFromName(entry->d_name);
+    if (!seq.has_value()) continue;
+    out.push_back(Info{*seq, dir_ + "/" + entry->d_name});
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const Info& a, const Info& b) { return a.seq > b.seq; });
+  return out;
+}
+
+bool CheckpointStore::Write(const DataGraph& graph, const IndexGraph& index,
+                            const std::vector<int>& reqs, uint64_t seq,
+                            std::string* error) {
+  ScopedTimer timer(&DKI_METRIC_TIMER("checkpoint.write"));
+  std::ostringstream body;
+  if (!SaveDkIndexParts(graph, index, reqs, &body)) {
+    DKI_METRIC_COUNTER("checkpoint.failures").Increment();
+    return Fail(error, "checkpoint: state not serializable");
+  }
+  std::string payload = body.str();
+  std::ostringstream out;
+  out << "dki-checkpoint v1\n"
+      << "seq " << seq << "\n"
+      << "payload_bytes " << payload.size() << "\n"
+      << "payload_crc " << Crc32(payload) << "\n"
+      << payload;
+  const std::string path =
+      dir_ + "/" + kCheckpointPrefix + std::to_string(seq) + kCheckpointSuffix;
+  std::string contents = out.str();
+  if (!AtomicWriteFile(path, contents, error)) {
+    DKI_METRIC_COUNTER("checkpoint.failures").Increment();
+    return false;
+  }
+  DKI_METRIC_COUNTER("checkpoint.writes").Increment();
+  DKI_METRIC_COUNTER("checkpoint.bytes")
+      .Increment(static_cast<int64_t>(contents.size()));
+  // Prune to the newest two AFTER the new one is durable; a failure to
+  // delete old files is harmless (they are skipped-over extras).
+  std::vector<Info> all = List();
+  for (size_t i = 2; i < all.size(); ++i) {
+    std::string ignored;
+    RemoveFileIfExists(all[i].path, &ignored);
+  }
+  return true;
+}
+
+std::optional<DkIndex> CheckpointStore::LoadNewestValid(
+    DataGraph* graph, uint64_t* seq, bool* used_fallback,
+    std::string* error) const {
+  if (used_fallback != nullptr) *used_fallback = false;
+  std::vector<Info> all = List();
+  if (all.empty()) {
+    Fail(error, "no checkpoint found in " + dir_);
+    return std::nullopt;
+  }
+  std::string first_error;
+  for (size_t i = 0; i < all.size(); ++i) {
+    uint64_t file_seq = 0;
+    std::string payload;
+    std::string attempt_error;
+    if (ReadCheckpointPayload(all[i].path, &file_seq, &payload,
+                              &attempt_error)) {
+      std::istringstream in(payload);
+      // Loads directly into the caller's graph (assigned only on success);
+      // the returned index borrows it.
+      auto dk = LoadDkIndex(&in, graph, &attempt_error);
+      if (dk.has_value()) {
+        *seq = file_seq;
+        if (i > 0) {
+          if (used_fallback != nullptr) *used_fallback = true;
+          DKI_METRIC_COUNTER("checkpoint.fallbacks").Increment();
+        }
+        return dk;
+      }
+    }
+    if (first_error.empty()) {
+      first_error = all[i].path + ": " + attempt_error;
+    }
+  }
+  Fail(error, "no valid checkpoint in " + dir_ + " (newest failure: " +
+                  first_error + ")");
+  return std::nullopt;
+}
+
+uint64_t CheckpointStore::SafeTruncationSeq() const {
+  std::vector<Info> all = List();
+  if (all.empty()) return 0;
+  // The older of the two retained checkpoints: if the newest turns out
+  // corrupt at recovery, the fallback still has its full log suffix.
+  return all.size() >= 2 ? all[1].seq : all[0].seq;
+}
+
+std::optional<DkIndex> RecoverDkIndex(const std::string& dir,
+                                      DataGraph* graph, RecoveryStats* stats,
+                                      std::string* error) {
+  ScopedTimer timer(&DKI_METRIC_TIMER("recovery.total"));
+  RecoveryStats local;
+  CheckpointStore store(dir);
+  uint64_t checkpoint_seq = 0;
+  std::optional<DkIndex> dk = store.LoadNewestValid(
+      graph, &checkpoint_seq, &local.used_fallback, error);
+  if (!dk.has_value()) return std::nullopt;
+  local.checkpoint_seq = checkpoint_seq;
+  local.last_seq = checkpoint_seq;
+
+  std::vector<WriteAheadLog::Record> records;
+  bool clean = true;
+  if (!WriteAheadLog::ReadAll(dir + "/wal.log", &records, &clean, error)) {
+    return std::nullopt;
+  }
+  local.log_tail_torn = !clean;
+  for (const WriteAheadLog::Record& record : records) {
+    if (record.seq <= checkpoint_seq) {
+      // Pre-truncation leftovers (crash between checkpoint rename and log
+      // truncation): already contained in the checkpoint.
+      ++local.skipped_ops;
+      continue;
+    }
+    if (record.seq != local.last_seq + 1) {
+      // A gap means the log lost records the state needs; applying anything
+      // beyond it would diverge from every state the server ever served.
+      // Stop at the consistent prefix instead.
+      local.log_tail_torn = true;
+      break;
+    }
+    if (ApplyUpdateOp(&*dk, record.op)) {
+      ++local.replayed_ops;
+    } else {
+      ++local.invalid_ops;  // writer dropped it too: same decision replayed
+    }
+    local.last_seq = record.seq;
+  }
+  DKI_METRIC_COUNTER("recovery.replayed_ops").Increment(local.replayed_ops);
+  DKI_METRIC_COUNTER("recovery.skipped_ops").Increment(local.skipped_ops);
+  DKI_METRIC_COUNTER("recovery.runs").Increment();
+  if (stats != nullptr) *stats = local;
+  return dk;
+}
+
+}  // namespace dki

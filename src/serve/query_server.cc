@@ -1,9 +1,14 @@
 #include "serve/query_server.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "io/fs_util.h"
+#include "serve/apply.h"
 
 namespace dki {
 
@@ -11,13 +16,57 @@ QueryServer::QueryServer(const DkIndex& source, Options options)
     : options_(options),
       master_graph_(source.graph()),
       master_(source.Fork(&master_graph_)),
+      seq_(options.durability.start_seq),
       queue_(options.queue_capacity, options.full_policy),
       cache_(ResultCache::Options{options.cache_byte_budget}) {
+  if (!options_.durability.dir.empty()) InitDurability();
   Publish();  // readers have a snapshot before the writer even starts
   writer_ = std::thread(&QueryServer::WriterLoop, this);
+  if (wal_ != nullptr) {
+    checkpointer_ = std::thread(&QueryServer::CheckpointerLoop, this);
+  }
 }
 
 QueryServer::~QueryServer() { Stop(); }
+
+void QueryServer::InitDurability() {
+  const DurabilityOptions& d = options_.durability;
+  std::string error;
+  auto give_up = [&](const char* what) {
+    std::fprintf(stderr,
+                 "QueryServer: durability DISABLED (%s: %s); serving "
+                 "in-memory only\n",
+                 what, error.c_str());
+    wal_ = nullptr;
+    checkpoints_ = nullptr;
+  };
+  if (!EnsureDir(d.dir, &error)) {
+    give_up("cannot create wal dir");
+    return;
+  }
+  wal_ = std::make_unique<WriteAheadLog>(d.dir + "/wal.log", d.sync_every_n,
+                                         d.sync_interval_ms);
+  checkpoints_ = std::make_unique<CheckpointStore>(d.dir);
+  if (!wal_->Open(&error)) {
+    give_up("cannot open wal");
+    return;
+  }
+  // Establish the recovery base: the master state IS the durable state at
+  // start_seq (a fresh build, or the result RecoverDkIndex handed back), so
+  // checkpoint it and start from an empty log. Every op the server ever
+  // applies is then reachable as checkpoint + log suffix.
+  if (!checkpoints_->Write(master_graph_, master_.index(),
+                           master_.effective_requirements(), seq_, &error)) {
+    give_up("cannot write initial checkpoint");
+    return;
+  }
+  last_checkpoint_seq_ = seq_;
+  ++checkpoints_written_;  // pre-thread: no lock needed
+  if (!wal_->Reset(&error)) {
+    give_up("cannot reset wal");
+    return;
+  }
+}
 
 std::shared_ptr<const IndexSnapshot> QueryServer::snapshot() const {
   std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
@@ -70,23 +119,81 @@ bool QueryServer::Submit(UpdateOp op) {
     std::lock_guard<std::mutex> lock(state_mu_);
     ++accepted_;
   }
-  if (queue_.Push(std::move(op))) {
+  UpdateQueue::PushResult result = queue_.Push(std::move(op));
+  if (result == UpdateQueue::PushResult::kOk) {
     DKI_METRIC_COUNTER("serve.update.submitted").Increment();
     return true;
   }
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     --accepted_;
-    ++rejected_;
+    if (result == UpdateQueue::PushResult::kFull) {
+      ++rejected_full_;
+    } else {
+      ++rejected_closed_;
+    }
   }
   state_cv_.notify_all();  // the rollback may complete a pending Flush
-  DKI_METRIC_COUNTER("serve.update.rejected").Increment();
+  // Split by cause so dashboards can tell backpressure (retry/back off)
+  // from shutdown-time rejects (terminal).
+  if (result == UpdateQueue::PushResult::kFull) {
+    DKI_METRIC_COUNTER("serve.update.rejected_full").Increment();
+  } else {
+    DKI_METRIC_COUNTER("serve.update.rejected_closed").Increment();
+  }
   return false;
 }
 
 void QueryServer::Flush() {
   std::unique_lock<std::mutex> lock(state_mu_);
   state_cv_.wait(lock, [&] { return applied_published_ >= accepted_; });
+}
+
+bool QueryServer::SyncWal() {
+  if (wal_ == nullptr) return true;
+  std::string error;
+  if (wal_->Sync(/*force=*/true, &error)) return true;
+  std::fprintf(stderr, "QueryServer: wal sync failed: %s\n", error.c_str());
+  return false;
+}
+
+bool QueryServer::CheckpointNow() {
+  if (checkpoints_ == nullptr) return true;
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  return WriteCheckpoint(*snap);
+}
+
+bool QueryServer::WriteCheckpoint(const IndexSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  std::string error;
+  // The log must be durable through the snapshot's seq BEFORE the
+  // checkpoint claims to include it: if the checkpoint write tears, the
+  // fallback path needs those records.
+  if (wal_ != nullptr && !wal_->Sync(/*force=*/true, &error)) {
+    std::fprintf(stderr, "QueryServer: wal sync failed: %s\n", error.c_str());
+    return false;
+  }
+  if (!checkpoints_->Write(snap.graph(), snap.index(),
+                           snap.effective_requirements(), snap.seq(),
+                           &error)) {
+    std::fprintf(stderr, "QueryServer: checkpoint failed: %s\n",
+                 error.c_str());
+    return false;
+  }
+  last_checkpoint_seq_ = snap.seq();
+  {
+    std::lock_guard<std::mutex> state_lock(state_mu_);
+    ++checkpoints_written_;
+  }
+  // Truncate only through the OLDER retained checkpoint: if this one turns
+  // out corrupt at recovery, the previous one still has its full log
+  // suffix.
+  if (wal_ != nullptr &&
+      !wal_->TruncateThrough(checkpoints_->SafeTruncationSeq(), &error)) {
+    std::fprintf(stderr, "QueryServer: wal truncation failed: %s\n",
+                 error.c_str());
+  }
+  return true;
 }
 
 void QueryServer::Stop() {
@@ -97,28 +204,85 @@ void QueryServer::Stop() {
   }
   queue_.Close();  // writer drains the remainder, publishes, and exits
   if (writer_.joinable()) writer_.join();
+  if (checkpointer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(ckpt_wake_mu_);
+      ckpt_stop_ = true;
+    }
+    ckpt_wake_cv_.notify_all();
+    checkpointer_.join();
+  }
+  // Clean shutdown leaves a checkpoint of the final state and an empty log
+  // tail, so the next start (or a recovery) replays nothing.
+  if (wal_ != nullptr) {
+    SyncWal();
+    CheckpointNow();
+  }
 }
 
 QueryServer::Stats QueryServer::stats() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   Stats s;
   s.ops_accepted = accepted_;
-  s.ops_rejected = rejected_;
+  s.ops_rejected = rejected_full_ + rejected_closed_;
+  s.ops_rejected_full = rejected_full_;
+  s.ops_rejected_closed = rejected_closed_;
   s.ops_applied = applied_published_;
   s.ops_invalid = invalid_;
+  s.ops_logged = logged_;
   s.batches = batches_;
   s.publishes = publishes_;
+  s.checkpoints = checkpoints_written_;
   return s;
 }
 
 void QueryServer::WriterLoop() {
   std::vector<UpdateOp> batch;
   while (queue_.PopBatch(options_.max_batch, &batch)) {
+    // Write-ahead: log the whole batch, then make it as durable as the
+    // group-commit policy demands, BEFORE any op mutates the master. An op
+    // that cannot be logged must not be applied either — recovery replays
+    // exactly the logged prefix, so applying an unlogged op would fork the
+    // recovered state from the served one.
+    std::vector<bool> loggable(batch.size(), true);
+    if (wal_ != nullptr) {
+      int64_t batch_logged = 0;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        std::string error;
+        if (wal_->Append(batch[i], seq_ + 1, &error)) {
+          ++seq_;
+          ++batch_logged;
+        } else {
+          loggable[i] = false;
+          DKI_METRIC_COUNTER("wal.append_failures").Increment();
+          std::fprintf(stderr, "QueryServer: dropping unloggable op: %s\n",
+                       error.c_str());
+        }
+      }
+      std::string error;
+      if (!wal_->Sync(/*force=*/false, &error)) {
+        std::fprintf(stderr, "QueryServer: wal sync failed: %s\n",
+                     error.c_str());
+      }
+      if (batch_logged > 0) {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        logged_ += batch_logged;
+      }
+    }
     {
       ScopedTimer batch_timer(&DKI_METRIC_TIMER("serve.writer.batch"));
-      for (const UpdateOp& op : batch) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (!loggable[i]) {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          ++invalid_;
+          continue;
+        }
         ScopedTimer op_timer(&DKI_METRIC_TIMER("serve.writer.op"));
-        ApplyOp(op);
+        if (!ApplyUpdateOp(&master_, batch[i])) {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          ++invalid_;
+          DKI_METRIC_COUNTER("serve.update.invalid").Increment();
+        }
       }
     }
     DKI_METRIC_COUNTER("serve.writer.batches").Increment();
@@ -134,40 +298,50 @@ void QueryServer::WriterLoop() {
   }
 }
 
-void QueryServer::ApplyOp(const UpdateOp& op) {
-  // Ops are validated at apply time, not submit time: an AddSubgraph queued
-  // earlier may grow the node range an edge op refers to, so the master's
-  // state when the op is applied is the only authoritative one.
-  auto valid_node = [&](NodeId n) {
-    return n >= 0 && n < master_graph_.NumNodes();
-  };
-  switch (op.kind) {
-    case UpdateOp::Kind::kAddEdge:
-      if (!valid_node(op.u) || !valid_node(op.v)) break;
-      master_.AddEdge(op.u, op.v);
-      return;
-    case UpdateOp::Kind::kRemoveEdge:
-      if (!valid_node(op.u) || !valid_node(op.v)) break;
-      master_.RemoveEdge(op.u, op.v);
-      return;
-    case UpdateOp::Kind::kAddSubgraph:
-      if (op.subgraph == nullptr) break;
-      master_.AddSubgraph(*op.subgraph);
-      return;
+void QueryServer::CheckpointerLoop() {
+  const DurabilityOptions& d = options_.durability;
+  const auto tick = std::chrono::milliseconds(
+      std::max<int64_t>(1, std::min(d.sync_interval_ms > 0
+                                        ? d.sync_interval_ms
+                                        : d.checkpoint_interval_ms,
+                                    d.checkpoint_interval_ms)));
+  auto last_checkpoint = std::chrono::steady_clock::now();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(ckpt_wake_mu_);
+      ckpt_wake_cv_.wait_for(lock, tick, [&] { return ckpt_stop_; });
+      if (ckpt_stop_) return;
+    }
+    // Time-based side of the group-commit policy: ops the writer appended
+    // but did not sync become durable once they are sync_interval_ms old,
+    // even if the writer has gone idle since.
+    std::string error;
+    if (!wal_->Sync(/*force=*/false, &error)) {
+      std::fprintf(stderr, "QueryServer: wal sync failed: %s\n",
+                   error.c_str());
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now - last_checkpoint <
+        std::chrono::milliseconds(d.checkpoint_interval_ms)) {
+      continue;
+    }
+    std::shared_ptr<const IndexSnapshot> snap = snapshot();
+    bool due;
+    {
+      std::lock_guard<std::mutex> lock(checkpoint_mu_);
+      due = snap->seq() > last_checkpoint_seq_;
+    }
+    if (due && WriteCheckpoint(*snap)) last_checkpoint = now;
   }
-  {
-    std::lock_guard<std::mutex> lock(state_mu_);
-    ++invalid_;
-  }
-  DKI_METRIC_COUNTER("serve.update.invalid").Increment();
 }
 
 void QueryServer::Publish() {
   std::shared_ptr<const IndexSnapshot> next;
   {
     ScopedTimer timer(&DKI_METRIC_TIMER("serve.writer.republish"));
-    next = std::make_shared<const IndexSnapshot>(master_graph_,
-                                                 master_.index());
+    next = std::make_shared<const IndexSnapshot>(
+        master_graph_, master_.index(), master_.effective_requirements(),
+        seq_);
   }
   {
     std::unique_lock<std::shared_mutex> lock(snapshot_mu_);

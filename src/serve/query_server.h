@@ -15,8 +15,10 @@
 #include "index/dk_index.h"
 #include "query/evaluator.h"
 #include "query/result_cache.h"
+#include "serve/checkpoint.h"
 #include "serve/snapshot.h"
 #include "serve/update_queue.h"
+#include "serve/wal.h"
 
 namespace dki {
 
@@ -45,6 +47,12 @@ namespace dki {
 //   * Query results flow through the epoch-stamped ResultCache, so repeated
 //     traffic between republishes is served from memory and a stale entry
 //     can never be returned (epochs are monotonic and never reused).
+//   * Durability (opt-in via Options::durability.dir): every op the writer
+//     applies is first appended to a write-ahead log (serve/wal.h) and a
+//     background checkpointer periodically persists the newest published
+//     snapshot atomically (serve/checkpoint.h), truncating the log behind
+//     it. After a crash, RecoverDkIndex(dir) restores a state bit-identical
+//     to what a clean shutdown would have produced for the logged prefix.
 //
 // The cost of this isolation is one deep copy of (data graph, index graph)
 // per republish — the batch size knob trades update latency against copy
@@ -62,6 +70,11 @@ class QueryServer {
     int64_t cache_byte_budget = 8 * 1024 * 1024;
     // Validate uncertain extents (exact answers) vs raw safe answers.
     bool validate = true;
+    // Crash safety (serve/wal.h): set durability.dir to enable the
+    // write-ahead log + checkpoint pipeline; leave empty for the purely
+    // in-memory server. After a crash, recover with RecoverDkIndex(dir) and
+    // pass RecoveryStats::last_seq back as durability.start_seq.
+    DurabilityOptions durability;
   };
 
   // Forks a private master from `source` (deep copy; `source` is not
@@ -112,6 +125,17 @@ class QueryServer {
   // concurrent submission it waits for those ops too.
   void Flush();
 
+  // Durability controls (no-ops returning true when durability is off):
+
+  // Forces an fsync of the write-ahead log right now, regardless of the
+  // group-commit policy.
+  bool SyncWal();
+
+  // Synchronously checkpoints the newest published snapshot and truncates
+  // the log behind the retained checkpoints. Safe to call from any thread;
+  // serialized with the background checkpointer.
+  bool CheckpointNow();
+
   // Graceful shutdown: rejects new submissions, drains the queue, publishes
   // the final state, joins the writer. Idempotent; the read path stays
   // usable afterwards. Called by the destructor.
@@ -119,11 +143,17 @@ class QueryServer {
 
   struct Stats {
     int64_t ops_accepted = 0;   // Submit* calls that returned true
-    int64_t ops_rejected = 0;   // Submit* calls that returned false
+    int64_t ops_rejected = 0;   // rejected_full + rejected_closed
+    // The two rejection causes, split because they demand opposite producer
+    // reactions: kFull is retryable backpressure, kClosed is terminal.
+    int64_t ops_rejected_full = 0;
+    int64_t ops_rejected_closed = 0;
     int64_t ops_applied = 0;    // ops applied to the master and published
     int64_t ops_invalid = 0;    // dropped at apply time (e.g. bad node id)
+    int64_t ops_logged = 0;     // ops appended to the WAL (0 when disabled)
     int64_t batches = 0;        // writer batches (== republishes after init)
     int64_t publishes = 0;      // snapshots published, including the initial
+    int64_t checkpoints = 0;    // checkpoints written (incl. the initial one)
   };
   Stats stats() const;
 
@@ -134,10 +164,16 @@ class QueryServer {
 
  private:
   void WriterLoop();
-  void ApplyOp(const UpdateOp& op);
+  void CheckpointerLoop();
   // Deep-copies the master into a fresh snapshot and swaps it in.
   void Publish();
   bool Submit(UpdateOp op);
+  // Constructor helper: opens the WAL, writes the initial checkpoint, and
+  // resets the log. On failure durability is disabled with a loud stderr
+  // message (the server still serves, in-memory only).
+  void InitDurability();
+  // Checkpoints `snap` and truncates the log. Serialized by checkpoint_mu_.
+  bool WriteCheckpoint(const IndexSnapshot& snap);
 
   const Options options_;
 
@@ -145,9 +181,18 @@ class QueryServer {
   // constructor, before the thread starts) touches these.
   DataGraph master_graph_;
   DkIndex master_;
+  // Next WAL record gets seq_ + 1; writer thread only (after construction).
+  uint64_t seq_ = 0;
 
   UpdateQueue queue_;
   mutable ResultCache cache_;
+
+  // Durability pipeline; null when Options::durability.dir is empty.
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<CheckpointStore> checkpoints_;
+  // Serializes CheckpointNow against the background checkpointer.
+  std::mutex checkpoint_mu_;
+  uint64_t last_checkpoint_seq_ = 0;  // guarded by checkpoint_mu_
 
   // Publication point. Readers copy the shared_ptr under a shared lock;
   // the writer swaps it under an exclusive lock.
@@ -162,13 +207,24 @@ class QueryServer {
   std::condition_variable state_cv_;
   int64_t accepted_ = 0;
   int64_t applied_published_ = 0;
-  int64_t rejected_ = 0;
+  int64_t rejected_full_ = 0;
+  int64_t rejected_closed_ = 0;
   int64_t invalid_ = 0;
+  int64_t logged_ = 0;
   int64_t batches_ = 0;
   int64_t publishes_ = 0;
+  int64_t checkpoints_written_ = 0;
 
   std::thread writer_;
   bool stopped_ = false;  // guarded by state_mu_
+
+  // Background checkpointer (durability only): ticks every
+  // min(sync_interval, checkpoint_interval) to enforce the time-based fsync
+  // policy and write due checkpoints.
+  std::thread checkpointer_;
+  std::mutex ckpt_wake_mu_;
+  std::condition_variable ckpt_wake_cv_;
+  bool ckpt_stop_ = false;  // guarded by ckpt_wake_mu_
 };
 
 }  // namespace dki

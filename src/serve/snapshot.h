@@ -2,6 +2,8 @@
 #define DKINDEX_SERVE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "graph/data_graph.h"
 #include "index/index_graph.h"
@@ -20,9 +22,18 @@ namespace dki {
 class IndexSnapshot {
  public:
   // Deep-copies `graph` and `index`, rebinding the index copy onto the
-  // graph copy. `index.graph()` must be `graph`.
-  IndexSnapshot(const DataGraph& graph, const IndexGraph& index)
-      : graph_(graph), index_(index.CloneOnto(&graph_)) {}
+  // graph copy. `index.graph()` must be `graph`. `effective_requirements`
+  // and `seq` carry the durability metadata the background checkpointer
+  // needs to persist this state without touching the writer's master: the
+  // per-label requirements (part of the SaveDkIndex format) and the
+  // write-ahead-log sequence number of the last op the snapshot includes.
+  IndexSnapshot(const DataGraph& graph, const IndexGraph& index,
+                std::vector<int> effective_requirements = {},
+                uint64_t seq = 0)
+      : graph_(graph),
+        index_(index.CloneOnto(&graph_)),
+        effective_requirements_(std::move(effective_requirements)),
+        seq_(seq) {}
 
   IndexSnapshot(const IndexSnapshot&) = delete;
   IndexSnapshot& operator=(const IndexSnapshot&) = delete;
@@ -33,9 +44,21 @@ class IndexSnapshot {
   // The update epoch the snapshot was taken at (IndexGraph::epoch).
   uint64_t epoch() const { return index_.epoch(); }
 
+  // WAL sequence number of the last update this snapshot includes (0 when
+  // the server runs without durability).
+  uint64_t seq() const { return seq_; }
+
+  // Effective per-label requirements at snapshot time (empty without
+  // durability; indexed by label id otherwise).
+  const std::vector<int>& effective_requirements() const {
+    return effective_requirements_;
+  }
+
  private:
   DataGraph graph_;   // declared first: index_ is rebound onto it
   IndexGraph index_;
+  std::vector<int> effective_requirements_;
+  uint64_t seq_;
 };
 
 }  // namespace dki

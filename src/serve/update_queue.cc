@@ -5,18 +5,19 @@
 
 namespace dki {
 
-bool UpdateQueue::Push(UpdateOp op) {
+UpdateQueue::PushResult UpdateQueue::Push(UpdateOp op) {
   std::unique_lock<std::mutex> lock(mu_);
   if (policy_ == FullPolicy::kReject) {
-    if (closed_ || queue_.size() >= capacity_) return false;
+    if (closed_) return PushResult::kClosed;
+    if (queue_.size() >= capacity_) return PushResult::kFull;
   } else {
     not_full_cv_.wait(
         lock, [&] { return closed_ || queue_.size() < capacity_; });
-    if (closed_) return false;
+    if (closed_) return PushResult::kClosed;
   }
   queue_.push_back(std::move(op));
   not_empty_cv_.notify_one();
-  return true;
+  return PushResult::kOk;
 }
 
 bool UpdateQueue::PopBatch(size_t max_batch, std::vector<UpdateOp>* out) {

@@ -48,7 +48,19 @@ class UpdateQueue {
  public:
   enum class FullPolicy {
     kBlock,   // Push waits for the consumer to free space
-    kReject,  // Push returns false immediately when full
+    kReject,  // Push fails immediately when full
+  };
+
+  // Why Push failed — the two cases demand opposite reactions from a
+  // producer, so they must be distinguishable: kFull is transient
+  // backpressure (retry/back off and the op may yet be accepted), kClosed is
+  // terminal shutdown (retrying is pointless). Collapsing both into `false`
+  // also made the serve.* metrics misattribute shutdown-time rejects as
+  // backpressure.
+  enum class PushResult {
+    kOk,      // enqueued
+    kFull,    // kReject policy and the queue was at capacity (retryable)
+    kClosed,  // Close() was called; no op will ever be accepted again
   };
 
   UpdateQueue(size_t capacity, FullPolicy policy)
@@ -57,9 +69,10 @@ class UpdateQueue {
   UpdateQueue(const UpdateQueue&) = delete;
   UpdateQueue& operator=(const UpdateQueue&) = delete;
 
-  // Enqueues `op`. Returns false iff the queue is closed, or full under
-  // kReject; under kBlock a false return means closed.
-  bool Push(UpdateOp op);
+  // Enqueues `op`. Under kBlock the only failure is kClosed; under kReject a
+  // full queue returns kFull without blocking. Close-ness wins: a closed
+  // queue reports kClosed even when it is also full.
+  PushResult Push(UpdateOp op);
 
   // Consumer side: blocks until at least one op is available or the queue
   // is closed, then moves up to `max_batch` ops (in FIFO order) into *out.

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <string>
 
 #include "common/random.h"
+#include "common/string_util.h"
 #include "datagen/xmark_generator.h"
 #include "index/ak_index.h"
 #include "index/dk_index.h"
@@ -218,6 +221,38 @@ TEST(EdgeCaseTest, QueriesOverValueNodes) {
 TEST(EdgeCaseTest, MineRequirementsEmptyWorkload) {
   LabelTable labels;
   EXPECT_TRUE(MineRequirements({}, labels).empty());
+}
+
+// The strict integer parser that replaced the blind std::atoi calls
+// (DKI_NUM_THREADS, dkquery's a<k> mode): every malformed or overflowing
+// input must be rejected, not silently read as 0 or truncated.
+TEST(EdgeCaseTest, ParseInt64AcceptsExactlyWellFormedIntegers) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("+7"), 7);
+  EXPECT_EQ(ParseInt64("-13"), -13);
+  EXPECT_EQ(ParseInt64("007"), 7);
+  EXPECT_EQ(ParseInt64("9223372036854775807"),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ParseInt64("-9223372036854775808"),
+            std::numeric_limits<int64_t>::min());
+
+  for (const char* bad :
+       {"", "+", "-", " 4", "4 ", "4x", "x4", "1.5", "0x10", "1e3", "--4",
+        "+-4", "4\n", "9223372036854775808", "+9223372036854775808",
+        "-9223372036854775809", "99999999999999999999"}) {
+    EXPECT_FALSE(ParseInt64(bad).has_value()) << "'" << bad << "'";
+  }
+}
+
+TEST(EdgeCaseTest, ParseInt64InRangeClampsNothing) {
+  // In-range passes through; out-of-range is rejected, never clamped.
+  EXPECT_EQ(ParseInt64InRange("5", 0, 9), 5);
+  EXPECT_EQ(ParseInt64InRange("0", 0, 9), 0);
+  EXPECT_EQ(ParseInt64InRange("9", 0, 9), 9);
+  EXPECT_FALSE(ParseInt64InRange("10", 0, 9).has_value());
+  EXPECT_FALSE(ParseInt64InRange("-1", 0, 9).has_value());
+  EXPECT_FALSE(ParseInt64InRange("abc", 0, 9).has_value());
 }
 
 }  // namespace

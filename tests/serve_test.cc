@@ -25,7 +25,8 @@ namespace {
 TEST(UpdateQueueTest, FifoOrderAndBatchBound) {
   UpdateQueue q(16, UpdateQueue::FullPolicy::kBlock);
   for (NodeId i = 0; i < 5; ++i) {
-    ASSERT_TRUE(q.Push(UpdateOp::AddEdge(i, i + 1)));
+    ASSERT_EQ(q.Push(UpdateOp::AddEdge(i, i + 1)),
+              UpdateQueue::PushResult::kOk);
   }
   EXPECT_EQ(q.size(), 5u);
 
@@ -42,13 +43,15 @@ TEST(UpdateQueueTest, FifoOrderAndBatchBound) {
 
 TEST(UpdateQueueTest, RejectPolicyWhenFull) {
   UpdateQueue q(2, UpdateQueue::FullPolicy::kReject);
-  EXPECT_TRUE(q.Push(UpdateOp::AddEdge(1, 2)));
-  EXPECT_TRUE(q.Push(UpdateOp::AddEdge(2, 3)));
-  EXPECT_FALSE(q.Push(UpdateOp::AddEdge(3, 4)));  // full: rejected, not lost
+  EXPECT_EQ(q.Push(UpdateOp::AddEdge(1, 2)), UpdateQueue::PushResult::kOk);
+  EXPECT_EQ(q.Push(UpdateOp::AddEdge(2, 3)), UpdateQueue::PushResult::kOk);
+  // Full: rejected (retryably), not lost.
+  EXPECT_EQ(q.Push(UpdateOp::AddEdge(3, 4)), UpdateQueue::PushResult::kFull);
   std::vector<UpdateOp> batch;
   ASSERT_TRUE(q.PopBatch(10, &batch));
   EXPECT_EQ(batch.size(), 2u);
-  EXPECT_TRUE(q.Push(UpdateOp::AddEdge(3, 4)));  // space freed
+  // Space freed: the retry succeeds.
+  EXPECT_EQ(q.Push(UpdateOp::AddEdge(3, 4)), UpdateQueue::PushResult::kOk);
 }
 
 TEST(UpdateQueueTest, BlockPolicyWaitsForConsumer) {
@@ -66,16 +69,19 @@ TEST(UpdateQueueTest, BlockPolicyWaitsForConsumer) {
     EXPECT_EQ(seen, kOps);
   });
   for (NodeId i = 0; i < kOps; ++i) {
-    EXPECT_TRUE(q.Push(UpdateOp::AddEdge(i, i)));  // blocks when full
+    // Blocks when full.
+    EXPECT_EQ(q.Push(UpdateOp::AddEdge(i, i)), UpdateQueue::PushResult::kOk);
   }
   consumer.join();
 }
 
 TEST(UpdateQueueTest, CloseDrainsThenUnblocks) {
   UpdateQueue q(8, UpdateQueue::FullPolicy::kBlock);
-  ASSERT_TRUE(q.Push(UpdateOp::AddEdge(7, 8)));
+  ASSERT_EQ(q.Push(UpdateOp::AddEdge(7, 8)), UpdateQueue::PushResult::kOk);
   q.Close();
-  EXPECT_FALSE(q.Push(UpdateOp::AddEdge(9, 10)));  // closed: rejected
+  // Closed: terminally rejected.
+  EXPECT_EQ(q.Push(UpdateOp::AddEdge(9, 10)),
+            UpdateQueue::PushResult::kClosed);
   std::vector<UpdateOp> batch;
   ASSERT_TRUE(q.PopBatch(10, &batch));  // queued op still drains
   EXPECT_EQ(batch.size(), 1u);
@@ -277,6 +283,8 @@ TEST(QueryServerTest, StopRejectsFurtherSubmissions) {
   EXPECT_FALSE(server.SubmitAddEdge(2, 3));
   QueryServer::Stats stats = server.stats();
   EXPECT_EQ(stats.ops_rejected, 1);
+  EXPECT_EQ(stats.ops_rejected_closed, 1);  // shutdown, not backpressure
+  EXPECT_EQ(stats.ops_rejected_full, 0);
   EXPECT_EQ(stats.ops_applied, 1);  // pre-stop op drained before the join
   // The read path survives shutdown.
   EXPECT_TRUE(server.Evaluate("director.movie.title").has_value());

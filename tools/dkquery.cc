@@ -13,19 +13,27 @@
 //       Build a D(k)-index tuned to the expressions and persist graph +
 //       index + requirements to <out.dki>.
 //
-//   dkquery run <index.dki> <expr> [expr ...]
-//       Load a persisted index and evaluate the expressions on it.
+//   dkquery run <index.dki> <expr> [expr ...] [--wal-dir=DIR [--recover]]
+//       Load a persisted index and evaluate the expressions on it. With
+//       --wal-dir the expressions are served through a durable QueryServer
+//       (write-ahead log + checkpoints under DIR); with --recover the state
+//       is restored from DIR's newest valid checkpoint + log tail instead
+//       of <index.dki> (pass "-" for the index argument), and the recovery
+//       stats are printed.
 //
 // Exit status: 0 on success, 1 on usage/input errors.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "graph/graph_algos.h"
 #include "index/ak_index.h"
@@ -35,6 +43,8 @@
 #include "io/serialization.h"
 #include "query/evaluator.h"
 #include "query/load_analyzer.h"
+#include "serve/checkpoint.h"
+#include "serve/query_server.h"
 #include "xml/xml_to_graph.h"
 
 namespace {
@@ -44,8 +54,12 @@ int Usage() {
                "usage: dkquery stats <file.xml>\n"
                "       dkquery query <file.xml> <expr>... [--index=MODE]\n"
                "       dkquery build <file.xml> <out.dki> <expr>...\n"
-               "       dkquery run <index.dki> <expr>...\n"
-               "MODE: dk (default), one, a0..a9, none\n");
+               "       dkquery run <index.dki> <expr>... "
+               "[--wal-dir=DIR [--recover]]\n"
+               "MODE: dk (default), one, a0..a9, none\n"
+               "--wal-dir=DIR: serve through a durable QueryServer (WAL +\n"
+               "  checkpoints under DIR); --recover restores the state from\n"
+               "  DIR instead of <index.dki> (pass - for the index)\n");
   return 1;
 }
 
@@ -184,10 +198,19 @@ int CmdQuery(const std::string& path, const std::vector<std::string>& texts,
   } else if (mode == "one") {
     one = std::make_unique<dki::IndexGraph>(dki::OneIndex::Build(&g));
     index = one.get();
-  } else if (mode.size() >= 2 && mode[0] == 'a' &&
-             std::isdigit(static_cast<unsigned char>(mode[1]))) {
+  } else if (mode.size() >= 2 && mode[0] == 'a') {
+    // Strict parse: "a07" or "a1x" or "a99" are usage errors, not silently
+    // truncated or misread the way atoi would.
+    std::optional<int64_t> k =
+        dki::ParseInt64InRange(std::string_view(mode).substr(1), 0, 9);
+    if (!k.has_value()) {
+      std::fprintf(stderr,
+                   "dkquery: bad --index mode '%s' (want a0..a9)\n",
+                   mode.c_str());
+      return 1;
+    }
     ak = std::make_unique<dki::AkIndex>(
-        dki::AkIndex::Build(&g, std::atoi(mode.c_str() + 1)));
+        dki::AkIndex::Build(&g, static_cast<int>(*k)));
     index = &ak->index();
   } else if (mode != "none") {
     std::fprintf(stderr, "dkquery: unknown --index mode '%s'\n", mode.c_str());
@@ -228,21 +251,72 @@ int CmdBuild(const std::string& xml_path, const std::string& out_path,
 }
 
 int CmdRun(const std::string& index_path,
-           const std::vector<std::string>& texts) {
+           const std::vector<std::string>& texts, const std::string& wal_dir,
+           bool recover) {
   dki::DataGraph g;
   std::string error;
-  auto dk = dki::LoadDkIndexFromFile(index_path, &g, &error);
-  if (!dk.has_value()) {
-    std::fprintf(stderr, "dkquery: %s\n", error.c_str());
-    return 1;
+  std::optional<dki::DkIndex> dk;
+  uint64_t start_seq = 0;
+  if (recover) {
+    if (wal_dir.empty()) {
+      std::fprintf(stderr, "dkquery: --recover requires --wal-dir=DIR\n");
+      return 1;
+    }
+    dki::RecoveryStats rstats;
+    dk = dki::RecoverDkIndex(wal_dir, &g, &rstats, &error);
+    if (!dk.has_value()) {
+      std::fprintf(stderr, "dkquery: recovery failed: %s\n", error.c_str());
+      return 1;
+    }
+    start_seq = rstats.last_seq;
+    std::printf(
+        "recovered %s: checkpoint seq=%llu%s, replayed %lld log ops "
+        "(%lld skipped, %lld invalid)%s -> seq=%llu\n",
+        wal_dir.c_str(),
+        static_cast<unsigned long long>(rstats.checkpoint_seq),
+        rstats.used_fallback ? " (fallback: newest checkpoint corrupt)" : "",
+        static_cast<long long>(rstats.replayed_ops),
+        static_cast<long long>(rstats.skipped_ops),
+        static_cast<long long>(rstats.invalid_ops),
+        rstats.log_tail_torn ? ", torn log tail truncated" : "",
+        static_cast<unsigned long long>(rstats.last_seq));
+  } else {
+    dk = dki::LoadDkIndexFromFile(index_path, &g, &error);
+    if (!dk.has_value()) {
+      std::fprintf(stderr, "dkquery: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("loaded %s: %lld index nodes over %lld data nodes\n",
+                index_path.c_str(),
+                static_cast<long long>(dk->index().NumIndexNodes()),
+                static_cast<long long>(g.NumNodes()));
   }
-  std::printf("loaded %s: %lld index nodes over %lld data nodes\n\n",
-              index_path.c_str(),
-              static_cast<long long>(dk->index().NumIndexNodes()),
-              static_cast<long long>(g.NumNodes()));
+  std::printf("\n");
   bool ok = false;
   auto queries = ParseQueries(texts, g.labels(), &ok);
   if (!ok) return 1;
+
+  if (!wal_dir.empty()) {
+    // Durable serving session: queries flow through a QueryServer whose WAL
+    // and checkpoints live under wal_dir, so a later `run --recover` resumes
+    // exactly this state.
+    dki::QueryServer::Options options;
+    options.durability.dir = wal_dir;
+    options.durability.start_seq = start_seq;
+    dki::QueryServer server(*dk, options);
+    for (const auto& q : queries) {
+      dki::EvalStats stats;
+      auto result = server.Evaluate(q.text(), &stats, &error);
+      if (!result.has_value()) {
+        std::fprintf(stderr, "dkquery: %s\n", error.c_str());
+        return 1;
+      }
+      PrintResult(q, *result, stats);
+    }
+    server.Stop();  // leaves a clean final checkpoint behind
+    return 0;
+  }
+
   for (const auto& q : queries) {
     dki::EvalStats stats;
     auto result = dki::EvaluateOnIndex(dk->index(), q, &stats);
@@ -259,10 +333,16 @@ int main(int argc, char** argv) {
   const std::string& command = args[0];
 
   std::string mode = "dk";
+  std::string wal_dir;
+  bool recover = false;
   std::vector<std::string> positional;
   for (size_t i = 1; i < args.size(); ++i) {
     if (args[i].rfind("--index=", 0) == 0) {
       mode = args[i].substr(8);
+    } else if (args[i].rfind("--wal-dir=", 0) == 0) {
+      wal_dir = args[i].substr(10);
+    } else if (args[i] == "--recover") {
+      recover = true;
     } else {
       positional.push_back(args[i]);
     }
@@ -280,7 +360,8 @@ int main(int argc, char** argv) {
                     {positional.begin() + 2, positional.end()});
   }
   if (command == "run" && positional.size() >= 2) {
-    return CmdRun(positional[0], {positional.begin() + 1, positional.end()});
+    return CmdRun(positional[0], {positional.begin() + 1, positional.end()},
+                  wal_dir, recover);
   }
   return Usage();
 }
