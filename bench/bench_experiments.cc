@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "index/ak_index.h"
 #include "index/dk_index.h"
+#include "query/frozen_view.h"
 #include "query/result_cache.h"
 
 namespace dki {
@@ -115,6 +116,73 @@ void RunCachedWorkloadReplay(const DkIndex& dk,
   MetricsRegistry::Global().Dump(&std::cout);
 }
 
+// The frozen read path against the reference evaluator on the same D(k)
+// index and workload: wall time per pass, freeze cost, flat-memory size, and
+// a bit-identical check (results AND stats). This is the EXPERIMENTS.md
+// "frozen vs reference" row source for fig4/fig5.
+void RunFrozenWorkloadReplay(const DkIndex& dk,
+                             const std::vector<PathExpression>& workload,
+                             int passes) {
+  WallTimer reference_timer;
+  int64_t reference_visits = 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const PathExpression& q : workload) {
+      EvalStats stats;
+      auto result = EvaluateOnIndex(dk.index(), q, &stats);
+      reference_visits +=
+          stats.index_nodes_visited + stats.data_nodes_visited;
+      (void)result;
+    }
+  }
+  double reference_ms = reference_timer.ElapsedMillis();
+
+  WallTimer freeze_timer;
+  FrozenView view(dk.index());
+  double freeze_ms = freeze_timer.ElapsedMillis();
+
+  FrozenScratch scratch;
+  WallTimer frozen_timer;
+  int64_t frozen_visits = 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const PathExpression& q : workload) {
+      EvalStats stats;
+      auto result = view.Evaluate(q, &stats, /*validate=*/true, &scratch);
+      frozen_visits += stats.index_nodes_visited + stats.data_nodes_visited;
+      (void)result;
+    }
+  }
+  double frozen_ms = frozen_timer.ElapsedMillis();
+
+  bool identical = true;
+  for (const PathExpression& q : workload) {
+    EvalStats ref_stats, frozen_stats;
+    auto ref = EvaluateOnIndex(dk.index(), q, &ref_stats);
+    auto frozen = view.Evaluate(q, &frozen_stats, /*validate=*/true,
+                                &scratch);
+    if (ref != frozen ||
+        ref_stats.index_nodes_visited != frozen_stats.index_nodes_visited ||
+        ref_stats.data_nodes_visited != frozen_stats.data_nodes_visited ||
+        ref_stats.result_size != frozen_stats.result_size) {
+      identical = false;
+    }
+  }
+
+  std::printf("\n== frozen read path: %d x %zu queries on D(k) ==\n", passes,
+              workload.size());
+  std::printf("%-10s %12s %16s\n", "mode", "time(ms)", "nodes visited");
+  std::printf("%-10s %12.1f %16lld\n", "reference", reference_ms,
+              static_cast<long long>(reference_visits));
+  std::printf("%-10s %12.1f %16lld\n", "frozen", frozen_ms,
+              static_cast<long long>(frozen_visits));
+  std::printf("freeze: %.1f ms, %.1f MiB flat\n", freeze_ms,
+              static_cast<double>(view.ApproxBytes()) / (1024.0 * 1024.0));
+  std::printf("shape_check: frozen speedup: %.2fx\n",
+              frozen_ms == 0.0 ? 0.0 : reference_ms / frozen_ms);
+  std::printf(
+      "shape_check: frozen results+stats bit-identical to reference: %s\n",
+      identical ? "yes" : "NO");
+}
+
 }  // namespace
 
 void RunEvalBeforeUpdating(Dataset dataset, const std::string& figure_name) {
@@ -141,6 +209,7 @@ void RunEvalBeforeUpdating(Dataset dataset, const std::string& figure_name) {
                   "(X=index_nodes, Y=avg_cost)",
               rows);
   PrintShapeCheck(rows);
+  RunFrozenWorkloadReplay(dk, workload, /*passes=*/5);
   RunCachedWorkloadReplay(dk, workload, /*passes=*/5);
 }
 

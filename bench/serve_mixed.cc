@@ -118,9 +118,55 @@ ConfigResult RunConfig(const DkIndex& source,
   return out;
 }
 
-int Main() {
-  bench::Dataset dataset = bench::MakeXmark(bench::ScaleFromEnv());
+// Batched read throughput against an otherwise idle server: each round trip
+// evaluates `batch_size` queries (the workload cycled) through
+// QueryServer::EvaluateBatch over `batch_threads` lanes. The cache is
+// disabled (budget 0) so every query exercises the frozen evaluator rather
+// than the LRU.
+double RunBatchConfig(const DkIndex& source,
+                      const std::vector<std::string>& workload,
+                      size_t batch_size, int batch_threads,
+                      double duration_sec) {
+  std::vector<std::string> queries;
+  queries.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    queries.push_back(workload[i % workload.size()]);
+  }
+  QueryServer::Options options;
+  options.batch_threads = batch_threads;
+  options.cache_byte_budget = 0;
+  QueryServer server(source, options);
+  int64_t evaluated = 0;
+  auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::milliseconds(
+                  static_cast<int64_t>(duration_sec * 1000));
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto results = server.EvaluateBatch(queries);
+    evaluated += static_cast<int64_t>(results.size());
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  server.Stop();
+  return static_cast<double>(evaluated) / elapsed;
+}
+
+int Main(int argc, char** argv) {
+  // --small: the CI smoke configuration — tiny dataset, short windows,
+  // fewer configs — just enough to catch regressions in the serving path.
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--small") small = true;
+  }
+  bench::Dataset dataset =
+      bench::MakeXmark(small ? 0.1 : bench::ScaleFromEnv());
   bench::PrintDatasetBanner(dataset);
+  const double duration_sec = small ? 0.3 : 2.0;
+  const std::vector<int> reader_configs =
+      small ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+  const std::vector<int> batch_configs =
+      small ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
 
   DataGraph build_copy = dataset.graph;
   auto workload = bench::MakeWorkload(build_copy, 20, 20030609);
@@ -143,14 +189,25 @@ int Main() {
   std::printf("\n%-8s %12s %12s %10s %10s %16s %10s\n", "readers", "reads",
               "reads/sec", "applied", "publishes", "republish(ms)",
               "hit_rate");
-  for (int readers : {1, 2, 4}) {
+  for (int readers : reader_configs) {
     ConfigResult r =
-        RunConfig(dk, queries, edges, initial, readers, /*duration_sec=*/2.0);
+        RunConfig(dk, queries, edges, initial, readers, duration_sec);
     std::printf("%-8d %12lld %12.0f %10lld %10lld %16.3f %10.2f\n", r.readers,
                 static_cast<long long>(r.reads), r.reads_per_sec,
                 static_cast<long long>(r.ops_applied),
                 static_cast<long long>(r.publishes), r.republish_mean_ms,
                 r.cache_hit_rate);
+  }
+
+  const size_t batch_size = small ? 40 : 160;
+  std::printf("\nBatch evaluation (EvaluateBatch, cache disabled, idle "
+              "writer): %zu-query batches (%d-query cycle)\n",
+              batch_size, static_cast<int>(queries.size()));
+  std::printf("\n%-14s %14s\n", "batch_threads", "queries/sec");
+  for (int threads : batch_configs) {
+    double qps =
+        RunBatchConfig(dk, queries, batch_size, threads, duration_sec);
+    std::printf("%-14d %14.0f\n", threads, qps);
   }
   return 0;
 }
@@ -158,4 +215,4 @@ int Main() {
 }  // namespace
 }  // namespace dki
 
-int main() { return dki::Main(); }
+int main(int argc, char** argv) { return dki::Main(argc, argv); }

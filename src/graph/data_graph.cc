@@ -18,6 +18,10 @@ NodeId DataGraph::AddNode(LabelId label) {
   labels_.push_back(label);
   children_.emplace_back();
   parents_.emplace_back();
+  if (static_cast<size_t>(label) >= nodes_by_label_.size()) {
+    nodes_by_label_.resize(static_cast<size_t>(label) + 1);
+  }
+  nodes_by_label_[static_cast<size_t>(label)].push_back(id);
   return id;
 }
 
@@ -56,12 +60,12 @@ bool DataGraph::HasEdge(NodeId from, NodeId to) const {
   return std::find(c.begin(), c.end(), to) != c.end();
 }
 
-std::vector<NodeId> DataGraph::NodesWithLabel(LabelId label) const {
-  std::vector<NodeId> out;
-  for (NodeId n = 0; n < NumNodes(); ++n) {
-    if (labels_[static_cast<size_t>(n)] == label) out.push_back(n);
+const std::vector<NodeId>& DataGraph::NodesWithLabel(LabelId label) const {
+  static const std::vector<NodeId> kEmptyBucket;
+  if (label < 0 || static_cast<size_t>(label) >= nodes_by_label_.size()) {
+    return kEmptyBucket;
   }
-  return out;
+  return nodes_by_label_[static_cast<size_t>(label)];
 }
 
 }  // namespace dki

@@ -82,14 +82,20 @@ class DataGraph {
   LabelTable& labels() { return labels_table_; }
   const LabelTable& labels() const { return labels_table_; }
 
-  // All nodes carrying `label`, in id order. O(n).
-  std::vector<NodeId> NodesWithLabel(LabelId label) const;
+  // All nodes carrying `label`, in id order. O(1): backed by the label
+  // inverted index, which AddNode maintains incrementally (nodes are never
+  // removed and never relabeled, so buckets only grow, in id order).
+  // Unknown labels (including kInvalidLabel from a failed Find) map to the
+  // empty bucket.
+  const std::vector<NodeId>& NodesWithLabel(LabelId label) const;
 
  private:
   LabelTable labels_table_;
   std::vector<LabelId> labels_;
   std::vector<std::vector<NodeId>> children_;
   std::vector<std::vector<NodeId>> parents_;
+  // label -> nodes carrying it, ascending. Sized lazily by AddNode.
+  std::vector<std::vector<NodeId>> nodes_by_label_;
   int64_t num_edges_ = 0;
 };
 

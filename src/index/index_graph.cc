@@ -42,6 +42,7 @@ IndexGraph IndexGraph::FromPartition(const DataGraph* graph,
   for (int32_t b = 0; b < num_blocks; ++b) {
     DKI_CHECK(!index.nodes_[static_cast<size_t>(b)].extent.empty());
     index.nodes_[static_cast<size_t>(b)].k = block_k[static_cast<size_t>(b)];
+    index.RegisterNodeLabel(b, index.nodes_[static_cast<size_t>(b)].label);
   }
   index.RecomputeAllEdges();
   return index;
@@ -55,12 +56,21 @@ int64_t IndexGraph::NumIndexEdges() const {
   return total;
 }
 
-std::vector<IndexNodeId> IndexGraph::NodesWithLabel(LabelId label) const {
-  std::vector<IndexNodeId> out;
-  for (IndexNodeId i = 0; i < NumIndexNodes(); ++i) {
-    if (nodes_[static_cast<size_t>(i)].label == label) out.push_back(i);
+void IndexGraph::RegisterNodeLabel(IndexNodeId id, LabelId label) {
+  DKI_DCHECK(label >= 0);
+  if (static_cast<size_t>(label) >= nodes_by_label_.size()) {
+    nodes_by_label_.resize(static_cast<size_t>(label) + 1);
   }
-  return out;
+  nodes_by_label_[static_cast<size_t>(label)].push_back(id);
+}
+
+const std::vector<IndexNodeId>& IndexGraph::NodesWithLabel(
+    LabelId label) const {
+  static const std::vector<IndexNodeId> kEmptyBucket;
+  if (label < 0 || static_cast<size_t>(label) >= nodes_by_label_.size()) {
+    return kEmptyBucket;
+  }
+  return nodes_by_label_[static_cast<size_t>(label)];
 }
 
 int64_t IndexGraph::TotalExtentSize() const {
@@ -82,6 +92,7 @@ IndexNodeId IndexGraph::SplitOff(IndexNodeId src,
   node.label = source.label;
   node.k = source.k;
   node.extent = members;
+  RegisterNodeLabel(fresh, node.label);
   nodes_.push_back(std::move(node));
 
   std::unordered_set<NodeId> moved(members.begin(), members.end());
@@ -108,6 +119,7 @@ IndexNodeId IndexGraph::AppendNode(LabelId label, int k,
   for (NodeId n : node.extent) {
     node_to_index_[static_cast<size_t>(n)] = id;
   }
+  RegisterNodeLabel(id, node.label);
   nodes_.push_back(std::move(node));
   ++epoch_;
   return id;

@@ -114,8 +114,12 @@ class IndexGraph {
     return node_to_index_[static_cast<size_t>(n)];
   }
 
-  // All index nodes carrying `label`. O(index nodes).
-  std::vector<IndexNodeId> NodesWithLabel(LabelId label) const;
+  // All index nodes carrying `label`, in id order. O(1): backed by the
+  // label inverted index, maintained by every node-creating path
+  // (FromPartition, SplitOff, AppendNode); index nodes are never removed or
+  // relabeled, so buckets only grow, in id order. Unknown labels map to the
+  // empty bucket.
+  const std::vector<IndexNodeId>& NodesWithLabel(LabelId label) const;
 
   // Sum over nodes of extent sizes (== graph().NumNodes() when valid).
   int64_t TotalExtentSize() const;
@@ -162,9 +166,15 @@ class IndexGraph {
   std::string ToDot(int64_t max_nodes = 200) const;
 
  private:
+  // Appends `id` to `label`'s inverted-index bucket; every node creation
+  // funnels through this.
+  void RegisterNodeLabel(IndexNodeId id, LabelId label);
+
   const DataGraph* graph_;
   std::vector<IndexNode> nodes_;
   std::vector<IndexNodeId> node_to_index_;
+  // label -> index nodes carrying it, ascending.
+  std::vector<std::vector<IndexNodeId>> nodes_by_label_;
   uint64_t epoch_ = 0;
 };
 

@@ -20,6 +20,7 @@ void Automaton::AddTransition(int from, Symbol symbol, int to) {
   DKI_DCHECK(from >= 0 && from < num_states());
   DKI_DCHECK(to >= 0 && to < num_states());
   transitions_[static_cast<size_t>(from)].push_back({symbol, to});
+  start_moves_ready_ = false;
 }
 
 void Automaton::SetStart(int q, bool v) {
@@ -28,6 +29,7 @@ void Automaton::SetStart(int q, bool v) {
   for (int s = 0; s < num_states(); ++s) {
     if (start_[static_cast<size_t>(s)]) start_list_.push_back(s);
   }
+  start_moves_ready_ = false;
 }
 
 void Automaton::Move(int q, LabelId label, std::vector<int>* out) const {
@@ -42,6 +44,39 @@ std::vector<int> Automaton::StartMove(LabelId label) const {
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+void Automaton::PrecomputeStartMoves() {
+  start_moves_by_label_.clear();
+  wildcard_start_moves_.clear();
+  // Labels that can never be asked about (kUnknownLabel) are skipped: no
+  // graph node carries them. Every label without a dedicated entry shares
+  // wildcard_start_moves_, which equals StartMove(l) for exactly those
+  // labels.
+  for (int q : start_list_) {
+    for (const Transition& t : transitions_[static_cast<size_t>(q)]) {
+      if (t.symbol == kAnySymbol) {
+        wildcard_start_moves_.push_back(t.to);
+      } else if (t.symbol >= 0) {
+        start_moves_by_label_.emplace(t.symbol, std::vector<int>());
+      }
+    }
+  }
+  std::sort(wildcard_start_moves_.begin(), wildcard_start_moves_.end());
+  wildcard_start_moves_.erase(
+      std::unique(wildcard_start_moves_.begin(), wildcard_start_moves_.end()),
+      wildcard_start_moves_.end());
+  for (auto& [label, moves] : start_moves_by_label_) {
+    moves = StartMove(label);
+  }
+  start_moves_ready_ = true;
+}
+
+const std::vector<int>& Automaton::StartMovesFor(LabelId label) const {
+  DKI_DCHECK(start_moves_ready_);
+  auto it = start_moves_by_label_.find(label);
+  return it == start_moves_by_label_.end() ? wildcard_start_moves_
+                                           : it->second;
 }
 
 bool Automaton::CanStartWith(LabelId label) const {

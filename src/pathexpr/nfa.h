@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/label_table.h"
@@ -44,6 +45,17 @@ class Automaton {
   // States reachable from the start set by consuming `label` (deduplicated).
   std::vector<int> StartMove(LabelId label) const;
 
+  // Precomputes StartMove for every label with a dedicated transition out of
+  // the start set, plus the shared wildcard-only set every other label maps
+  // to. PathExpression::Parse calls this once per compiled automaton; the
+  // table is immutable afterwards, so concurrent evaluations share it
+  // without re-hashing labels (any later AddTransition/SetStart discards
+  // it). StartMovesFor then answers by reference in O(1).
+  void PrecomputeStartMoves();
+  bool start_moves_ready() const { return start_moves_ready_; }
+  // Precomputed StartMove(label). Requires start_moves_ready().
+  const std::vector<int>& StartMovesFor(LabelId label) const;
+
   // True if some start state can consume `label` (or has a wildcard edge).
   // Used to seed the product search only with plausible nodes.
   bool CanStartWith(LabelId label) const;
@@ -73,6 +85,11 @@ class Automaton {
   std::vector<bool> start_;
   std::vector<bool> accept_;
   std::vector<int> start_list_;
+
+  // PrecomputeStartMoves output (see above).
+  bool start_moves_ready_ = false;
+  std::vector<int> wildcard_start_moves_;
+  std::unordered_map<LabelId, std::vector<int>> start_moves_by_label_;
 };
 
 // Compiles `ast` against `labels`. Tag names not present in `labels` become

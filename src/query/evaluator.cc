@@ -76,24 +76,6 @@ class VisitedSet {
   std::unordered_set<int64_t> set_;
 };
 
-// Lazily caches Automaton::StartMove per label.
-class StartMoveCache {
- public:
-  explicit StartMoveCache(const Automaton* a) : automaton_(a) {}
-
-  const std::vector<int>& Get(LabelId label) {
-    auto it = cache_.find(label);
-    if (it == cache_.end()) {
-      it = cache_.emplace(label, automaton_->StartMove(label)).first;
-    }
-    return it->second;
-  }
-
- private:
-  const Automaton* automaton_;
-  std::unordered_map<LabelId, std::vector<int>> cache_;
-};
-
 struct PendingPair {
   int32_t node;
   int state;
@@ -108,12 +90,13 @@ std::vector<NodeId> EvaluateOnDataGraph(const DataGraph& g,
   EvalStats local;
   const Automaton& a = query.forward();
   VisitedSet visited(g.NumNodes(), a.num_states());
-  StartMoveCache starts(&a);
   std::deque<PendingPair> queue;
   std::vector<bool> in_result(static_cast<size_t>(g.NumNodes()), false);
 
+  // The start-move table was precomputed at parse time (the expression is
+  // immutable), so seeding pays no per-label hashing here.
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
-    for (int q : starts.Get(g.label(v))) {
+    for (int q : a.StartMovesFor(g.label(v))) {
       if (visited.Insert(v, q)) queue.push_back({v, q, 0});
     }
   }
@@ -195,8 +178,9 @@ bool ValidateCandidate(const DataGraph& g, const PathExpression& query,
   scratch->BeginCandidate();
   auto& queue = scratch->queue_;
   // The reversed automaton consumes the word back to front; the first symbol
-  // it reads is label(node).
-  for (int q : rev.StartMove(g.label(node))) {
+  // it reads is label(node). StartMovesFor is the precomputed table — the
+  // old per-call StartMove allocated a fresh vector per candidate.
+  for (int q : rev.StartMovesFor(g.label(node))) {
     if (scratch->Insert(node, q)) queue.emplace_back(node, q);
   }
   auto& next_states = scratch->next_states_;
@@ -224,11 +208,10 @@ std::vector<NodeId> EvaluateOnIndex(const IndexGraph& index,
   const DataGraph& g = index.graph();
 
   VisitedSet visited(index.NumIndexNodes(), a.num_states());
-  StartMoveCache starts(&a);
   std::deque<PendingPair> queue;
 
   for (IndexNodeId i = 0; i < index.NumIndexNodes(); ++i) {
-    for (int q : starts.Get(index.label(i))) {
+    for (int q : a.StartMovesFor(index.label(i))) {
       if (visited.Insert(i, q)) queue.push_back({i, q, 0});
     }
   }
@@ -281,7 +264,11 @@ std::vector<NodeId> EvaluateOnIndex(const IndexGraph& index,
     }
   }
   std::sort(result.begin(), result.end());
-  result.erase(std::unique(result.begin(), result.end()), result.end());
+  // Extents partition the data nodes (IndexGraph::ValidatePartition), so
+  // cross-extent duplicates are impossible and a dedup pass would be pure
+  // waste; assert the invariant instead.
+  DKI_DCHECK(std::adjacent_find(result.begin(), result.end()) ==
+             result.end());
   local.result_size = static_cast<int64_t>(result.size());
   static EvalCounters& counters = *new EvalCounters("eval.index");
   counters.Record(local);

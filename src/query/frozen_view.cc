@@ -1,0 +1,617 @@
+#include "query/frozen_view.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace dki {
+namespace {
+
+// Mirrors the EvalCounters of query/evaluator.cc under the frozen prefixes.
+struct FrozenCounters {
+  explicit FrozenCounters(const std::string& prefix)
+      : calls(MetricsRegistry::Global().GetCounter(prefix + ".calls")),
+        index_nodes_visited(MetricsRegistry::Global().GetCounter(
+            prefix + ".index_nodes_visited")),
+        data_nodes_visited(MetricsRegistry::Global().GetCounter(
+            prefix + ".data_nodes_visited")),
+        validated_candidates(MetricsRegistry::Global().GetCounter(
+            prefix + ".validated_candidates")),
+        uncertain_index_nodes(MetricsRegistry::Global().GetCounter(
+            prefix + ".uncertain_index_nodes")),
+        results(MetricsRegistry::Global().GetCounter(prefix + ".results")) {}
+
+  void Record(const EvalStats& s) {
+    calls.Increment();
+    index_nodes_visited.Increment(s.index_nodes_visited);
+    data_nodes_visited.Increment(s.data_nodes_visited);
+    validated_candidates.Increment(s.validated_candidates);
+    uncertain_index_nodes.Increment(s.uncertain_index_nodes);
+    results.Increment(s.result_size);
+  }
+
+  Counter& calls;
+  Counter& index_nodes_visited;
+  Counter& data_nodes_visited;
+  Counter& validated_candidates;
+  Counter& uncertain_index_nodes;
+  Counter& results;
+};
+
+int MaskWords(int num_states) { return (num_states + 63) / 64; }
+
+// FNV-1a over an automaton's full structure (states, transitions in order,
+// accepts, starts). Used by the scratch's compiled-query cache to detect the
+// rare case of one query text compiled against two different label tables.
+uint64_t HashAutomaton(uint64_t h, const Automaton& a) {
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(a.num_states()));
+  for (int q = 0; q < a.num_states(); ++q) {
+    mix(static_cast<uint64_t>(a.is_accept(q)) | 2u);
+    for (const Automaton::Transition& t : a.transitions(q)) {
+      mix((static_cast<uint64_t>(static_cast<uint32_t>(t.symbol)) << 32) |
+          static_cast<uint32_t>(t.to));
+    }
+  }
+  for (int q : a.start_states()) mix(static_cast<uint64_t>(q) | (1ull << 40));
+  return h;
+}
+
+template <typename T>
+int64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.capacity() * sizeof(T));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FrozenView construction
+// ---------------------------------------------------------------------------
+
+FrozenView::FrozenView(const IndexGraph& index)
+    : epoch_(index.epoch()),
+      num_labels_(static_cast<int32_t>(index.graph().labels().size())) {
+  const DataGraph& g = index.graph();
+  const int64_t n = g.NumNodes();
+  const int64_t m = index.NumIndexNodes();
+
+  // Data graph: labels + both adjacency directions as CSR.
+  data_label_.resize(static_cast<size_t>(n));
+  data_child_off_.resize(static_cast<size_t>(n) + 1);
+  data_parent_off_.resize(static_cast<size_t>(n) + 1);
+  data_child_.reserve(static_cast<size_t>(g.NumEdges()));
+  data_parent_.reserve(static_cast<size_t>(g.NumEdges()));
+  data_child_off_[0] = 0;
+  data_parent_off_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    data_label_[static_cast<size_t>(v)] = g.label(v);
+    const auto& c = g.children(v);
+    data_child_.insert(data_child_.end(), c.begin(), c.end());
+    data_child_off_[static_cast<size_t>(v) + 1] =
+        static_cast<int32_t>(data_child_.size());
+    const auto& p = g.parents(v);
+    data_parent_.insert(data_parent_.end(), p.begin(), p.end());
+    data_parent_off_[static_cast<size_t>(v) + 1] =
+        static_cast<int32_t>(data_parent_.size());
+  }
+
+  // Label inverted indexes, flattened from the graphs' bucket form.
+  data_bylabel_off_.resize(static_cast<size_t>(num_labels_) + 1);
+  data_bylabel_.reserve(static_cast<size_t>(n));
+  data_bylabel_off_[0] = 0;
+  for (LabelId l = 0; l < num_labels_; ++l) {
+    const auto& bucket = g.NodesWithLabel(l);
+    data_bylabel_.insert(data_bylabel_.end(), bucket.begin(), bucket.end());
+    data_bylabel_off_[static_cast<size_t>(l) + 1] =
+        static_cast<int32_t>(data_bylabel_.size());
+  }
+
+  // Index graph: labels, k, children CSR, extents CSR.
+  index_label_.resize(static_cast<size_t>(m));
+  index_k_.resize(static_cast<size_t>(m));
+  index_child_off_.resize(static_cast<size_t>(m) + 1);
+  extent_off_.resize(static_cast<size_t>(m) + 1);
+  extent_.reserve(static_cast<size_t>(n));
+  index_child_off_[0] = 0;
+  extent_off_[0] = 0;
+  for (IndexNodeId i = 0; i < m; ++i) {
+    index_label_[static_cast<size_t>(i)] = index.label(i);
+    index_k_[static_cast<size_t>(i)] = index.k(i);
+    const auto& c = index.children(i);
+    index_child_.insert(index_child_.end(), c.begin(), c.end());
+    index_child_off_[static_cast<size_t>(i) + 1] =
+        static_cast<int32_t>(index_child_.size());
+    const auto& e = index.extent(i);
+    extent_.insert(extent_.end(), e.begin(), e.end());
+    extent_off_[static_cast<size_t>(i) + 1] =
+        static_cast<int32_t>(extent_.size());
+  }
+
+  index_bylabel_off_.resize(static_cast<size_t>(num_labels_) + 1);
+  index_bylabel_.reserve(static_cast<size_t>(m));
+  index_bylabel_off_[0] = 0;
+  for (LabelId l = 0; l < num_labels_; ++l) {
+    const auto& bucket = index.NodesWithLabel(l);
+    index_bylabel_.insert(index_bylabel_.end(), bucket.begin(), bucket.end());
+    index_bylabel_off_[static_cast<size_t>(l) + 1] =
+        static_cast<int32_t>(index_bylabel_.size());
+  }
+}
+
+int64_t FrozenView::ApproxBytes() const {
+  return VectorBytes(data_label_) + VectorBytes(data_child_off_) +
+         VectorBytes(data_child_) + VectorBytes(data_parent_off_) +
+         VectorBytes(data_parent_) + VectorBytes(data_bylabel_off_) +
+         VectorBytes(data_bylabel_) + VectorBytes(index_label_) +
+         VectorBytes(index_k_) + VectorBytes(index_child_off_) +
+         VectorBytes(index_child_) + VectorBytes(extent_off_) +
+         VectorBytes(extent_) + VectorBytes(index_bylabel_off_) +
+         VectorBytes(index_bylabel_);
+}
+
+// ---------------------------------------------------------------------------
+// FrozenScratch
+// ---------------------------------------------------------------------------
+
+void FrozenScratch::DenseAutomaton::Compile(const Automaton& a,
+                                            int32_t labels) {
+  num_states = a.num_states();
+  num_labels = labels;
+  const size_t s = static_cast<size_t>(num_states);
+  const size_t l = static_cast<size_t>(num_labels);
+
+  accept.assign(s, 0);
+  for (int q = 0; q < num_states; ++q) {
+    if (a.is_accept(q)) accept[static_cast<size_t>(q)] = 1;
+  }
+
+  // Dense move table. Entry (q, l) lists the successors Automaton::Move
+  // would append, deduplicated keeping the FIRST appearance — Move appends
+  // duplicates and the caller's visited set keeps the first, so preserving
+  // first-appearance order makes frozen traversal pop order identical to the
+  // reference (which validation early-exit counts depend on). Labels without
+  // an explicit edge out of `q` share the state's wildcard sequence.
+  move_off.clear();
+  move_off.reserve(s * l + 1);
+  move_to.clear();
+  seen_state_.assign(s, 0);
+  if (label_mark_.size() < l) label_mark_.assign(l, 0);
+  move_off.push_back(0);
+  for (int q = 0; q < num_states; ++q) {
+    const auto& ts = a.transitions(q);
+    wild_seq_.clear();
+    for (const Automaton::Transition& t : ts) {
+      if (t.symbol == kAnySymbol && !seen_state_[static_cast<size_t>(t.to)]) {
+        seen_state_[static_cast<size_t>(t.to)] = 1;
+        wild_seq_.push_back(t.to);
+      }
+    }
+    for (int32_t to : wild_seq_) seen_state_[static_cast<size_t>(to)] = 0;
+    touched_labels_.clear();
+    for (const Automaton::Transition& t : ts) {
+      if (t.symbol >= 0 && t.symbol < num_labels &&
+          !label_mark_[static_cast<size_t>(t.symbol)]) {
+        label_mark_[static_cast<size_t>(t.symbol)] = 1;
+        touched_labels_.push_back(t.symbol);
+      }
+    }
+    for (LabelId lab = 0; lab < num_labels; ++lab) {
+      if (label_mark_[static_cast<size_t>(lab)]) {
+        // Explicit edge(s) on this label: merge wildcard + explicit targets
+        // in transition-scan order, first appearance wins.
+        size_t entry_begin = move_to.size();
+        for (const Automaton::Transition& t : ts) {
+          if ((t.symbol == kAnySymbol || t.symbol == lab) &&
+              !seen_state_[static_cast<size_t>(t.to)]) {
+            seen_state_[static_cast<size_t>(t.to)] = 1;
+            move_to.push_back(t.to);
+          }
+        }
+        for (size_t i = entry_begin; i < move_to.size(); ++i) {
+          seen_state_[static_cast<size_t>(move_to[i])] = 0;
+        }
+      } else {
+        move_to.insert(move_to.end(), wild_seq_.begin(), wild_seq_.end());
+      }
+      move_off.push_back(static_cast<int32_t>(move_to.size()));
+    }
+    for (LabelId lab : touched_labels_) {
+      label_mark_[static_cast<size_t>(lab)] = 0;
+    }
+  }
+
+  // Start table: StartMovesFor is sorted-unique per label, exactly what the
+  // reference evaluators consume, so copying it keeps seeding identical.
+  DKI_DCHECK(a.start_moves_ready());
+  start_off.clear();
+  start_off.reserve(l + 1);
+  start_to.clear();
+  seed_labels.clear();
+  start_off.push_back(0);
+  for (LabelId lab = 0; lab < num_labels; ++lab) {
+    const std::vector<int>& moves = a.StartMovesFor(lab);
+    start_to.insert(start_to.end(), moves.begin(), moves.end());
+    start_off.push_back(static_cast<int32_t>(start_to.size()));
+    if (!moves.empty()) seed_labels.push_back(lab);
+  }
+}
+
+void FrozenScratch::PrepareForQuery(const FrozenView& view,
+                                    const PathExpression& query) {
+  uint64_t fp = 1469598103934665603ull;  // FNV offset basis
+  fp = HashAutomaton(fp, query.forward());
+  fp = HashAutomaton(fp, query.reverse());
+  fp ^= static_cast<uint64_t>(view.num_labels()) * 1099511628211ull;
+  if (fp == 0) fp = 1;  // 0 is the never-compiled sentinel
+
+  auto it = compiled_.find(query.text());
+  if (it == compiled_.end()) {
+    if (compiled_.size() >= kMaxCompiledQueries) compiled_.clear();
+    it = compiled_.emplace(query.text(), std::make_unique<CompiledQuery>())
+             .first;
+  }
+  CompiledQuery& entry = *it->second;
+  if (entry.fingerprint != fp) {
+    entry.fwd.Compile(query.forward(), view.num_labels());
+    entry.rev.Compile(query.reverse(), view.num_labels());
+    entry.fingerprint = fp;
+  }
+  fwd_ = &entry.fwd;
+  rev_ = &entry.rev;
+}
+
+void FrozenScratch::BeginIndexTraversal(int64_t num_index_nodes) {
+  const size_t m = static_cast<size_t>(num_index_nodes);
+  const int words = MaskWords(fwd_->num_states);
+  if (index_words_ != words || index_mask_gen_.size() != m) {
+    index_words_ = words;
+    index_masks_.assign(m * static_cast<size_t>(words), 0);
+    index_mask_gen_.assign(m, 0);
+    accept_depth_.assign(m, 0);
+    accept_gen_.assign(m, 0);
+    index_gen_ = 0;  // generation 0 marks every slot stale
+  }
+  ++index_gen_;
+  cur_.clear();
+  next_.clear();
+  matched_.clear();
+}
+
+void FrozenScratch::BeginDataTraversal(int64_t num_data_nodes,
+                                       int num_states) {
+  const size_t n = static_cast<size_t>(num_data_nodes);
+  const int words = MaskWords(num_states);
+  if (data_words_ != words || data_mask_gen_.size() != n) {
+    data_words_ = words;
+    data_masks_.assign(n * static_cast<size_t>(words), 0);
+    data_mask_gen_.assign(n, 0);
+    result_gen_.assign(n, 0);
+    data_gen_ = 0;
+  }
+  ++data_gen_;
+  cur_.clear();
+  next_.clear();
+}
+
+bool FrozenScratch::InsertIndexVisit(int32_t node, int32_t state) {
+  const size_t i = static_cast<size_t>(node);
+  const size_t base = i * static_cast<size_t>(index_words_);
+  if (index_mask_gen_[i] != index_gen_) {
+    index_mask_gen_[i] = index_gen_;
+    for (int w = 0; w < index_words_; ++w) {
+      index_masks_[base + static_cast<size_t>(w)] = 0;
+    }
+  }
+  uint64_t& word = index_masks_[base + static_cast<size_t>(state >> 6)];
+  const uint64_t bit = uint64_t{1} << (state & 63);
+  if (word & bit) return false;
+  word |= bit;
+  return true;
+}
+
+bool FrozenScratch::InsertDataVisit(int32_t node, int32_t state) {
+  const size_t i = static_cast<size_t>(node);
+  const size_t base = i * static_cast<size_t>(data_words_);
+  if (data_mask_gen_[i] != data_gen_) {
+    data_mask_gen_[i] = data_gen_;
+    for (int w = 0; w < data_words_; ++w) {
+      data_masks_[base + static_cast<size_t>(w)] = 0;
+    }
+  }
+  uint64_t& word = data_masks_[base + static_cast<size_t>(state >> 6)];
+  const uint64_t bit = uint64_t{1} << (state & 63);
+  if (word & bit) return false;
+  word |= bit;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+bool FrozenView::ValidateFrozenCandidate(FrozenScratch* s, NodeId node,
+                                         int64_t* visited_pairs) const {
+  const FrozenScratch::DenseAutomaton& rev = *s->rev_;
+  s->BeginDataTraversal(num_data_nodes(), rev.num_states);
+  {
+    const LabelId lab = data_label_[static_cast<size_t>(node)];
+    const int32_t* qb =
+        rev.start_to.data() + rev.start_off[static_cast<size_t>(lab)];
+    const int32_t* qe =
+        rev.start_to.data() + rev.start_off[static_cast<size_t>(lab) + 1];
+    for (const int32_t* q = qb; q != qe; ++q) {
+      if (s->InsertDataVisit(node, *q)) s->cur_.push_back({node, *q});
+    }
+  }
+  // Level-synchronous reverse BFS over parent edges. Pop order equals the
+  // reference FIFO order (level processing is FIFO), so the early exit on
+  // the first accepting pop counts exactly the same visits.
+  while (!s->cur_.empty()) {
+    for (const FrozenScratch::Frontier& f : s->cur_) {
+      ++*visited_pairs;
+      if (rev.accept[static_cast<size_t>(f.state)]) return true;
+      const int32_t pb = data_parent_off_[static_cast<size_t>(f.node)];
+      const int32_t pe = data_parent_off_[static_cast<size_t>(f.node) + 1];
+      for (int32_t e = pb; e != pe; ++e) {
+        const NodeId p = data_parent_[static_cast<size_t>(e)];
+        const LabelId plab = data_label_[static_cast<size_t>(p)];
+        const int32_t* mb = rev.moves_begin(f.state, plab);
+        const int32_t* me = rev.moves_end(f.state, plab);
+        for (const int32_t* q = mb; q != me; ++q) {
+          if (s->InsertDataVisit(p, *q)) s->next_.push_back({p, *q});
+        }
+      }
+    }
+    std::swap(s->cur_, s->next_);
+    s->next_.clear();
+  }
+  return false;
+}
+
+std::vector<NodeId> FrozenView::Evaluate(const PathExpression& query,
+                                         EvalStats* stats, bool validate,
+                                         FrozenScratch* scratch,
+                                         ThreadPool* validation_pool) const {
+  FrozenScratch local_scratch;
+  FrozenScratch* s = scratch != nullptr ? scratch : &local_scratch;
+  s->PrepareForQuery(*this, query);
+  EvalStats local;
+
+  // --- forward product BFS over the frozen index graph -------------------
+  const FrozenScratch::DenseAutomaton& fwd = *s->fwd_;
+  s->BeginIndexTraversal(num_index_nodes());
+  for (LabelId lab : fwd.seed_labels) {
+    const int32_t nb = index_bylabel_off_[static_cast<size_t>(lab)];
+    const int32_t ne = index_bylabel_off_[static_cast<size_t>(lab) + 1];
+    const int32_t* qb =
+        fwd.start_to.data() + fwd.start_off[static_cast<size_t>(lab)];
+    const int32_t* qe =
+        fwd.start_to.data() + fwd.start_off[static_cast<size_t>(lab) + 1];
+    for (int32_t e = nb; e != ne; ++e) {
+      const IndexNodeId node = index_bylabel_[static_cast<size_t>(e)];
+      for (const int32_t* q = qb; q != qe; ++q) {
+        if (s->InsertIndexVisit(node, *q)) s->cur_.push_back({node, *q});
+      }
+    }
+  }
+  int32_t depth = 0;
+  while (!s->cur_.empty()) {
+    for (const FrozenScratch::Frontier& f : s->cur_) {
+      ++local.index_nodes_visited;
+      if (fwd.accept[static_cast<size_t>(f.state)]) {
+        const size_t i = static_cast<size_t>(f.node);
+        if (s->accept_gen_[i] != s->index_gen_) {
+          s->accept_gen_[i] = s->index_gen_;
+          s->accept_depth_[i] = depth;
+          s->matched_.push_back(f.node);
+        } else {
+          s->accept_depth_[i] = std::min(s->accept_depth_[i], depth);
+        }
+      }
+      const int32_t cb = index_child_off_[static_cast<size_t>(f.node)];
+      const int32_t ce = index_child_off_[static_cast<size_t>(f.node) + 1];
+      for (int32_t e = cb; e != ce; ++e) {
+        const IndexNodeId c = index_child_[static_cast<size_t>(e)];
+        const LabelId clab = index_label_[static_cast<size_t>(c)];
+        const int32_t* mb = fwd.moves_begin(f.state, clab);
+        const int32_t* me = fwd.moves_end(f.state, clab);
+        for (const int32_t* q = mb; q != me; ++q) {
+          if (s->InsertIndexVisit(c, *q)) s->next_.push_back({c, *q});
+        }
+      }
+    }
+    std::swap(s->cur_, s->next_);
+    s->next_.clear();
+    ++depth;
+  }
+
+  // --- Theorem 1 split: certain extents vs. candidates to validate -------
+  std::vector<NodeId> result;
+  s->candidates_.clear();
+  for (IndexNodeId inode : s->matched_) {
+    const size_t i = static_cast<size_t>(inode);
+    const int32_t eb = extent_off_[i];
+    const int32_t ee = extent_off_[i + 1];
+    if (s->accept_depth_[i] <= index_k_[i]) {
+      result.insert(result.end(), extent_.begin() + eb, extent_.begin() + ee);
+      continue;
+    }
+    ++local.uncertain_index_nodes;
+    if (!validate) {
+      // Raw safe answer: keep the whole extent (may over-approximate).
+      result.insert(result.end(), extent_.begin() + eb, extent_.begin() + ee);
+      continue;
+    }
+    s->candidates_.insert(s->candidates_.end(), extent_.begin() + eb,
+                          extent_.begin() + ee);
+  }
+
+  // --- validation: sequential, or fanned out over the pool ---------------
+  const int64_t num_candidates = static_cast<int64_t>(s->candidates_.size());
+  local.validated_candidates += num_candidates;
+  if (validation_pool != nullptr && validation_pool->num_threads() > 1 &&
+      num_candidates >= kParallelValidationThreshold) {
+    const int num_chunks = validation_pool->num_threads();
+    s->verdicts_.assign(static_cast<size_t>(num_candidates), 0);
+    std::vector<int64_t> chunk_visits(static_cast<size_t>(num_chunks), 0);
+    validation_pool->ParallelFor(
+        num_candidates, num_chunks,
+        [&](int chunk, int64_t begin, int64_t end) {
+          FrozenScratch chunk_scratch;
+          chunk_scratch.PrepareForQuery(*this, query);
+          for (int64_t c = begin; c < end; ++c) {
+            if (ValidateFrozenCandidate(
+                    &chunk_scratch, s->candidates_[static_cast<size_t>(c)],
+                    &chunk_visits[static_cast<size_t>(chunk)])) {
+              s->verdicts_[static_cast<size_t>(c)] = 1;
+            }
+          }
+        });
+    // Per-candidate visit counts are deterministic, so summing chunk
+    // subtotals reproduces the sequential total exactly.
+    for (int64_t v : chunk_visits) local.data_nodes_visited += v;
+    for (int64_t c = 0; c < num_candidates; ++c) {
+      if (s->verdicts_[static_cast<size_t>(c)]) {
+        result.push_back(s->candidates_[static_cast<size_t>(c)]);
+      }
+    }
+  } else {
+    for (int64_t c = 0; c < num_candidates; ++c) {
+      const NodeId member = s->candidates_[static_cast<size_t>(c)];
+      if (ValidateFrozenCandidate(s, member, &local.data_nodes_visited)) {
+        result.push_back(member);
+      }
+    }
+  }
+
+  std::sort(result.begin(), result.end());
+  // Extents partition the data nodes; duplicates would mean a broken freeze.
+  DKI_DCHECK(std::adjacent_find(result.begin(), result.end()) ==
+             result.end());
+  local.result_size = static_cast<int64_t>(result.size());
+  static FrozenCounters& counters = *new FrozenCounters("eval.frozen.index");
+  counters.Record(local);
+  if (stats != nullptr) stats->Accumulate(local);
+  return result;
+}
+
+std::vector<NodeId> FrozenView::EvaluateOnData(const PathExpression& query,
+                                               EvalStats* stats,
+                                               FrozenScratch* scratch) const {
+  FrozenScratch local_scratch;
+  FrozenScratch* s = scratch != nullptr ? scratch : &local_scratch;
+  s->PrepareForQuery(*this, query);
+  EvalStats local;
+
+  const FrozenScratch::DenseAutomaton& fwd = *s->fwd_;
+  s->BeginDataTraversal(num_data_nodes(), fwd.num_states);
+  s->matched_data_.clear();
+  for (LabelId lab : fwd.seed_labels) {
+    const int32_t nb = data_bylabel_off_[static_cast<size_t>(lab)];
+    const int32_t ne = data_bylabel_off_[static_cast<size_t>(lab) + 1];
+    const int32_t* qb =
+        fwd.start_to.data() + fwd.start_off[static_cast<size_t>(lab)];
+    const int32_t* qe =
+        fwd.start_to.data() + fwd.start_off[static_cast<size_t>(lab) + 1];
+    for (int32_t e = nb; e != ne; ++e) {
+      const NodeId node = data_bylabel_[static_cast<size_t>(e)];
+      for (const int32_t* q = qb; q != qe; ++q) {
+        if (s->InsertDataVisit(node, *q)) s->cur_.push_back({node, *q});
+      }
+    }
+  }
+  while (!s->cur_.empty()) {
+    for (const FrozenScratch::Frontier& f : s->cur_) {
+      ++local.data_nodes_visited;
+      if (fwd.accept[static_cast<size_t>(f.state)]) {
+        const size_t i = static_cast<size_t>(f.node);
+        if (s->result_gen_[i] != s->data_gen_) {
+          s->result_gen_[i] = s->data_gen_;
+          s->matched_data_.push_back(f.node);
+        }
+      }
+      const int32_t cb = data_child_off_[static_cast<size_t>(f.node)];
+      const int32_t ce = data_child_off_[static_cast<size_t>(f.node) + 1];
+      for (int32_t e = cb; e != ce; ++e) {
+        const NodeId c = data_child_[static_cast<size_t>(e)];
+        const LabelId clab = data_label_[static_cast<size_t>(c)];
+        const int32_t* mb = fwd.moves_begin(f.state, clab);
+        const int32_t* me = fwd.moves_end(f.state, clab);
+        for (const int32_t* q = mb; q != me; ++q) {
+          if (s->InsertDataVisit(c, *q)) s->next_.push_back({c, *q});
+        }
+      }
+    }
+    std::swap(s->cur_, s->next_);
+    s->next_.clear();
+  }
+
+  std::vector<NodeId> result(s->matched_data_.begin(),
+                             s->matched_data_.end());
+  std::sort(result.begin(), result.end());  // reference emits in id order
+  local.result_size = static_cast<int64_t>(result.size());
+  static FrozenCounters& counters = *new FrozenCounters("eval.frozen.data");
+  counters.Record(local);
+  if (stats != nullptr) stats->Accumulate(local);
+  return result;
+}
+
+std::vector<std::vector<NodeId>> FrozenView::EvaluateBatch(
+    const std::vector<const PathExpression*>& queries, ThreadPool* pool,
+    std::vector<EvalStats>* stats, bool validate,
+    std::vector<std::unique_ptr<FrozenScratch>>* lane_scratches) const {
+  const int64_t total = static_cast<int64_t>(queries.size());
+  std::vector<std::vector<NodeId>> results(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), EvalStats());
+  const int max_useful_lanes = static_cast<int>(
+      (total + kMinQueriesPerLane - 1) / kMinQueriesPerLane);
+  const int num_lanes =
+      (pool == nullptr || pool->num_threads() <= 1 || total <= 1)
+          ? 1
+          : std::max(1, std::min(pool->num_threads(), max_useful_lanes));
+  if (lane_scratches != nullptr) {
+    while (static_cast<int>(lane_scratches->size()) < num_lanes) {
+      lane_scratches->push_back(std::make_unique<FrozenScratch>());
+    }
+  }
+  auto run_range = [&](int chunk, int64_t begin, int64_t end) {
+    FrozenScratch local_scratch;
+    FrozenScratch* scratch = lane_scratches != nullptr
+                                 ? (*lane_scratches)[static_cast<size_t>(chunk)]
+                                       .get()
+                                 : &local_scratch;
+    for (int64_t i = begin; i < end; ++i) {
+      EvalStats st;
+      results[static_cast<size_t>(i)] =
+          Evaluate(*queries[static_cast<size_t>(i)], &st, validate, scratch,
+                   /*validation_pool=*/nullptr);
+      if (stats != nullptr) (*stats)[static_cast<size_t>(i)] = st;
+    }
+  };
+  if (num_lanes == 1) {
+    run_range(0, 0, total);
+  } else {
+    // One chunk per lane so each lane amortizes one scratch. Chunks are
+    // deterministic in boundaries and each query's evaluation is
+    // self-contained, so the output is thread-count-invariant.
+    pool->ParallelFor(total, num_lanes, run_range);
+  }
+  return results;
+}
+
+std::vector<std::vector<NodeId>> FrozenView::EvaluateBatch(
+    const std::vector<PathExpression>& queries, ThreadPool* pool,
+    std::vector<EvalStats>* stats, bool validate,
+    std::vector<std::unique_ptr<FrozenScratch>>* lane_scratches) const {
+  std::vector<const PathExpression*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const PathExpression& q : queries) ptrs.push_back(&q);
+  return EvaluateBatch(ptrs, pool, stats, validate, lane_scratches);
+}
+
+}  // namespace dki

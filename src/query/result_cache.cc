@@ -152,6 +152,30 @@ std::vector<NodeId> ResultCache::CachedEvaluate(const IndexGraph& index,
   return result;
 }
 
+std::vector<NodeId> ResultCache::CachedEvaluate(const FrozenView& view,
+                                                const PathExpression& query,
+                                                EvalStats* stats,
+                                                bool validate,
+                                                FrozenScratch* scratch,
+                                                ThreadPool* validation_pool) {
+  std::string key = CanonicalizeQuery(query.text());
+  if (!validate) key += "#raw";
+  const uint64_t epoch = view.epoch();
+
+  std::vector<NodeId> result;
+  if (TryGet(key, epoch, &result)) {
+    if (stats != nullptr) {
+      EvalStats hit;
+      hit.result_size = static_cast<int64_t>(result.size());
+      stats->Accumulate(hit);
+    }
+    return result;
+  }
+  result = view.Evaluate(query, stats, validate, scratch, validation_pool);
+  Put(key, epoch, result);
+  return result;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s = stats_;

@@ -12,6 +12,7 @@
 #include "index/index_graph.h"
 #include "pathexpr/path_expression.h"
 #include "query/evaluator.h"
+#include "query/frozen_view.h"
 
 namespace dki {
 
@@ -62,6 +63,17 @@ class ResultCache {
                                      const PathExpression& query,
                                      EvalStats* stats = nullptr,
                                      bool validate = true);
+
+  // Same entry point over the frozen read path: misses fall through to
+  // FrozenView::Evaluate (bit-identical to EvaluateOnIndex, so both
+  // overloads share the key space). The epoch stamp is the view's freeze
+  // epoch. `scratch` and `validation_pool` are forwarded to the evaluator.
+  std::vector<NodeId> CachedEvaluate(const FrozenView& view,
+                                     const PathExpression& query,
+                                     EvalStats* stats = nullptr,
+                                     bool validate = true,
+                                     FrozenScratch* scratch = nullptr,
+                                     ThreadPool* validation_pool = nullptr);
 
   // Lower-level API (exposed for tests and custom serving loops). `key` is
   // CanonicalizeQuery output plus any caller suffix; `epoch` the index epoch

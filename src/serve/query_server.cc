@@ -96,8 +96,93 @@ std::optional<std::vector<NodeId>> QueryServer::EvaluateOn(
     if (error != nullptr) *error = parse_error;
     return std::nullopt;
   }
-  return cache_.CachedEvaluate(snap.index(), *query, stats,
+  return cache_.CachedEvaluate(snap.frozen(), *query, stats,
                                options_.validate);
+}
+
+std::vector<std::optional<std::vector<NodeId>>> QueryServer::EvaluateBatch(
+    const std::vector<std::string>& query_texts, std::vector<EvalStats>* stats,
+    std::vector<std::string>* errors) const {
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  return EvaluateBatchOn(*snap, query_texts, stats, errors);
+}
+
+std::vector<std::optional<std::vector<NodeId>>> QueryServer::EvaluateBatchOn(
+    const IndexSnapshot& snap, const std::vector<std::string>& query_texts,
+    std::vector<EvalStats>* stats, std::vector<std::string>* errors) const {
+  const size_t n = query_texts.size();
+  DKI_METRIC_COUNTER("serve.query.batch_calls").Increment();
+  DKI_METRIC_COUNTER("serve.query.calls")
+      .Increment(static_cast<int64_t>(n));
+  ScopedTimer timer(&DKI_METRIC_TIMER("serve.query.batch"));
+  std::vector<std::optional<std::vector<NodeId>>> results(n);
+  if (stats != nullptr) stats->assign(n, EvalStats());
+  if (errors != nullptr) errors->assign(n, std::string());
+  const FrozenView& view = snap.frozen();
+
+  // Phase 1 (under batch_mu_): probe the result cache by canonicalized text
+  // (no parse needed for a hit), then resolve misses through the parse
+  // cache; only actual misses go to the pool. Duplicate misses within one
+  // batch are evaluated twice (the second Put overwrites with an identical
+  // result) — correct, just not deduplicated.
+  std::vector<const PathExpression*> miss_queries;
+  std::vector<size_t> miss_slots;
+  std::vector<std::string> miss_keys;
+  std::vector<EvalStats> miss_stats;
+  std::vector<std::vector<NodeId>> miss_results;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    const LabelTable& labels = snap.graph().labels();
+    const int64_t label_version = labels.size();
+    // Bound the parse cache up front: clearing mid-loop would invalidate
+    // the entry pointers already collected into miss_queries.
+    if (parse_cache_.size() + n > kMaxParsedQueries) parse_cache_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      std::string key = CanonicalizeQuery(query_texts[i]);
+      if (!options_.validate) key += "#raw";
+      std::vector<NodeId> cached;
+      if (cache_.TryGet(key, view.epoch(), &cached)) {
+        if (stats != nullptr) {
+          (*stats)[i].result_size = static_cast<int64_t>(cached.size());
+        }
+        results[i] = std::move(cached);
+        continue;
+      }
+      ParsedQuery& pq = parse_cache_[query_texts[i]];
+      if (pq.label_version != label_version) {
+        pq.error.clear();
+        pq.expr =
+            PathExpression::Parse(query_texts[i], labels, &pq.error);
+        pq.label_version = label_version;
+      }
+      if (!pq.expr.has_value()) {
+        DKI_METRIC_COUNTER("serve.query.parse_errors").Increment();
+        if (errors != nullptr) (*errors)[i] = pq.error;
+        continue;  // results[i] stays nullopt
+      }
+      miss_slots.push_back(i);
+      miss_keys.push_back(std::move(key));
+      miss_queries.push_back(&*pq.expr);
+    }
+
+    // Phase 2 (parallel): evaluate the misses over the frozen view, with
+    // the persistent lane scratches so repeated batches skip dense-table
+    // compilation.
+    if (!miss_queries.empty()) {
+      if (batch_pool_ == nullptr) {
+        batch_pool_ = std::make_unique<ThreadPool>(options_.batch_threads);
+      }
+      miss_results =
+          view.EvaluateBatch(miss_queries, batch_pool_.get(), &miss_stats,
+                             options_.validate, &batch_scratches_);
+    }
+  }
+  for (size_t j = 0; j < miss_queries.size(); ++j) {
+    cache_.Put(miss_keys[j], view.epoch(), miss_results[j]);
+    if (stats != nullptr) (*stats)[miss_slots[j]] = miss_stats[j];
+    results[miss_slots[j]] = std::move(miss_results[j]);
+  }
+  return results;
 }
 
 bool QueryServer::SubmitAddEdge(NodeId u, NodeId v) {

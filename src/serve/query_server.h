@@ -9,11 +9,14 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/data_graph.h"
 #include "index/dk_index.h"
 #include "query/evaluator.h"
+#include "query/frozen_view.h"
 #include "query/result_cache.h"
 #include "serve/checkpoint.h"
 #include "serve/snapshot.h"
@@ -70,6 +73,10 @@ class QueryServer {
     int64_t cache_byte_budget = 8 * 1024 * 1024;
     // Validate uncertain extents (exact answers) vs raw safe answers.
     bool validate = true;
+    // Parallelism of EvaluateBatch (lanes including the calling thread);
+    // 0 means hardware concurrency. The pool is created lazily on the first
+    // batch, so purely single-query servers never spawn it.
+    int batch_threads = 0;
     // Crash safety (serve/wal.h): set durability.dir to enable the
     // write-ahead log + checkpoint pipeline; leave empty for the purely
     // in-memory server. After a crash, recover with RecoverDkIndex(dir) and
@@ -104,12 +111,31 @@ class QueryServer {
       const;
 
   // Same against a caller-held snapshot (snapshot isolation: the caller
-  // chooses the state to read).
+  // chooses the state to read). Evaluation runs on the snapshot's FrozenView
+  // (built once at publish time), through the result cache.
   std::optional<std::vector<NodeId>> EvaluateOn(const IndexSnapshot& snap,
                                                 const std::string& query_text,
                                                 EvalStats* stats = nullptr,
                                                 std::string* error = nullptr)
       const;
+
+  // Parses and evaluates a whole batch against ONE snapshot (all answers
+  // consistent with a single published state), fanning cache misses out over
+  // the internal Options::batch_threads pool via FrozenView::EvaluateBatch.
+  // results[i] is nullopt iff query_texts[i] failed to parse (message in
+  // (*errors)[i] when given); per-query stats land in (*stats)[i], with
+  // cache hits charging only result_size. Results and stats are
+  // bit-identical to issuing the same Evaluate calls sequentially against
+  // the same snapshot. Thread-safe; concurrent batches serialize on the
+  // pool.
+  std::vector<std::optional<std::vector<NodeId>>> EvaluateBatch(
+      const std::vector<std::string>& query_texts,
+      std::vector<EvalStats>* stats = nullptr,
+      std::vector<std::string>* errors = nullptr) const;
+  std::vector<std::optional<std::vector<NodeId>>> EvaluateBatchOn(
+      const IndexSnapshot& snap, const std::vector<std::string>& query_texts,
+      std::vector<EvalStats>* stats = nullptr,
+      std::vector<std::string>* errors = nullptr) const;
 
   // --- update path (any thread; applied by the writer thread) ------------
 
@@ -186,6 +212,27 @@ class QueryServer {
 
   UpdateQueue queue_;
   mutable ResultCache cache_;
+
+  // EvaluateBatch's worker pool: created lazily (first batch), held under
+  // batch_mu_ for the whole fan-out because ThreadPool::ParallelFor supports
+  // one caller at a time (concurrent batches serialize here; single-query
+  // readers never touch it). The lane scratches persist across batches so a
+  // cycling workload amortizes dense-table compilation; the parse cache
+  // amortizes string->PathExpression compilation the same way. A cached
+  // parse is revalidated against the snapshot's label-table size — sound
+  // because the writer only ever appends to the label table, so equal size
+  // means identical contents. (Like the epoch-keyed result cache, this
+  // assumes EvaluateBatchOn is fed snapshots from this server's pipeline.)
+  mutable std::mutex batch_mu_;
+  mutable std::unique_ptr<ThreadPool> batch_pool_;
+  mutable std::vector<std::unique_ptr<FrozenScratch>> batch_scratches_;
+  struct ParsedQuery {
+    int64_t label_version = -1;
+    std::optional<PathExpression> expr;
+    std::string error;
+  };
+  static constexpr size_t kMaxParsedQueries = 4096;
+  mutable std::unordered_map<std::string, ParsedQuery> parse_cache_;
 
   // Durability pipeline; null when Options::durability.dir is empty.
   std::unique_ptr<WriteAheadLog> wal_;

@@ -7,6 +7,7 @@
 
 #include "graph/data_graph.h"
 #include "index/index_graph.h"
+#include "query/frozen_view.h"
 
 namespace dki {
 
@@ -32,6 +33,7 @@ class IndexSnapshot {
                 uint64_t seq = 0)
       : graph_(graph),
         index_(index.CloneOnto(&graph_)),
+        frozen_(index_),
         effective_requirements_(std::move(effective_requirements)),
         seq_(seq) {}
 
@@ -40,6 +42,11 @@ class IndexSnapshot {
 
   const DataGraph& graph() const { return graph_; }
   const IndexGraph& index() const { return index_; }
+
+  // The flat-memory read path over this snapshot (query/frozen_view.h):
+  // built once here, at publish time, then shared read-only by every reader
+  // evaluating against the snapshot. Same epoch as index().
+  const FrozenView& frozen() const { return frozen_; }
 
   // The update epoch the snapshot was taken at (IndexGraph::epoch).
   uint64_t epoch() const { return index_.epoch(); }
@@ -57,6 +64,7 @@ class IndexSnapshot {
  private:
   DataGraph graph_;   // declared first: index_ is rebound onto it
   IndexGraph index_;
+  FrozenView frozen_;  // declared after index_: frozen from it
   std::vector<int> effective_requirements_;
   uint64_t seq_;
 };
