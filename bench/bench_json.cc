@@ -1,0 +1,348 @@
+#include "bench/bench_json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dki {
+namespace bench {
+namespace {
+
+void AppendEscaped(std::ostream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out << "\\\""; break;
+      case '\\': *out << "\\\\"; break;
+      case '\n': *out << "\\n"; break;
+      case '\t': *out << "\\t"; break;
+      case '\r': *out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+void Indent(std::ostream* out, int n) {
+  for (int i = 0; i < n; ++i) *out << ' ';
+}
+
+// Recursive-descent parser over a cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool ParseDocument(Json* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr) {
+      *error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Json* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Json::Str(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!ConsumeWord("true")) return Fail("bad literal");
+        *out = Json::Bool(true);
+        return true;
+      case 'f':
+        if (!ConsumeWord("false")) return Fail("bad literal");
+        *out = Json::Bool(false);
+        return true;
+      case 'n':
+        if (!ConsumeWord("null")) return Fail("bad literal");
+        *out = Json();
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Json* out) {
+    ++pos_;  // '{'
+    *out = Json::Object();
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      Json value;
+      if (!ParseValue(&value)) return false;
+      out->Set(key, std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(Json* out) {
+    ++pos_;  // '['
+    *out = Json::Array();
+    SkipWs();
+    if (Consume(']')) return true;
+    for (;;) {
+      SkipWs();
+      Json value;
+      if (!ParseValue(&value)) return false;
+      out->Push(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          default: return Fail("unsupported escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (Consume('.')) {
+      is_double = true;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) return Fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      if (is_double) {
+        *out = Json::Num(std::stod(token));
+      } else {
+        *out = Json::Int(std::stoll(token));
+      }
+    } catch (...) {
+      return Fail("bad number '" + token + "'");
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json& Json::Set(const std::string& key, Json value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+int64_t Json::AsInt() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kDouble) return static_cast<int64_t>(double_);
+  return 0;
+}
+
+double Json::AsDouble() const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  return 0.0;
+}
+
+void Json::Dump(std::ostream* out, int indent) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out << "null";
+      return;
+    case Kind::kBool:
+      *out << (bool_ ? "true" : "false");
+      return;
+    case Kind::kInt:
+      *out << int_;
+      return;
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {  // JSON has no Inf/NaN
+        *out << "null";
+        return;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_);
+      *out << buf;
+      return;
+    }
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out << "[]";
+        return;
+      }
+      *out << "[\n";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        Indent(out, indent + 2);
+        items_[i].Dump(out, indent + 2);
+        if (i + 1 < items_.size()) *out << ',';
+        *out << '\n';
+      }
+      Indent(out, indent);
+      *out << ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out << "{}";
+        return;
+      }
+      *out << "{\n";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        Indent(out, indent + 2);
+        AppendEscaped(out, members_[i].first);
+        *out << ": ";
+        members_[i].second.Dump(out, indent + 2);
+        if (i + 1 < members_.size()) *out << ',';
+        *out << '\n';
+      }
+      Indent(out, indent);
+      *out << '}';
+      return;
+    }
+  }
+}
+
+std::string Json::ToString() const {
+  std::ostringstream out;
+  Dump(&out, 0);
+  return out.str();
+}
+
+bool Json::Parse(std::string_view text, Json* out, std::string* error) {
+  Parser parser(text, error);
+  return parser.ParseDocument(out);
+}
+
+bool Json::WriteFile(const std::string& path, const Json& value,
+                     std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  value.Dump(&out, 0);
+  out << '\n';
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bench
+}  // namespace dki

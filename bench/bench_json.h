@@ -1,0 +1,107 @@
+#ifndef DKINDEX_BENCH_BENCH_JSON_H_
+#define DKINDEX_BENCH_BENCH_JSON_H_
+
+// Minimal JSON tree for the BENCH_*.json emitters (docs/BENCHMARKS.md):
+// build a tree with the static constructors + Set/Push, Dump it, and Parse
+// it back for round-trip validation in tests. Supports exactly the subset
+// the benchmark schemas use — objects (insertion-ordered), arrays, strings,
+// numbers (int64 kept exact), booleans, null. Not a general JSON library:
+// no \uXXXX escapes beyond pass-through ASCII, no streaming.
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dki {
+namespace bench {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;  // null
+
+  static Json Object() { return Json(Kind::kObject); }
+  static Json Array() { return Json(Kind::kArray); }
+  static Json Str(std::string s) {
+    Json j(Kind::kString);
+    j.string_ = std::move(s);
+    return j;
+  }
+  static Json Int(int64_t v) {
+    Json j(Kind::kInt);
+    j.int_ = v;
+    return j;
+  }
+  static Json Num(double v) {
+    Json j(Kind::kDouble);
+    j.double_ = v;
+    return j;
+  }
+  static Json Bool(bool v) {
+    Json j(Kind::kBool);
+    j.bool_ = v;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  // Object construction; returns *this for chaining. Duplicate keys keep
+  // the last value.
+  Json& Set(const std::string& key, Json value);
+  // Array construction.
+  Json& Push(Json value);
+
+  // Object lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  const std::vector<Json>& items() const { return items_; }
+
+  // Value accessors (0 / empty on kind mismatch — callers check kind()).
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const { return string_; }
+  bool AsBool() const { return bool_; }
+
+  // Pretty-prints with 2-space indentation (stable key order = insertion
+  // order), so checked-in baselines diff cleanly.
+  void Dump(std::ostream* out, int indent = 0) const;
+  std::string ToString() const;
+
+  // Parses a complete JSON document (trailing whitespace allowed). Returns
+  // false with a message in *error on malformed input.
+  static bool Parse(std::string_view text, Json* out, std::string* error);
+
+  // Writes ToString() + newline to `path` atomically enough for benchmarks
+  // (plain ofstream); false with message on I/O failure.
+  static bool WriteFile(const std::string& path, const Json& value,
+                        std::string* error);
+
+ private:
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                             // kArray
+  std::vector<std::pair<std::string, Json>> members_;   // kObject
+};
+
+}  // namespace bench
+}  // namespace dki
+
+#endif  // DKINDEX_BENCH_BENCH_JSON_H_

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "common/metrics.h"
 #include "index/dk_index.h"
 #include "serve/query_server.h"
@@ -155,9 +156,14 @@ double RunBatchConfig(const DkIndex& source,
 int Main(int argc, char** argv) {
   // --small: the CI smoke configuration — tiny dataset, short windows,
   // fewer configs — just enough to catch regressions in the serving path.
+  // --json PATH: also emit the results in the shared BENCH_*.json shape
+  // (bench/bench_json.h, schema in docs/BENCHMARKS.md).
   bool small = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--small") small = true;
+    const std::string arg = argv[i];
+    if (arg == "--small") small = true;
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
   }
   bench::Dataset dataset =
       bench::MakeXmark(small ? 0.1 : bench::ScaleFromEnv());
@@ -189,6 +195,7 @@ int Main(int argc, char** argv) {
   std::printf("\n%-8s %12s %12s %10s %10s %16s %10s\n", "readers", "reads",
               "reads/sec", "applied", "publishes", "republish(ms)",
               "hit_rate");
+  bench::Json mixed_rows = bench::Json::Array();
   for (int readers : reader_configs) {
     ConfigResult r =
         RunConfig(dk, queries, edges, initial, readers, duration_sec);
@@ -197,6 +204,15 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(r.ops_applied),
                 static_cast<long long>(r.publishes), r.republish_mean_ms,
                 r.cache_hit_rate);
+    bench::Json row = bench::Json::Object();
+    row.Set("readers", bench::Json::Int(r.readers));
+    row.Set("reads", bench::Json::Int(r.reads));
+    row.Set("reads_per_sec", bench::Json::Num(r.reads_per_sec));
+    row.Set("ops_applied", bench::Json::Int(r.ops_applied));
+    row.Set("publishes", bench::Json::Int(r.publishes));
+    row.Set("republish_mean_ms", bench::Json::Num(r.republish_mean_ms));
+    row.Set("cache_hit_rate", bench::Json::Num(r.cache_hit_rate));
+    mixed_rows.Push(std::move(row));
   }
 
   const size_t batch_size = small ? 40 : 160;
@@ -204,10 +220,34 @@ int Main(int argc, char** argv) {
               "writer): %zu-query batches (%d-query cycle)\n",
               batch_size, static_cast<int>(queries.size()));
   std::printf("\n%-14s %14s\n", "batch_threads", "queries/sec");
+  bench::Json batch_rows = bench::Json::Array();
   for (int threads : batch_configs) {
     double qps =
         RunBatchConfig(dk, queries, batch_size, threads, duration_sec);
     std::printf("%-14d %14.0f\n", threads, qps);
+    bench::Json row = bench::Json::Object();
+    row.Set("batch_threads", bench::Json::Int(threads));
+    row.Set("queries_per_sec", bench::Json::Num(qps));
+    batch_rows.Push(std::move(row));
+  }
+
+  if (!json_path.empty()) {
+    bench::Json root = bench::Json::Object();
+    root.Set("bench", bench::Json::Str("serve_mixed"));
+    root.Set("version", bench::Json::Int(1));
+    bench::Json ds = bench::Json::Object();
+    ds.Set("name", bench::Json::Str(dataset.name));
+    ds.Set("nodes", bench::Json::Int(dataset.graph.NumNodes()));
+    ds.Set("edges", bench::Json::Int(dataset.graph.NumEdges()));
+    root.Set("dataset", std::move(ds));
+    root.Set("mixed", std::move(mixed_rows));
+    root.Set("batch", std::move(batch_rows));
+    std::string error;
+    if (!bench::Json::WriteFile(json_path, root, &error)) {
+      std::fprintf(stderr, "serve_mixed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,92 @@
+// Open-loop production-traffic benchmark (see docs/BENCHMARKS.md and the
+// EXPERIMENTS.md "traffic simulator" section): Zipf-skewed queries and
+// NURand-skewed edge toggles arrive on a Poisson tape against a live
+// QueryServer, swept across offered loads, with a drift phase that rotates
+// the hot query set so the load-mining retune controller promotes/demotes
+// under fire. Emits the per-phase table to stdout and the machine-readable
+// BENCH_traffic.json (schema version 1).
+//
+// Flags:
+//   --small        CI smoke configuration (tiny dataset, short phases)
+//   --json PATH    output path (default BENCH_traffic.json)
+//   --seed N       base seed (default 20030609)
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "bench/traffic_lib.h"
+#include "io/fs_util.h"
+
+namespace dki {
+namespace {
+
+int Main(int argc, char** argv) {
+  bool small = false;
+  std::string json_path = "BENCH_traffic.json";
+  uint64_t seed = 20030609;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--small") {
+      small = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bench::Dataset dataset =
+      bench::MakeXmark(small ? 0.1 : bench::ScaleFromEnv());
+  bench::PrintDatasetBanner(dataset);
+
+  bench::TrafficOptions opts;
+  opts.seed = seed;
+  if (small) {
+    opts.query_pool = 32;
+    opts.workers = 2;
+    opts.phase_sec = 0.4;
+    opts.warm_qps = 200.0;
+    opts.sweep_qps = {200.0, 400.0};
+    opts.drift_qps = 300.0;
+    opts.control_interval_ms = 80.0;
+    opts.min_tracked_queries = 8;
+  }
+  // Durability on, in a per-run temp dir, so WAL deltas are real numbers.
+  std::string wal_dir = "/tmp/dki_traffic_" + std::to_string(::getpid());
+  std::string error;
+  if (EnsureDir(wal_dir, &error)) {
+    opts.durability_dir = wal_dir;
+  } else {
+    std::fprintf(stderr, "traffic: no WAL dir (%s); running in-memory\n",
+                 error.c_str());
+  }
+
+  std::printf(
+      "\nOpen-loop traffic: %d-query Zipf(s=%.2f) pool, %d workers, "
+      "%.0f%% updates, deadline %.0fms, phases of %.1fs\n",
+      opts.query_pool, opts.zipf_s, opts.workers,
+      100.0 * opts.update_fraction, opts.deadline_ms, opts.phase_sec);
+
+  bench::TrafficResult result = bench::RunTraffic(dataset, opts);
+  bench::PrintTrafficResult(result);
+
+  bench::Json json = bench::TrafficResultToJson(result, opts);
+  if (!bench::Json::WriteFile(json_path, json, &error)) {
+    std::fprintf(stderr, "traffic: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dki
+
+int main(int argc, char** argv) { return dki::Main(argc, argv); }

@@ -1,0 +1,384 @@
+#include "bench/traffic_lib.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "query/load_tracker.h"
+
+namespace dki {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NanosBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+      .count();
+}
+
+// One scheduled event on the open-loop tape.
+struct Arrival {
+  int64_t at_nanos = 0;  // offset from phase start
+  enum class What : uint8_t { kQuery, kAddEdge, kRemoveEdge } what =
+      What::kQuery;
+  uint32_t query = 0;  // kQuery: index into the query pool
+  NodeId u = kInvalidNode, v = kInvalidNode;  // edge ops
+};
+
+// Poisson arrival tape at `qps` for `duration_sec`. Query choice is
+// Zipf-over-rank with the phase's rotation; update-edge choice is NURand
+// with the phase's run constant C. `present` tracks edge existence across
+// phases so toggles stay toggles.
+std::vector<Arrival> MakeTape(
+    Rng* rng, const ZipfSampler& zipf, size_t rotation, double qps,
+    double duration_sec, double update_fraction,
+    const std::vector<std::pair<NodeId, NodeId>>& edge_pool,
+    int64_t nurand_c, std::set<std::pair<NodeId, NodeId>>* present) {
+  const int64_t nurand_a =
+      edge_pool.empty()
+          ? 1
+          : Rng::DefaultNURandA(static_cast<int64_t>(edge_pool.size()));
+  std::vector<Arrival> tape;
+  tape.reserve(static_cast<size_t>(qps * duration_sec * 1.1));
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival; 1 - U keeps log's argument in (0, 1].
+    t += -std::log(1.0 - rng->UniformDouble()) / qps;
+    if (t >= duration_sec) break;
+    Arrival a;
+    a.at_nanos = static_cast<int64_t>(t * 1e9);
+    if (!edge_pool.empty() && rng->Bernoulli(update_fraction)) {
+      const auto& e = edge_pool[static_cast<size_t>(rng->NURand(
+          nurand_a, 0, static_cast<int64_t>(edge_pool.size()) - 1,
+          nurand_c))];
+      a.u = e.first;
+      a.v = e.second;
+      if (present->count(e) == 0) {
+        a.what = Arrival::What::kAddEdge;
+        present->insert(e);
+      } else {
+        a.what = Arrival::What::kRemoveEdge;
+        present->erase(e);
+      }
+    } else {
+      a.what = Arrival::What::kQuery;
+      a.query = static_cast<uint32_t>((zipf.Sample(rng) + rotation) %
+                                      zipf.n());
+    }
+    tape.push_back(a);
+  }
+  return tape;
+}
+
+// Point-in-time values of the serving-stack counters a phase reports deltas
+// of.
+struct MetricPoint {
+  int64_t wal_appends = 0;
+  int64_t retunes = 0;
+  int64_t promote_label_calls = 0;
+  int64_t demote_calls = 0;
+  int64_t publishes = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  static MetricPoint Capture(const QueryServer& server) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    MetricPoint p;
+    p.wal_appends = reg.GetCounter("wal.appends").value();
+    p.retunes = reg.GetCounter("serve.retune.submitted").value();
+    p.promote_label_calls =
+        reg.GetCounter("index.dk.promote_label.calls").value();
+    p.demote_calls = reg.GetCounter("index.dk.demote.calls").value();
+    p.publishes = server.stats().publishes;
+    ResultCache::Stats cs = server.cache_stats();
+    p.cache_hits = cs.hits;
+    p.cache_misses = cs.misses;
+    return p;
+  }
+};
+
+// Shared mutable state of one run: the server plus the load-mining loop the
+// phases run against.
+class TrafficEngine {
+ public:
+  TrafficEngine(const Dataset& dataset, const TrafficOptions& opts)
+      : opts_(opts), graph_(dataset.graph) {
+    workload_ = MakeWorkload(graph_, opts.query_pool, opts.seed);
+    for (const auto& q : workload_) query_texts_.push_back(q.text());
+    // Paper rule over the whole pool: deliberately generous, so the
+    // controller's first coverage-mined retune has something to demote.
+    LabelRequirements reqs =
+        MineWorkloadRequirements(workload_, graph_.labels());
+    DkIndex dk = DkIndex::Build(&graph_, reqs);
+    server_ = std::make_unique<QueryServer>(dk, opts.ServerOptions());
+
+    Dataset pool_source{dataset.name, graph_, dataset.ref_pairs};
+    edge_pool_ = MakeUpdateEdges(pool_source, opts.update_edge_pool,
+                                 opts.seed ^ 0x9e3779b9u);
+    for (const auto& e : edge_pool_) {
+      if (graph_.HasEdge(e.first, e.second)) present_.insert(e);
+    }
+  }
+
+  PhaseStats RunPhase(const std::string& name, double qps, size_t rotation,
+                      uint64_t phase_seed) {
+    Rng tape_rng(phase_seed);
+    ZipfSampler zipf(query_texts_.size(), opts_.zipf_s);
+    std::vector<Arrival> tape =
+        MakeTape(&tape_rng, zipf, rotation, qps, opts_.phase_sec,
+                 opts_.update_fraction, edge_pool_,
+                 static_cast<int64_t>(phase_seed % 4096), &present_);
+
+    Histogram latency("traffic.phase.latency");
+    std::atomic<size_t> cursor{0};
+    std::atomic<int64_t> completed{0}, dropped{0}, upd_ok{0}, upd_rej{0};
+    std::atomic<bool> ctl_stop{false};
+    const int64_t deadline_nanos =
+        static_cast<int64_t>(opts_.deadline_ms * 1e6);
+
+    const MetricPoint before = MetricPoint::Capture(*server_);
+    const Clock::time_point t0 = Clock::now();
+
+    // The retune controller: decays + mines the recorded load and pushes a
+    // kRetune through the update pipeline whenever the mined map moves.
+    std::thread controller([&] {
+      const auto interval = std::chrono::microseconds(
+          static_cast<int64_t>(opts_.control_interval_ms * 1e3));
+      while (!ctl_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(interval);
+        LabelRequirements mined;
+        {
+          std::lock_guard<std::mutex> lock(tracker_mu_);
+          tracker_.Decay(opts_.decay);
+          if (tracker_.total_queries() < opts_.min_tracked_queries) continue;
+          mined = tracker_.MineRequirements(opts_.coverage);
+        }
+        if (mined.empty() || mined == last_retune_) continue;
+        if (server_->SubmitRetune(mined, /*shrink=*/true)) {
+          last_retune_ = mined;
+        }
+      }
+    });
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(opts_.workers));
+    for (int w = 0; w < opts_.workers; ++w) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= tape.size()) break;
+          const Arrival& a = tape[i];
+          const Clock::time_point scheduled =
+              t0 + std::chrono::nanoseconds(a.at_nanos);
+          std::this_thread::sleep_until(scheduled);
+          if (a.what != Arrival::What::kQuery) {
+            const bool ok = a.what == Arrival::What::kAddEdge
+                                ? server_->SubmitAddEdge(a.u, a.v)
+                                : server_->SubmitRemoveEdge(a.u, a.v);
+            (ok ? upd_ok : upd_rej).fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (NanosBetween(scheduled, Clock::now()) > deadline_nanos) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          server_->Evaluate(query_texts_[a.query]);
+          // Latency from the SCHEDULED arrival: a late start counts against
+          // the served latency (open-loop, no coordinated omission).
+          latency.Record(NanosBetween(scheduled, Clock::now()));
+          completed.fetch_add(1, std::memory_order_relaxed);
+          {
+            std::lock_guard<std::mutex> lock(tracker_mu_);
+            tracker_.Record(workload_[a.query], graph_.labels());
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    ctl_stop.store(true, std::memory_order_relaxed);
+    controller.join();
+    server_->Flush();  // phase deltas include every op this phase submitted
+    const double elapsed =
+        static_cast<double>(NanosBetween(t0, Clock::now())) / 1e9;
+    const MetricPoint after = MetricPoint::Capture(*server_);
+
+    PhaseStats s;
+    s.name = name;
+    s.offered_qps = qps;
+    s.duration_sec = elapsed;
+    s.arrivals = static_cast<int64_t>(tape.size());
+    s.completed = completed.load();
+    s.dropped = dropped.load();
+    s.updates_submitted = upd_ok.load();
+    s.updates_rejected = upd_rej.load();
+    s.achieved_qps = static_cast<double>(s.completed) / elapsed;
+    HistogramSnapshot snap = latency.snapshot();
+    s.p50_ms = snap.p50() / 1e6;
+    s.p95_ms = snap.p95() / 1e6;
+    s.p99_ms = snap.p99() / 1e6;
+    s.max_ms = static_cast<double>(snap.max) / 1e6;
+    s.mean_ms = snap.mean() / 1e6;
+    s.cache_hits = after.cache_hits - before.cache_hits;
+    s.cache_misses = after.cache_misses - before.cache_misses;
+    s.publishes = after.publishes - before.publishes;
+    s.wal_appends = after.wal_appends - before.wal_appends;
+    s.retunes_submitted = after.retunes - before.retunes;
+    s.promote_label_calls =
+        after.promote_label_calls - before.promote_label_calls;
+    s.demote_calls = after.demote_calls - before.demote_calls;
+    return s;
+  }
+
+  void Stop() { server_->Stop(); }
+
+ private:
+  const TrafficOptions opts_;
+  DataGraph graph_;
+  std::vector<PathExpression> workload_;
+  std::vector<std::string> query_texts_;
+  std::vector<std::pair<NodeId, NodeId>> edge_pool_;
+  std::set<std::pair<NodeId, NodeId>> present_;
+  std::unique_ptr<QueryServer> server_;
+
+  std::mutex tracker_mu_;
+  QueryLoadTracker tracker_;
+  LabelRequirements last_retune_;  // controller thread only
+};
+
+}  // namespace
+
+QueryServer::Options TrafficOptions::ServerOptions() const {
+  QueryServer::Options options;
+  options.max_batch = 8;
+  // kReject: backpressure surfaces as a counted rejection instead of a
+  // blocked worker distorting the open-loop pacing.
+  options.full_policy = UpdateQueue::FullPolicy::kReject;
+  options.queue_capacity = 256;
+  options.durability.dir = durability_dir;
+  return options;
+}
+
+TrafficResult RunTraffic(const Dataset& dataset, const TrafficOptions& opts) {
+  TrafficEngine engine(dataset, opts);
+  TrafficResult result;
+  result.dataset_name = dataset.name;
+  result.nodes = dataset.graph.NumNodes();
+  result.edges = dataset.graph.NumEdges();
+  result.labels = dataset.graph.labels().size();
+
+  const size_t pool = static_cast<size_t>(opts.query_pool);
+  uint64_t phase_seed = opts.seed;
+  auto next_seed = [&phase_seed] { return ++phase_seed; };
+
+  result.phases.push_back(
+      engine.RunPhase("warm", opts.warm_qps, /*rotation=*/0, next_seed()));
+  for (double qps : opts.sweep_qps) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "sweep@%g", qps);
+    result.phases.push_back(
+        engine.RunPhase(name, qps, /*rotation=*/0, next_seed()));
+  }
+  // Drift: rotate the Zipf ranks half way around the pool, so the hot
+  // queries (and the labels they target) change under sustained load — this
+  // is the phase where the controller's promote/demote work shows up.
+  result.phases.push_back(engine.RunPhase("drift", opts.drift_qps,
+                                          /*rotation=*/pool / 2,
+                                          next_seed()));
+  engine.Stop();
+  return result;
+}
+
+Json TrafficResultToJson(const TrafficResult& result,
+                         const TrafficOptions& opts) {
+  Json root = Json::Object();
+  root.Set("bench", Json::Str("traffic"));
+  root.Set("version", Json::Int(1));
+
+  Json dataset = Json::Object();
+  dataset.Set("name", Json::Str(result.dataset_name));
+  dataset.Set("nodes", Json::Int(result.nodes));
+  dataset.Set("edges", Json::Int(result.edges));
+  dataset.Set("labels", Json::Int(result.labels));
+  root.Set("dataset", std::move(dataset));
+
+  Json config = Json::Object();
+  config.Set("seed", Json::Int(static_cast<int64_t>(opts.seed)));
+  config.Set("query_pool", Json::Int(opts.query_pool));
+  config.Set("zipf_s", Json::Num(opts.zipf_s));
+  config.Set("workers", Json::Int(opts.workers));
+  config.Set("update_fraction", Json::Num(opts.update_fraction));
+  config.Set("deadline_ms", Json::Num(opts.deadline_ms));
+  config.Set("phase_sec", Json::Num(opts.phase_sec));
+  config.Set("coverage", Json::Num(opts.coverage));
+  config.Set("durability", Json::Bool(!opts.durability_dir.empty()));
+  root.Set("config", std::move(config));
+
+  Json phases = Json::Array();
+  for (const PhaseStats& p : result.phases) {
+    Json phase = Json::Object();
+    phase.Set("name", Json::Str(p.name));
+    phase.Set("offered_qps", Json::Num(p.offered_qps));
+    phase.Set("achieved_qps", Json::Num(p.achieved_qps));
+    phase.Set("duration_sec", Json::Num(p.duration_sec));
+    phase.Set("arrivals", Json::Int(p.arrivals));
+    phase.Set("completed", Json::Int(p.completed));
+    phase.Set("dropped", Json::Int(p.dropped));
+    phase.Set("updates_submitted", Json::Int(p.updates_submitted));
+    phase.Set("updates_rejected", Json::Int(p.updates_rejected));
+    Json lat = Json::Object();
+    lat.Set("p50", Json::Num(p.p50_ms));
+    lat.Set("p95", Json::Num(p.p95_ms));
+    lat.Set("p99", Json::Num(p.p99_ms));
+    lat.Set("max", Json::Num(p.max_ms));
+    lat.Set("mean", Json::Num(p.mean_ms));
+    phase.Set("latency_ms", std::move(lat));
+    Json deltas = Json::Object();
+    deltas.Set("cache_hits", Json::Int(p.cache_hits));
+    deltas.Set("cache_misses", Json::Int(p.cache_misses));
+    deltas.Set("publishes", Json::Int(p.publishes));
+    deltas.Set("wal_appends", Json::Int(p.wal_appends));
+    deltas.Set("retunes_submitted", Json::Int(p.retunes_submitted));
+    deltas.Set("promote_label_calls", Json::Int(p.promote_label_calls));
+    deltas.Set("demote_calls", Json::Int(p.demote_calls));
+    phase.Set("metrics_delta", std::move(deltas));
+    phases.Push(std::move(phase));
+  }
+  root.Set("phases", std::move(phases));
+  return root;
+}
+
+void PrintTrafficResult(const TrafficResult& result) {
+  std::printf("\n%-12s %9s %9s %8s %7s %7s %7s %7s %7s %7s %6s %6s %6s\n",
+              "phase", "offered", "achieved", "done", "drop", "p50ms",
+              "p95ms", "p99ms", "maxms", "hit%", "retune", "promo",
+              "demote");
+  for (const PhaseStats& p : result.phases) {
+    const int64_t lookups = p.cache_hits + p.cache_misses;
+    const double hit_rate =
+        lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(p.cache_hits) /
+                           static_cast<double>(lookups);
+    std::printf(
+        "%-12s %9.0f %9.0f %8lld %7lld %7.2f %7.2f %7.2f %7.1f %6.1f "
+        "%6lld %6lld %6lld\n",
+        p.name.c_str(), p.offered_qps, p.achieved_qps,
+        static_cast<long long>(p.completed),
+        static_cast<long long>(p.dropped), p.p50_ms, p.p95_ms, p.p99_ms,
+        p.max_ms, hit_rate, static_cast<long long>(p.retunes_submitted),
+        static_cast<long long>(p.promote_label_calls),
+        static_cast<long long>(p.demote_calls));
+  }
+}
+
+}  // namespace bench
+}  // namespace dki

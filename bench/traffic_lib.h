@@ -1,0 +1,121 @@
+#ifndef DKINDEX_BENCH_TRAFFIC_LIB_H_
+#define DKINDEX_BENCH_TRAFFIC_LIB_H_
+
+// The production-traffic simulator behind bench/traffic (docs/BENCHMARKS.md
+// has the handbook entry). Open-loop driving of a QueryServer: arrivals are
+// a precomputed Poisson tape at an *offered* rate, workers serve each
+// arrival at its scheduled time (or drop it once it is hopelessly late), and
+// latency is measured from the scheduled arrival — not from when a worker
+// got free — so queueing delay under overload is visible instead of being
+// coordination-omitted away. Query popularity is Zipf-skewed with a
+// rotation knob (the drift phases rotate which queries are hot), update
+// edges are NURand-skewed, and a background controller mines the recorded
+// load (QueryLoadTracker) and submits kRetune ops so promote/demote runs
+// against live traffic.
+//
+// Shaped as a library so tests/traffic_smoke_test.cc can run a tiny
+// configuration in-process and validate the emitted JSON.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/bench_json.h"
+#include "serve/query_server.h"
+
+namespace dki {
+namespace bench {
+
+struct TrafficOptions {
+  uint64_t seed = 20030609;
+
+  // Query pool: `query_pool` distinct paths (MakeWorkload), rank-popularity
+  // Zipf(s). Drift phases remap rank r to (r + query_pool/2) % query_pool,
+  // so the hot set jumps to previously cold queries (and thus labels).
+  int query_pool = 64;
+  double zipf_s = 1.0;
+
+  // Worker threads serving the arrival tape (each owns no arrivals
+  // statically; they race on an atomic cursor).
+  int workers = 4;
+
+  // Fraction of arrivals that are edge toggles instead of queries; toggled
+  // edges are NURand-picked from a Section 6.2 recipe pool, so updates have
+  // hot keys too.
+  double update_fraction = 0.05;
+  int update_edge_pool = 128;
+
+  // An arrival this late past its scheduled time is dropped (counted, not
+  // served) — the open-loop stand-in for a client-side timeout.
+  double deadline_ms = 50.0;
+
+  // Phase script: warm, then one sub-phase per sweep entry, then drift.
+  double warm_qps = 400.0;
+  std::vector<double> sweep_qps = {400.0, 800.0, 1600.0};
+  double drift_qps = 800.0;
+  double phase_sec = 2.0;
+
+  // Retune controller: every interval, decay the tracker, mine requirements
+  // at `coverage`, and submit a kRetune when the mined map changed.
+  double control_interval_ms = 150.0;
+  double coverage = 0.95;
+  double decay = 0.8;
+  int64_t min_tracked_queries = 32;  // don't retune off nearly-empty trackers
+
+  // Non-empty: enable the WAL/checkpoint pipeline in this directory (the
+  // traffic binary points it at a fresh temp dir so wal.* deltas are real).
+  std::string durability_dir;
+
+  QueryServer::Options ServerOptions() const;
+};
+
+// Per-phase report. Latency percentiles come from a phase-local Histogram
+// (common/metrics.h) over scheduled-arrival-to-completion nanos.
+struct PhaseStats {
+  std::string name;
+  double offered_qps = 0.0;   // arrival rate of the tape (queries + updates)
+  double duration_sec = 0.0;
+  int64_t arrivals = 0;
+  int64_t completed = 0;      // queries served
+  int64_t dropped = 0;        // queries past deadline
+  int64_t updates_submitted = 0;
+  int64_t updates_rejected = 0;  // queue backpressure (kReject)
+  double achieved_qps = 0.0;  // completed / duration
+
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0,
+         mean_ms = 0.0;
+
+  // Serving-stack deltas over the phase window.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t publishes = 0;
+  int64_t wal_appends = 0;
+  int64_t retunes_submitted = 0;
+  int64_t promote_label_calls = 0;
+  int64_t demote_calls = 0;
+};
+
+struct TrafficResult {
+  std::string dataset_name;
+  int64_t nodes = 0, edges = 0, labels = 0;
+  std::vector<PhaseStats> phases;
+};
+
+// Runs the full phase script against a server built from `dataset` (index
+// built with the paper's Section 6.1 rule over the query pool). Blocking;
+// returns per-phase stats.
+TrafficResult RunTraffic(const Dataset& dataset, const TrafficOptions& opts);
+
+// The BENCH_traffic.json schema (version 1) — documented in
+// docs/BENCHMARKS.md and round-trip-validated by tests/traffic_smoke_test.
+Json TrafficResultToJson(const TrafficResult& result,
+                         const TrafficOptions& opts);
+
+// Prints the per-phase table to stdout.
+void PrintTrafficResult(const TrafficResult& result);
+
+}  // namespace bench
+}  // namespace dki
+
+#endif  // DKINDEX_BENCH_TRAFFIC_LIB_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 namespace dki {
 namespace {
@@ -19,6 +20,71 @@ ScopedTimer::ScopedTimer(TimerMetric* metric)
 
 ScopedTimer::~ScopedTimer() {
   metric_->RecordNanos(NowNanos() - start_nanos_);
+}
+
+ScopedLatency::ScopedLatency(Histogram* histogram)
+    : histogram_(histogram), start_nanos_(NowNanos()) {}
+
+ScopedLatency::~ScopedLatency() {
+  histogram_->Record(NowNanos() - start_nanos_);
+}
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  if (v < static_cast<uint64_t>(kSubBuckets)) return static_cast<size_t>(v);
+  int msb = 63;
+  while ((v >> msb) == 0) --msb;  // v >= kSubBuckets, so msb >= kSubBucketBits
+  const uint64_t sub = (v >> (msb - kSubBucketBits)) &
+                       static_cast<uint64_t>(kSubBuckets - 1);
+  return static_cast<size_t>((msb - kSubBucketBits + 1) * kSubBuckets +
+                             static_cast<int>(sub));
+}
+
+int64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < static_cast<size_t>(kSubBuckets)) {
+    return static_cast<int64_t>(index);
+  }
+  const int octave = static_cast<int>(index) / kSubBuckets;
+  const int sub = static_cast<int>(index) % kSubBuckets;
+  return static_cast<int64_t>(kSubBuckets + sub) << (octave - 1);
+}
+
+int64_t Histogram::BucketWidth(size_t index) {
+  if (index < static_cast<size_t>(kSubBuckets)) return 1;
+  return int64_t{1} << (static_cast<int>(index) / kSubBuckets - 1);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-quantile observation (1-based, nearest-rank rule).
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count))));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= target) {
+      const double frac = static_cast<double>(target - cumulative) /
+                          static_cast<double>(buckets[i]);
+      const double value =
+          static_cast<double>(Histogram::BucketLowerBound(i)) +
+          frac * static_cast<double>(Histogram::BucketWidth(i));
+      // The true maximum is tracked exactly; never report past it.
+      return std::min(value, static_cast<double>(max));
+    }
+    cumulative += buckets[i];
+  }
+  return static_cast<double>(max);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -44,6 +110,15 @@ TimerMetric& MetricsRegistry::GetTimer(const std::string& name) {
   return *timers_.back();
 }
 
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& h : histograms_) {
+    if (h->name() == name) return *h;
+  }
+  histograms_.push_back(std::make_unique<Histogram>(name));
+  return *histograms_.back();
+}
+
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   std::vector<MetricSample> out;
   {
@@ -63,14 +138,39 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   return out;
 }
 
+std::vector<HistogramSample> MetricsRegistry::SnapshotHistograms() const {
+  std::vector<HistogramSample> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(histograms_.size());
+    for (const auto& h : histograms_) {
+      out.push_back({h->name(), h->snapshot()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSample& a, const HistogramSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
 void MetricsRegistry::Dump(std::ostream* out) const {
   for (const MetricSample& s : Snapshot()) {
     if (s.count < 0) {
       *out << s.name << " " << s.value << "\n";
     } else {
+      const double mean_ms =
+          s.count == 0 ? 0.0
+                       : static_cast<double>(s.value) / s.count / 1e6;
       *out << s.name << " " << static_cast<double>(s.value) / 1e6
-           << "ms count=" << s.count << "\n";
+           << "ms count=" << s.count << " mean=" << mean_ms << "ms\n";
     }
+  }
+  for (const HistogramSample& h : SnapshotHistograms()) {
+    const HistogramSnapshot& snap = h.snapshot;
+    *out << h.name << " count=" << snap.count << " p50=" << snap.p50() / 1e6
+         << "ms p95=" << snap.p95() / 1e6 << "ms p99=" << snap.p99() / 1e6
+         << "ms max=" << static_cast<double>(snap.max) / 1e6 << "ms\n";
   }
 }
 
@@ -78,6 +178,7 @@ void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& c : counters_) c->Reset();
   for (const auto& t : timers_) t->Reset();
+  for (const auto& h : histograms_) h->Reset();
 }
 
 }  // namespace dki

@@ -1,6 +1,7 @@
 #ifndef DKINDEX_COMMON_METRICS_H_
 #define DKINDEX_COMMON_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -11,12 +12,13 @@
 
 namespace dki {
 
-// Process-wide observability for the serving path: named monotonic counters
-// and accumulating timers, registered on first use and kept for the process
-// lifetime. Increments are lock-free (relaxed atomics — the values are
-// statistics, not synchronization), so instrumenting a hot loop costs one
-// uncontended atomic add. Registration takes a mutex but happens once per
-// name; call sites cache the returned reference (see DKI_METRIC_COUNTER).
+// Process-wide observability for the serving path: named monotonic counters,
+// accumulating timers, and latency histograms, registered on first use and
+// kept for the process lifetime. Increments are lock-free (relaxed atomics —
+// the values are statistics, not synchronization), so instrumenting a hot
+// loop costs one uncontended atomic add. Registration takes a mutex but
+// happens once per name; call sites cache the returned reference (see
+// DKI_METRIC_COUNTER).
 //
 // Naming convention: dotted lowercase paths grouped by subsystem, e.g.
 // "eval.index.calls", "cache.result.hits", "index.dk.add_edge.calls".
@@ -40,6 +42,8 @@ class Counter {
 };
 
 // Accumulated wall time plus invocation count; records are lock-free.
+// Totals alone hide tail behavior — pair with a Histogram (below) where the
+// distribution matters (the serving path does both).
 class TimerMetric {
  public:
   explicit TimerMetric(std::string name) : name_(std::move(name)) {}
@@ -52,6 +56,11 @@ class TimerMetric {
     return total_nanos_.load(std::memory_order_relaxed);
   }
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  // Mean nanoseconds per invocation; 0 before the first record.
+  int64_t avg_nanos() const {
+    const int64_t n = count();
+    return n == 0 ? 0 : total_nanos() / n;
+  }
   const std::string& name() const { return name_; }
 
   void Reset() {
@@ -63,6 +72,88 @@ class TimerMetric {
   const std::string name_;
   std::atomic<int64_t> total_nanos_{0};
   std::atomic<int64_t> count_{0};
+};
+
+// A point-in-time view of one Histogram (relaxed loads; consistent enough
+// for reporting). Percentiles interpolate linearly inside the containing
+// bucket, so their relative error is bounded by the bucket width — at most
+// 1/2^kSubBucketBits (25%) of the value, and exact below 2^kSubBucketBits.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;   // of recorded values
+  int64_t max = 0;
+  std::array<int64_t, 256> buckets{};  // Histogram::kNumBuckets
+
+  // Value at quantile q in [0, 1]; 0 when empty. Monotone in q.
+  double ValueAtQuantile(double q) const;
+  double p50() const { return ValueAtQuantile(0.50); }
+  double p95() const { return ValueAtQuantile(0.95); }
+  double p99() const { return ValueAtQuantile(0.99); }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+// Lock-free log-linear-bucketed histogram of non-negative values (nanosecond
+// latencies by convention). Record() costs one relaxed atomic add on the
+// containing bucket (plus a sum add and a wait-free max update) — cheap
+// enough for the serving hot path. Buckets: 2^kSubBucketBits linear
+// sub-buckets per power-of-two octave (the HdrHistogram layout), so
+// percentile error is bounded at 25% of the value while the whole table is
+// 256 atomics.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 2;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 4 per octave
+  static constexpr int kNumBuckets = 64 * kSubBuckets;     // covers int64
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void Record(int64_t value) {
+    const uint64_t v = value <= 0 ? 0 : static_cast<uint64_t>(value);
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(static_cast<int64_t>(v), std::memory_order_relaxed);
+    int64_t prev = max_.load(std::memory_order_relaxed);
+    while (static_cast<int64_t>(v) > prev &&
+           !max_.compare_exchange_weak(prev, static_cast<int64_t>(v),
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const;
+  const std::string& name() const { return name_; }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  // Bucket geometry (shared with HistogramSnapshot::ValueAtQuantile).
+  static size_t BucketIndex(uint64_t v);
+  static int64_t BucketLowerBound(size_t index);
+  static int64_t BucketWidth(size_t index);
+
+ private:
+  const std::string name_;
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// RAII scope latency recorder feeding a Histogram (nanoseconds).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* histogram);
+  ~ScopedLatency();
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_;
+  int64_t start_nanos_;
 };
 
 // RAII scope timer feeding a TimerMetric.
@@ -86,6 +177,12 @@ struct MetricSample {
   int64_t count = -1;       // -1 for counters; invocation count for timers
 };
 
+// One row of MetricsRegistry::SnapshotHistograms().
+struct HistogramSample {
+  std::string name;
+  HistogramSnapshot snapshot;
+};
+
 // The process-wide registry. Metric objects are never destroyed or
 // re-registered, so references returned here stay valid forever — cache them
 // at call sites instead of re-looking-up per event.
@@ -93,16 +190,21 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  // Returns the counter/timer registered under `name`, creating it if new.
+  // Returns the counter/timer/histogram registered under `name`, creating it
+  // if new.
   Counter& GetCounter(const std::string& name);
   TimerMetric& GetTimer(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
 
   // A consistent-enough view for reporting: every metric that existed at the
-  // call, with relaxed-loaded values, sorted by name.
+  // call, with relaxed-loaded values, sorted by name. Histograms have their
+  // own snapshot call (their sample shape differs).
   std::vector<MetricSample> Snapshot() const;
+  std::vector<HistogramSample> SnapshotHistograms() const;
 
-  // Human-readable dump of Snapshot() (one "name value" line per metric,
-  // timers as total milliseconds + count).
+  // Human-readable dump of Snapshot() + SnapshotHistograms() (one
+  // "name value" line per metric; timers as total milliseconds + count +
+  // mean; histograms as p50/p95/p99/max milliseconds).
   void Dump(std::ostream* out) const;
 
   // Zeroes every registered metric (tests and bench phase boundaries).
@@ -115,6 +217,7 @@ class MetricsRegistry {
   // Stable addresses: the registry hands out references into these.
   std::vector<std::unique_ptr<Counter>> counters_;
   std::vector<std::unique_ptr<TimerMetric>> timers_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
 };
 
 // Caches the registry lookup in a function-local static so hot paths pay
@@ -131,6 +234,13 @@ class MetricsRegistry {
     static ::dki::TimerMetric& timer =                                  \
         ::dki::MetricsRegistry::Global().GetTimer(name);                \
     return timer;                                                       \
+  }())
+
+#define DKI_METRIC_HISTOGRAM(name)                                     \
+  ([]() -> ::dki::Histogram& {                                         \
+    static ::dki::Histogram& histogram =                               \
+        ::dki::MetricsRegistry::Global().GetHistogram(name);           \
+    return histogram;                                                  \
   }())
 
 }  // namespace dki

@@ -1,5 +1,8 @@
 #include "common/random.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace dki {
 namespace {
 
@@ -77,6 +80,47 @@ int Rng::GeometricCount(int min_count, int max_count, double p_more) {
   int n = min_count;
   while (n < max_count && Bernoulli(p_more)) ++n;
   return n;
+}
+
+int64_t Rng::NURand(int64_t A, int64_t x, int64_t y, int64_t C) {
+  DKI_CHECK_LE(x, y);
+  DKI_CHECK_GE(A, 0);
+  DKI_CHECK_EQ((A & (A + 1)), 0);  // A must be 2^b - 1 for the OR to skew
+  const int64_t span = y - x + 1;
+  return (((UniformInt(0, A) | UniformInt(x, y)) + C) % span) + x;
+}
+
+int64_t Rng::DefaultNURandA(int64_t span) {
+  DKI_CHECK_GE(span, 1);
+  const int64_t target = span / 4;
+  int64_t a = 1;  // 2^1 - 1
+  while (a < target) a = (a << 1) | 1;
+  return a;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) : s_(s) {
+  DKI_CHECK_GE(n, 1u);
+  DKI_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(size_t r) const {
+  DKI_CHECK_LT(r, cdf_.size());
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
 }
 
 }  // namespace dki

@@ -59,8 +59,46 @@ class Rng {
   // children" DTD content models.
   int GeometricCount(int min_count, int max_count, double p_more);
 
+  // TPC-C's non-uniform random function (clause 2.1.6): a skewed integer in
+  // [x, y] computed as (((UniformInt(0, A) | UniformInt(x, y)) + C)
+  // % (y - x + 1)) + x. The bitwise OR concentrates mass on a "hot" subset
+  // of the range whose identity is fixed by the run constant `C` — the
+  // standard way OLTP benchmarks model popular customers/items, and the
+  // shape the traffic simulator (bench/traffic) uses for hot query keys.
+  // `A` must be of the form 2^b - 1 (see DefaultNURandA); requires x <= y.
+  int64_t NURand(int64_t A, int64_t x, int64_t y, int64_t C);
+
+  // A reasonable `A` for a range of `span` values, mirroring the constants
+  // TPC-C fixes per range (span 1000 -> 255, span 3000 -> 1023): the
+  // smallest 2^b - 1 that is >= span / 4, so roughly the hottest quarter of
+  // the range absorbs most of the skew.
+  static int64_t DefaultNURandA(int64_t span);
+
  private:
   uint64_t state_[4];
+};
+
+// Zipf-distributed rank sampler: rank r in [0, n) is drawn with probability
+// proportional to 1 / (r + 1)^s. The normalization table is precomputed at
+// construction (O(n) space, O(log n) per sample via binary search on the
+// CDF), so sampling is exact — no rejection, no approximation — and fully
+// deterministic given the Rng passed to Sample. s = 0 degenerates to
+// uniform; s around 1 is the classic "80/20" web-traffic shape.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+  // Probability of rank r (diagnostics and tests).
+  double pmf(size_t r) const;
+
+ private:
+  double s_ = 0.0;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r); cdf_.back() == 1.0
 };
 
 }  // namespace dki

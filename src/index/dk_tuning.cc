@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "index/dk_index.h"
 
 namespace dki {
@@ -36,6 +37,8 @@ void DkIndex::Promote(IndexNodeId v, int k_target) {
 }
 
 void DkIndex::PromoteLabel(LabelId label, int k_target) {
+  DKI_METRIC_COUNTER("index.dk.promote_label.calls").Increment();
+  ScopedTimer timer(&DKI_METRIC_TIMER("index.dk.promote_label"));
   // Promotions split nodes of this label into further nodes of the same
   // label; iterate until every one of them reaches the target.
   bool progressed = true;
@@ -68,6 +71,8 @@ void DkIndex::PromoteBatch(const LabelRequirements& targets) {
 }
 
 void DkIndex::Demote(const LabelRequirements& new_reqs) {
+  DKI_METRIC_COUNTER("index.dk.demote.calls").Increment();
+  ScopedTimer timer(&DKI_METRIC_TIMER("index.dk.demote"));
   std::vector<int> initial(static_cast<size_t>(graph_->labels().size()), 0);
   for (const auto& [label, k] : new_reqs) {
     DKI_CHECK_GE(label, 0);

@@ -33,6 +33,17 @@ inline bool ApplyUpdateOp(DkIndex* dk, const UpdateOp& op) {
       if (op.subgraph == nullptr) return false;
       dk->AddSubgraph(*op.subgraph);
       return true;
+    case UpdateOp::Kind::kRetune:
+      // Validate up front: Demote CHECK-fails on out-of-range labels, and a
+      // corrupt or stale-labeled record must drop, not abort the server.
+      for (const auto& [label, k] : op.retune_targets) {
+        if (label < 0 || label >= dk->graph().labels().size() || k < 0) {
+          return false;
+        }
+      }
+      dk->PromoteBatch(op.retune_targets);
+      if (op.retune_shrink) dk->Demote(op.retune_targets);
+      return true;
   }
   return false;
 }

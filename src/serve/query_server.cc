@@ -85,6 +85,7 @@ std::optional<std::vector<NodeId>> QueryServer::EvaluateOn(
     EvalStats* stats, std::string* error) const {
   DKI_METRIC_COUNTER("serve.query.calls").Increment();
   ScopedTimer timer(&DKI_METRIC_TIMER("serve.query"));
+  ScopedLatency latency(&DKI_METRIC_HISTOGRAM("serve.query.latency"));
   // Parse against the snapshot's own label table: labels added by a queued
   // AddSubgraph become queryable exactly when a snapshot containing them is
   // published.
@@ -115,6 +116,7 @@ std::vector<std::optional<std::vector<NodeId>>> QueryServer::EvaluateBatchOn(
   DKI_METRIC_COUNTER("serve.query.calls")
       .Increment(static_cast<int64_t>(n));
   ScopedTimer timer(&DKI_METRIC_TIMER("serve.query.batch"));
+  ScopedLatency latency(&DKI_METRIC_HISTOGRAM("serve.query.batch.latency"));
   std::vector<std::optional<std::vector<NodeId>>> results(n);
   if (stats != nullptr) stats->assign(n, EvalStats());
   if (errors != nullptr) errors->assign(n, std::string());
@@ -195,6 +197,11 @@ bool QueryServer::SubmitRemoveEdge(NodeId u, NodeId v) {
 
 bool QueryServer::SubmitAddSubgraph(DataGraph h) {
   return Submit(UpdateOp::AddSubgraph(std::move(h)));
+}
+
+bool QueryServer::SubmitRetune(LabelRequirements targets, bool shrink) {
+  DKI_METRIC_COUNTER("serve.retune.submitted").Increment();
+  return Submit(UpdateOp::Retune(std::move(targets), shrink));
 }
 
 bool QueryServer::Submit(UpdateOp op) {
@@ -424,6 +431,8 @@ void QueryServer::Publish() {
   std::shared_ptr<const IndexSnapshot> next;
   {
     ScopedTimer timer(&DKI_METRIC_TIMER("serve.writer.republish"));
+    ScopedLatency latency(
+        &DKI_METRIC_HISTOGRAM("serve.writer.republish.latency"));
     next = std::make_shared<const IndexSnapshot>(
         master_graph_, master_.index(), master_.effective_requirements(),
         seq_);

@@ -146,6 +146,14 @@ class QueryServer {
   bool SubmitRemoveEdge(NodeId u, NodeId v);
   bool SubmitAddSubgraph(DataGraph h);
 
+  // Enqueue a load-driven retune (Sections 5.3-5.4): the writer promotes the
+  // index to the mined per-label targets and, when `shrink` is set, demotes
+  // refinement the targets no longer require. Flows through the same
+  // queue/WAL pipeline as structural updates, so retunes are ordered with
+  // them, durable, and replayed on recovery. Typical source of `targets` is
+  // QueryLoadTracker::MineRequirements over recent traffic.
+  bool SubmitRetune(LabelRequirements targets, bool shrink = true);
+
   // Blocks until every op accepted so far has been applied AND published
   // (queue quiescent). Mainly for tests and benchmarks; under continuous
   // concurrent submission it waits for those ops too.

@@ -55,8 +55,9 @@ class IndexSnapshot {
   // the server runs without durability).
   uint64_t seq() const { return seq_; }
 
-  // Effective per-label requirements at snapshot time (empty without
-  // durability; indexed by label id otherwise).
+  // Effective per-label requirements at snapshot time, indexed by label id
+  // (QueryServer::Publish always forwards the master's; load-driven retune
+  // controllers diff mined requirements against these).
   const std::vector<int>& effective_requirements() const {
     return effective_requirements_;
   }

@@ -9,30 +9,43 @@
 #include <vector>
 
 #include "graph/data_graph.h"
+#include "index/dk_index.h"
 
 namespace dki {
 
 // One queued mutation for the serving pipeline: the Section 5 update
-// operations expressed as data, so producers never touch the index. The
-// subgraph payload is shared (not copied) between the queue and any caller
-// that keeps it.
+// operations plus load-driven retuning (Sections 5.3-5.4), expressed as
+// data so producers never touch the index. The subgraph payload is shared
+// (not copied) between the queue and any caller that keeps it.
 struct UpdateOp {
-  enum class Kind { kAddEdge, kRemoveEdge, kAddSubgraph };
+  enum class Kind { kAddEdge, kRemoveEdge, kAddSubgraph, kRetune };
 
   Kind kind = Kind::kAddEdge;
   NodeId u = kInvalidNode;  // kAddEdge / kRemoveEdge
   NodeId v = kInvalidNode;
   std::shared_ptr<const DataGraph> subgraph;  // kAddSubgraph
+  // kRetune: mined per-label similarity targets. PromoteBatch raises the
+  // index to them; with retune_shrink also Demote, quotienting away
+  // refinement the targets no longer ask for (labels absent from the map
+  // fall back to requirement 0 before broadcasting).
+  LabelRequirements retune_targets;
+  bool retune_shrink = false;
 
   static UpdateOp AddEdge(NodeId u, NodeId v) {
-    return UpdateOp{Kind::kAddEdge, u, v, nullptr};
+    return UpdateOp{Kind::kAddEdge, u, v, nullptr, {}, false};
   }
   static UpdateOp RemoveEdge(NodeId u, NodeId v) {
-    return UpdateOp{Kind::kRemoveEdge, u, v, nullptr};
+    return UpdateOp{Kind::kRemoveEdge, u, v, nullptr, {}, false};
   }
   static UpdateOp AddSubgraph(DataGraph h) {
     return UpdateOp{Kind::kAddSubgraph, kInvalidNode, kInvalidNode,
-                    std::make_shared<const DataGraph>(std::move(h))};
+                    std::make_shared<const DataGraph>(std::move(h)),
+                    {},
+                    false};
+  }
+  static UpdateOp Retune(LabelRequirements targets, bool shrink) {
+    return UpdateOp{Kind::kRetune, kInvalidNode, kInvalidNode, nullptr,
+                    std::move(targets), shrink};
   }
 };
 

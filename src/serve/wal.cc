@@ -3,10 +3,13 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/crc32.h"
 #include "common/metrics.h"
@@ -61,6 +64,7 @@ bool ReadU64(std::string_view* in, uint64_t* v) {
 constexpr uint8_t kKindAddEdge = 0;
 constexpr uint8_t kKindRemoveEdge = 1;
 constexpr uint8_t kKindAddSubgraph = 2;
+constexpr uint8_t kKindRetune = 3;
 
 // Defensive bound on a single record's payload: no op this project can
 // produce is anywhere near it, so a larger length prefix means corruption.
@@ -109,6 +113,21 @@ std::string WriteAheadLog::EncodeRecord(const UpdateOp& op, uint64_t seq) {
       payload.append(text);
       break;
     }
+    case UpdateOp::Kind::kRetune: {
+      payload.push_back(static_cast<char>(kKindRetune));
+      payload.push_back(static_cast<char>(op.retune_shrink ? 1 : 0));
+      // Sorted by label so re-encoding a decoded record (log rewrite after
+      // truncation) is byte-identical.
+      std::vector<std::pair<LabelId, int>> sorted(op.retune_targets.begin(),
+                                                  op.retune_targets.end());
+      std::sort(sorted.begin(), sorted.end());
+      AppendU32(&payload, static_cast<uint32_t>(sorted.size()));
+      for (const auto& [label, k] : sorted) {
+        AppendU32(&payload, static_cast<uint32_t>(label));
+        AppendU32(&payload, static_cast<uint32_t>(k));
+      }
+      break;
+    }
   }
   std::string record;
   AppendU32(&record, static_cast<uint32_t>(payload.size()));
@@ -145,6 +164,25 @@ bool WriteAheadLog::DecodePayload(std::string_view payload, Record* out) {
       std::string parse_error;
       if (!LoadGraph(&body, &h, &parse_error)) return false;
       out->op = UpdateOp::AddSubgraph(std::move(h));
+      return true;
+    }
+    case kKindRetune: {
+      if (payload.empty()) return false;
+      const bool shrink = payload.front() != 0;
+      payload.remove_prefix(1);
+      uint32_t count = 0;
+      if (!ReadU32(&payload, &count) || payload.size() != 8u * count) {
+        return false;
+      }
+      LabelRequirements targets;
+      targets.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t label = 0, k = 0;
+        ReadU32(&payload, &label);
+        ReadU32(&payload, &k);
+        targets[static_cast<LabelId>(label)] = static_cast<int>(k);
+      }
+      out->op = UpdateOp::Retune(std::move(targets), shrink);
       return true;
     }
     default:

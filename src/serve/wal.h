@@ -45,6 +45,8 @@ struct DurabilityOptions {
 //   payload := u64 seq | u8 kind | kind-specific body
 //     kAddEdge/kRemoveEdge: i32 u | i32 v
 //     kAddSubgraph:         u32 graph_len | SaveGraph text
+//     kRetune:              u8 shrink | u32 count | count x (u32 label, u32 k)
+//                           (entries sorted by label id)
 //
 // The reader is truncation-safe by construction: it stops at the first
 // record whose length prefix overruns the file or whose CRC fails, and

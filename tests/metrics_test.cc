@@ -67,6 +67,129 @@ TEST(MetricsTest, SnapshotContainsRegisteredMetricsSorted) {
   EXPECT_TRUE(found);
 }
 
+TEST(MetricsTest, TimerReportsMean) {
+  TimerMetric t("test.metrics.mean");
+  EXPECT_EQ(t.avg_nanos(), 0);  // no division by zero before first record
+  t.RecordNanos(100);
+  t.RecordNanos(300);
+  EXPECT_EQ(t.avg_nanos(), 200);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram: bucket geometry, percentile accuracy, concurrency.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketGeometryIsContiguous) {
+  // Every value maps into a bucket whose [lower, lower + width) range
+  // contains it, and bucket boundaries tile the axis with no gaps.
+  for (uint64_t v : {0ull, 1ull, 3ull, 4ull, 5ull, 7ull, 8ull, 100ull,
+                     1023ull, 1024ull, 1048576ull, 123456789ull}) {
+    const size_t idx = Histogram::BucketIndex(v);
+    const int64_t lo = Histogram::BucketLowerBound(idx);
+    const int64_t width = Histogram::BucketWidth(idx);
+    EXPECT_GE(static_cast<int64_t>(v), lo) << v;
+    EXPECT_LT(static_cast<int64_t>(v), lo + width) << v;
+  }
+  for (size_t idx = 1; idx < 64; ++idx) {
+    EXPECT_EQ(Histogram::BucketLowerBound(idx),
+              Histogram::BucketLowerBound(idx - 1) +
+                  Histogram::BucketWidth(idx - 1));
+  }
+}
+
+TEST(HistogramTest, ExactBelowSubBucketCount) {
+  Histogram h("test.hist.exact");
+  for (int i = 0; i < 100; ++i) h.Record(i % Histogram::kSubBuckets);
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100);
+  for (size_t b = 0; b < static_cast<size_t>(Histogram::kSubBuckets); ++b) {
+    EXPECT_EQ(snap.buckets[b], 25);
+  }
+}
+
+TEST(HistogramTest, PercentilesWithinBucketErrorBound) {
+  // Uniform values 1..10000: every reported quantile must be within one
+  // bucket width (<= 25%) of the true order statistic.
+  Histogram h("test.hist.quantiles");
+  const int kN = 10000;
+  for (int v = 1; v <= kN; ++v) h.Record(v);
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kN);
+  EXPECT_EQ(snap.max, kN);
+  for (double q : {0.10, 0.50, 0.95, 0.99}) {
+    const double truth = q * kN;
+    const double got = snap.ValueAtQuantile(q);
+    EXPECT_GE(got, truth * 0.75) << q;
+    EXPECT_LE(got, truth * 1.25) << q;
+  }
+  EXPECT_LE(snap.ValueAtQuantile(1.0), static_cast<double>(snap.max));
+  EXPECT_NEAR(snap.mean(), (kN + 1) / 2.0, 1.0);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndClampedByMax) {
+  Histogram h("test.hist.monotone");
+  h.Record(5);
+  h.Record(1000);
+  h.Record(7);
+  HistogramSnapshot snap = h.snapshot();
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = snap.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_LE(v, static_cast<double>(snap.max));
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, EmptyAndNegativeInputsAreSafe) {
+  Histogram h("test.hist.edge");
+  EXPECT_EQ(h.snapshot().ValueAtQuantile(0.5), 0.0);
+  h.Record(-17);  // clamped to 0, not UB
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.buckets[0], 1);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreLossless) {
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test.hist.concurrent");
+  h.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(t * 1000 + i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.max, (kThreads - 1) * 1000 + kPerThread - 1);
+}
+
+TEST(HistogramTest, RegistryRegistrationAndDump) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test.hist.dump");
+  Histogram& again =
+      MetricsRegistry::Global().GetHistogram("test.hist.dump");
+  EXPECT_EQ(&h, &again);
+  h.Reset();
+  h.Record(1000000);  // 1ms
+  auto samples = MetricsRegistry::Global().SnapshotHistograms();
+  bool found = false;
+  for (const HistogramSample& s : samples) {
+    if (s.name == "test.hist.dump") {
+      found = true;
+      EXPECT_EQ(s.snapshot.count, 1);
+    }
+  }
+  EXPECT_TRUE(found);
+  std::ostringstream dump;
+  MetricsRegistry::Global().Dump(&dump);
+  EXPECT_NE(dump.str().find("test.hist.dump"), std::string::npos);
+  EXPECT_NE(dump.str().find("p99"), std::string::npos);
+}
+
 TEST(MetricsTest, ServingPathIsInstrumented) {
   MetricsRegistry::Global().ResetAll();
   DataGraph g = testing_util::BuildMovieGraph();

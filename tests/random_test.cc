@@ -1,0 +1,136 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dki {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NURand: TPC-C's skewed integer generator (the traffic simulator's hot
+// update keys).
+// ---------------------------------------------------------------------------
+
+TEST(NURandTest, StaysInRange) {
+  Rng rng(42);
+  const int64_t a = Rng::DefaultNURandA(1000);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NURand(a, 0, 999, 123);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 999);
+  }
+}
+
+TEST(NURandTest, DefaultAMatchesTpccConstants) {
+  // TPC-C fixes A=255 for spans ~1000 and A=1023 for spans ~3000 — the
+  // smallest 2^b - 1 at least a quarter of the span.
+  EXPECT_EQ(Rng::DefaultNURandA(1000), 255);
+  EXPECT_EQ(Rng::DefaultNURandA(3000), 1023);
+  EXPECT_EQ(Rng::DefaultNURandA(1), 1);
+  EXPECT_EQ(Rng::DefaultNURandA(8), 3);
+  // Always of the form 2^b - 1.
+  for (int64_t span : {1, 2, 7, 100, 1000, 12345}) {
+    const int64_t a = Rng::DefaultNURandA(span);
+    EXPECT_EQ(a & (a + 1), 0) << span;
+  }
+}
+
+TEST(NURandTest, IsSkewedNotUniform) {
+  // The OR with a narrow uniform concentrates mass: the most popular decile
+  // of values must absorb far more than its uniform 10% share.
+  Rng rng(7);
+  const int64_t span = 1000;
+  const int64_t a = Rng::DefaultNURandA(span);
+  std::vector<int64_t> counts(static_cast<size_t>(span), 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<size_t>(rng.NURand(a, 0, span - 1, 77))];
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<int64_t>());
+  int64_t top_decile = 0;
+  for (size_t i = 0; i < counts.size() / 10; ++i) top_decile += counts[i];
+  EXPECT_GT(static_cast<double>(top_decile) / kDraws, 0.25);
+}
+
+TEST(NURandTest, RunConstantFixesTheHotSet) {
+  // Same C -> same hot values; different C -> a (mostly) different hot set.
+  auto hottest = [](int64_t c) {
+    Rng rng(99);
+    const int64_t a = Rng::DefaultNURandA(1000);
+    std::vector<int64_t> counts(1000, 0);
+    for (int i = 0; i < 100000; ++i) {
+      ++counts[static_cast<size_t>(rng.NURand(a, 0, 999, c))];
+    }
+    return static_cast<int64_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+  };
+  EXPECT_EQ(hottest(11), hottest(11));
+  EXPECT_NE(hottest(11), hottest(500));
+}
+
+TEST(NURandTest, DeterministicFromSeed) {
+  Rng a(12345), b(12345);
+  const int64_t A = Rng::DefaultNURandA(5000);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NURand(A, 10, 5009, 42), b.NURand(A, 10, 5009, 42));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ZipfSampler: rank-popularity skew for the traffic simulator's query pool.
+// ---------------------------------------------------------------------------
+
+TEST(ZipfSamplerTest, PmfSumsToOneAndIsMonotone) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (size_t r = 0; r < zipf.n(); ++r) {
+    total += zipf.pmf(r);
+    if (r > 0) {
+      EXPECT_LE(zipf.pmf(r), zipf.pmf(r - 1) + 1e-12);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t r = 0; r < zipf.n(); ++r) {
+    EXPECT_NEAR(zipf.pmf(r), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatchPmf) {
+  // s = 1 over 50 ranks: rank 0 carries ~22%; verify every rank's empirical
+  // frequency lands near its analytic mass.
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(2718);
+  std::vector<int64_t> counts(zipf.n(), 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t r = 0; r < zipf.n(); ++r) {
+    const double expected = zipf.pmf(r) * kDraws;
+    EXPECT_NEAR(static_cast<double>(counts[r]), expected,
+                5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSamplerTest, DeterministicFromSeed) {
+  ZipfSampler zipf(64, 1.2);
+  Rng a(31337), b(31337);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.Sample(&a), zipf.Sample(&b));
+  }
+}
+
+TEST(ZipfSamplerTest, SingleRankAlwaysSamplesZero) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace dki
