@@ -74,23 +74,36 @@ DkIndex DkIndex::Build(DataGraph* graph, const LabelRequirements& reqs,
   std::vector<int> effective = EffectiveRequirements(*graph, reqs);
   std::vector<int> block_k;
   int num_threads = options.ResolvedNumThreads();
+  auto trace = std::make_shared<RefinementTrace>();
   Partition p;
   if (num_threads > 1) {
     ThreadPool pool(num_threads);
-    p = ParallelBuildDkPartition(*graph, effective, &block_k, pool);
+    p = BuildDkPartition(*graph, effective, &block_k, &pool, &trace->rounds);
   } else {
-    p = BuildDkPartition(*graph, effective, &block_k);
+    p = BuildDkPartition(*graph, effective, &block_k, nullptr,
+                         &trace->rounds);
   }
+  trace->num_nodes = graph->NumNodes();
+  trace->req_at_capture = effective;
   IndexGraph index =
       IndexGraph::FromPartition(graph, p.block_of, p.num_blocks, block_k);
-  return DkIndex(graph, std::move(index), std::move(effective));
+  DkIndex dk(graph, std::move(index), std::move(effective));
+  dk.trace_ = std::move(trace);
+  return dk;
 }
 
 DkIndex DkIndex::Fork(DataGraph* graph_copy) const {
   DKI_CHECK(graph_copy != nullptr);
   DKI_CHECK_EQ(graph_copy->NumNodes(), graph_->NumNodes());
   DKI_CHECK_EQ(graph_copy->NumEdges(), graph_->NumEdges());
-  return DkIndex(graph_copy, index_.CloneOnto(graph_copy), effective_req_);
+  DkIndex fork(graph_copy, index_.CloneOnto(graph_copy), effective_req_);
+  // The trace is shared, not copied: it is immutable once captured (rebuilds
+  // swap in a fresh one), and it only stores per-round block ids — nothing
+  // graph-pointer-bound — so the fork can keep projecting through it.
+  fork.trace_ = trace_;
+  fork.dirty_ = dirty_;
+  fork.maintenance_mode_ = maintenance_mode_;
+  return fork;
 }
 
 DkIndex DkIndex::FromParts(DataGraph* graph, IndexGraph index,

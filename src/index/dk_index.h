@@ -2,6 +2,7 @@
 #define DKINDEX_INDEX_DK_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "index/index_graph.h"
 #include "index/parallel_refine.h"
 #include "index/partition.h"
+#include "index/refinement_trace.h"
 
 namespace dki {
 
@@ -32,26 +34,46 @@ std::vector<int> BroadcastLabelRequirements(
     std::vector<int> initial);
 
 // Builds the label-adjacency (parents per label) of `g`'s label-split graph.
-// A lazily allocated per-child-label seen bitmap keeps the dedup O(1) per
-// parent edge — O(edges + labels²) total instead of the O(parents²)-per-node
-// linear rescan of the adjacency list (which collapsed on high-fanin labels
-// like XMark's person/item reference targets).
+// Nodes are first bucketed by label (counting sort), so each label's nodes
+// form one contiguous run and a single label-stamped scratch array dedups
+// parent labels in O(1) per edge — O(nodes + edges + labels) total. (An
+// earlier version kept one lazily-zeroed bitmap per child label: O(labels²)
+// zeroing, which collapsed on wide alphabets — 10^5 distinct labels meant
+// gigabytes of memset. This runs on every Demote/AddSubgraph requirement
+// refresh, so it must stay linear.)
 template <typename GraphT>
 std::vector<std::vector<LabelId>> ComputeLabelParents(const GraphT& g,
                                                       int64_t num_labels) {
   std::vector<std::vector<LabelId>> parents(
       static_cast<size_t>(num_labels));
-  std::vector<std::vector<char>> seen(static_cast<size_t>(num_labels));
-  for (int64_t n = 0; n < g.NumNodes(); ++n) {
-    LabelId child = g.label(static_cast<int32_t>(n));
-    auto& list = parents[static_cast<size_t>(child)];
-    auto& mark = seen[static_cast<size_t>(child)];
-    if (mark.empty()) mark.resize(static_cast<size_t>(num_labels), 0);
-    for (int32_t p : g.parents(static_cast<int32_t>(n))) {
-      LabelId pl = g.label(p);
-      if (!mark[static_cast<size_t>(pl)]) {
-        mark[static_cast<size_t>(pl)] = 1;
-        list.push_back(pl);
+  const int64_t n_nodes = g.NumNodes();
+  std::vector<int64_t> start(static_cast<size_t>(num_labels) + 1, 0);
+  for (int64_t n = 0; n < n_nodes; ++n) {
+    ++start[static_cast<size_t>(g.label(static_cast<int32_t>(n))) + 1];
+  }
+  for (size_t l = 1; l < start.size(); ++l) start[l] += start[l - 1];
+  std::vector<int32_t> by_label(static_cast<size_t>(n_nodes));
+  {
+    std::vector<int64_t> cursor = start;
+    for (int64_t n = 0; n < n_nodes; ++n) {
+      by_label[static_cast<size_t>(cursor[static_cast<size_t>(
+          g.label(static_cast<int32_t>(n)))]++)] = static_cast<int32_t>(n);
+    }
+  }
+  // stamp[pl] = last child label that recorded pl; child labels are
+  // processed in disjoint runs, so no clearing between them is needed.
+  std::vector<LabelId> stamp(static_cast<size_t>(num_labels), kInvalidLabel);
+  for (LabelId l = 0; l < num_labels; ++l) {
+    auto& list = parents[static_cast<size_t>(l)];
+    for (int64_t i = start[static_cast<size_t>(l)];
+         i < start[static_cast<size_t>(l) + 1]; ++i) {
+      int32_t n = by_label[static_cast<size_t>(i)];
+      for (int32_t p : g.parents(n)) {
+        LabelId pl = g.label(p);
+        if (stamp[static_cast<size_t>(pl)] != l) {
+          stamp[static_cast<size_t>(pl)] = l;
+          list.push_back(pl);
+        }
       }
     }
   }
@@ -62,13 +84,22 @@ std::vector<std::vector<LabelId>> ComputeLabelParents(const GraphT& g,
 // Theorem 2's quotient re-construction (treat I'_G as a data graph) reuses
 // it. Round r splits exactly the blocks whose label has effective
 // requirement >= r. Fills `block_k` with the achieved local similarity
-// (= effective requirement of the block's label).
+// (= effective requirement of the block's label). When `trace_rounds` is
+// given, every round's partition (including round 0, the label split) is
+// recorded into it — the raw material of a RefinementTrace. Recording works
+// identically for both engines because ParallelRefineOnce produces the
+// bit-identical partition to RefineOnce.
 template <typename GraphT>
 Partition BuildDkPartition(const GraphT& g,
                            const std::vector<int>& effective_req,
                            std::vector<int>* block_k,
-                           ThreadPool* pool = nullptr) {
+                           ThreadPool* pool = nullptr,
+                           std::vector<Partition>* trace_rounds = nullptr) {
   Partition p = LabelSplit(g);
+  if (trace_rounds != nullptr) {
+    trace_rounds->clear();
+    trace_rounds->push_back(p);
+  }
   int kmax = 0;
   for (LabelId l : p.block_label) {
     kmax = std::max(kmax, effective_req[static_cast<size_t>(l)]);
@@ -85,6 +116,7 @@ Partition BuildDkPartition(const GraphT& g,
     if (!any) break;
     p = pool != nullptr ? ParallelRefineOnce(g, p, refine, *pool)
                         : RefineOnce(g, p, refine);
+    if (trace_rounds != nullptr) trace_rounds->push_back(p);
   }
   block_k->clear();
   for (LabelId l : p.block_label) {
@@ -116,9 +148,18 @@ Partition ParallelBuildDkPartition(const GraphT& g,
 //   * AddSubgraph    — Algorithm 3 (file insertion via Theorem 2);
 //   * Promote        — Algorithm 6 (upgrade local similarities after query
 //                      load shifts);
-//   * Demote         — periodic shrinking via Theorem 2 quotienting.
+//   * Demote         — periodic shrinking: re-partitions the data graph
+//                      under the lowered requirements, incrementally when
+//                      the retained RefinementTrace allows it.
 class DkIndex {
  public:
+  // How Demote / AddSubgraph re-partition. kIncremental projects unchanged
+  // nodes through the retained RefinementTrace and re-refines only the
+  // dirty nodes' forward cone (falling back to a full build when the trace
+  // cannot cover the request); kFullRebuild always re-partitions the data
+  // graph from scratch. Both produce the identical index — kFullRebuild
+  // exists as the reference comparator for tests and bench/maintenance.
+  enum class MaintenanceMode { kIncremental, kFullRebuild };
   // Builds the D(k)-index over `*graph` for the given query-load
   // requirements. The graph is borrowed and mutable (updates insert into it).
   // `options.num_threads` selects the refinement engine (sequential or
@@ -166,7 +207,11 @@ class DkIndex {
 
   struct EdgeUpdateStats {
     int new_local_similarity = 0;     // Algorithm 4's k_N for the target
-    int64_t index_nodes_touched = 0;  // demotion-wave BFS pops (Algorithm 5)
+    // Distinct index nodes the demotion wave lowered (Algorithm 5). Counts
+    // each demoted node once, however many wave fronts reach it — on
+    // diamond-shaped DAGs the old pop count double-charged shared
+    // descendants.
+    int64_t index_nodes_touched = 0;
     int64_t label_paths_expanded = 0; // work inside Algorithm 4
   };
 
@@ -211,11 +256,14 @@ class DkIndex {
   // --- Section 5.1: subgraph addition ------------------------------------
 
   // Inserts document `h` under the root of the data graph (h's own ROOT node
-  // is not copied; its children are attached to the root), then rebuilds the
-  // index per Algorithm 3: construct I_H, attach it under the root of I_G,
-  // and re-quotient the combined index graph as if it were a data graph
-  // (Theorem 2), merging extents. Returns the mapping from h's node ids to
-  // the new ids in the combined graph (h's root maps to the root).
+  // is not copied; its children are attached to the root), then re-partitions
+  // the combined graph under the refreshed effective requirements — the
+  // result Algorithm 3 + Theorem 2 characterize, computed incrementally: the
+  // inserted nodes are dirty, everything else projects through the
+  // RefinementTrace, and the new blocks merge into existing ones exactly
+  // where Hellings et al.'s composition property says they must. Returns the
+  // mapping from h's node ids to the new ids in the combined graph (h's root
+  // maps to the root).
   std::vector<NodeId> AddSubgraph(const DataGraph& h);
 
   // --- Section 5.3 / 5.4: promoting and demoting --------------------------
@@ -234,11 +282,27 @@ class DkIndex {
   void PromoteBatch(const LabelRequirements& targets);
 
   // The demoting process: re-broadcasts `new_reqs` on the current label
-  // adjacency and rebuilds the index by quotienting the *current* index
-  // graph (Theorem 2) — never touching the data graph. Merged nodes receive
-  // the conservative local similarity min(effective requirement, min member
-  // k) so soundness survives prior demotion waves.
+  // adjacency and re-partitions the data graph under them — the exact state
+  // a fresh Build(graph, new_reqs) would produce (local similarities
+  // included: the partition is refined against the CURRENT graph, so every
+  // block genuinely earns k = effective requirement of its label; no
+  // conservative min-member-k is needed). Computed through the
+  // RefinementTrace on the common path; equivalent to the full rebuild by
+  // the projection property.
   void Demote(const LabelRequirements& new_reqs);
+
+  // --- incremental maintenance (dk_incremental.cc) ------------------------
+
+  MaintenanceMode maintenance_mode() const { return maintenance_mode_; }
+  void set_maintenance_mode(MaintenanceMode mode) { maintenance_mode_ = mode; }
+
+  // The retained per-round hierarchy; null until the first Build/rebuild
+  // captures one (e.g. after FromParts).
+  std::shared_ptr<const RefinementTrace> trace() const { return trace_; }
+
+  // Data nodes whose parent adjacency changed since the trace was captured
+  // (exposed for tests; deduplicated lazily by the rebuild).
+  const std::vector<NodeId>& dirty_nodes() const { return dirty_; }
 
  private:
   DkIndex(DataGraph* graph, IndexGraph index, std::vector<int> effective_req);
@@ -247,16 +311,31 @@ class DkIndex {
   static std::vector<int> EffectiveRequirements(const DataGraph& g,
                                                 const LabelRequirements& reqs);
 
-  // Algorithm 5's breadth-first demotion wave from `start`.
+  // Algorithm 5's breadth-first demotion wave from `start`. Returns the
+  // number of distinct index nodes it demoted.
   int64_t DemotionWave(IndexNodeId start);
 
-  // Shared by Demote and AddSubgraph: quotient the current index per
-  // Theorem 2 under `effective_req`.
-  void QuotientRebuild(const std::vector<int>& effective_req);
+  // Shared by Demote and AddSubgraph: re-partition the data graph under
+  // `effective_req`, dispatching on maintenance_mode_. Carries the epoch
+  // forward, refreshes the trace, and clears the dirty set.
+  void Rebuild(const std::vector<int>& effective_req);
+  // The reference path: fresh BuildDkPartition over the whole data graph.
+  void FullRebuild(const std::vector<int>& effective_req);
+  // The trace path: projection for clean nodes, cone re-refinement for
+  // dirty ones. Falls back to FullRebuild when the trace is absent, does
+  // not cover `effective_req`, or the dirty set is too large a fraction of
+  // the graph to profit.
+  void IncrementalRebuild(const std::vector<int>& effective_req);
 
   DataGraph* graph_;
   IndexGraph index_;
   std::vector<int> effective_req_;  // per label id
+
+  // Shared, immutable once captured: Fork and serving snapshots alias it
+  // instead of deep-copying O(nodes * kmax) state on every publish.
+  std::shared_ptr<const RefinementTrace> trace_;
+  std::vector<NodeId> dirty_;  // may contain duplicates
+  MaintenanceMode maintenance_mode_ = MaintenanceMode::kIncremental;
 };
 
 }  // namespace dki

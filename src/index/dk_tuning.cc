@@ -1,6 +1,6 @@
 // Sections 5.3 and 5.4 of the paper: tuning the D(k)-index as the query
 // load changes — the promoting process (Algorithm 6) and the demoting
-// process (Theorem 2 quotienting).
+// process (now incremental re-refinement; see dk_incremental.cc).
 
 #include <algorithm>
 #include <map>
@@ -12,44 +12,77 @@
 
 namespace dki {
 
+namespace {
+
+// One in-flight promotion of the explicit worklist below. Mirrors a stack
+// frame of the natural recursive formulation of Algorithm 6.
+struct PromoteFrame {
+  IndexNodeId v = 0;
+  int k_target = 0;
+  bool entered = false;
+  size_t next_parent = 0;
+  std::vector<IndexNodeId> parents = {};  // snapshot, taken at first visit
+};
+
+}  // namespace
+
 void DkIndex::Promote(IndexNodeId v, int k_target) {
-  if (index_.k(v) >= k_target) return;
-
-  // Step 2: recursively upgrade the parents' local similarities to
-  // k_target - 1. The parent list is snapshotted: recursive promotions may
-  // split parents, and every split part receives the promoted similarity,
-  // so parts discovered later are already at the required level.
-  if (k_target >= 1) {
-    std::vector<IndexNodeId> parents_snapshot = index_.parents(v);
-    for (IndexNodeId w : parents_snapshot) {
-      if (w == v) continue;  // self-loop: v itself is being promoted
-      Promote(w, k_target - 1);
+  // Algorithm 6 is naturally recursive — promoting v first promotes its
+  // parents to k_target - 1 — but parent chains can be as long as the graph
+  // (a path graph promoted to k ~ N), so the recursion is run on an explicit
+  // stack. A frame does, in order: (entry) give up if v already meets the
+  // target, else snapshot the parent list — recursive promotions may split
+  // parents, and every split part receives the promoted similarity, so
+  // parts discovered later are already at the required level; (descend)
+  // promote each snapshotted parent in order, skipping self-loops;
+  // (post-order) split extent(v) by the members' now-promoted parent index
+  // nodes — SplitByParentSignature's full-parent-signature grouping is the
+  // paper's sequential V ∩ Succ(W) / V − Succ(W) splitting — and stamp
+  // every part with k_target. The post-order step deliberately has no
+  // re-check of k(v): inner targets strictly decrease, so no descendant
+  // promotion can have raised v to its target in the meantime.
+  std::vector<PromoteFrame> stack;
+  stack.push_back({v, k_target});
+  while (!stack.empty()) {
+    PromoteFrame& f = stack.back();
+    if (!f.entered) {
+      if (index_.k(f.v) >= f.k_target) {
+        stack.pop_back();
+        continue;
+      }
+      f.entered = true;
+      if (f.k_target >= 1) f.parents = index_.parents(f.v);
     }
+    bool descended = false;
+    while (f.next_parent < f.parents.size()) {
+      IndexNodeId w = f.parents[f.next_parent++];
+      if (w == f.v) continue;  // self-loop: v itself is being promoted
+      stack.push_back({w, f.k_target - 1});
+      descended = true;
+      break;
+    }
+    if (descended) continue;  // f may be a dangling reference now
+    std::vector<IndexNodeId> parts = index_.SplitByParentSignature(f.v);
+    if (parts.size() > 1) index_.RecomputeEdgesLocal(parts);
+    for (IndexNodeId part : parts) index_.set_k(part, f.k_target);
+    stack.pop_back();
   }
-
-  // Step 3: split extent(v) by the members' (now promoted) parent index
-  // nodes. Grouping by the full parent signature (to a fixpoint, for
-  // intra-extent parents) is the paper's sequential
-  // V ∩ Succ(W) / V − Succ(W) splitting over all parents.
-  std::vector<IndexNodeId> parts = index_.SplitByParentSignature(v);
-  if (parts.size() > 1) index_.RecomputeEdgesLocal(parts);
-  for (IndexNodeId part : parts) index_.set_k(part, k_target);
 }
 
 void DkIndex::PromoteLabel(LabelId label, int k_target) {
   DKI_METRIC_COUNTER("index.dk.promote_label.calls").Increment();
   ScopedTimer timer(&DKI_METRIC_TIMER("index.dk.promote_label"));
   // Promotions split nodes of this label into further nodes of the same
-  // label; iterate until every one of them reaches the target.
-  bool progressed = true;
-  while (progressed) {
-    progressed = false;
-    for (IndexNodeId i = 0; i < index_.NumIndexNodes(); ++i) {
-      if (index_.label(i) == label && index_.k(i) < k_target) {
-        Promote(i, k_target);
-        progressed = true;
-      }
-    }
+  // label, and SplitOff appends every new node to the label's bucket in id
+  // order — so one growing-cursor pass over the bucket visits every node of
+  // the label that ever exists during this promotion. This replaces the old
+  // restart-until-stable full scan of the index (quadratic when every
+  // promotion splits). The bucket reference is re-fetched each iteration:
+  // Promote can grow the bucket and reallocate its storage.
+  for (size_t cursor = 0; cursor < index_.NodesWithLabel(label).size();
+       ++cursor) {
+    IndexNodeId i = index_.NodesWithLabel(label)[cursor];
+    if (index_.k(i) < k_target) Promote(i, k_target);
   }
   if (label >= 0 && static_cast<size_t>(label) < effective_req_.size()) {
     effective_req_[static_cast<size_t>(label)] =
@@ -83,7 +116,13 @@ void DkIndex::Demote(const LabelRequirements& new_reqs) {
   effective_req_ = BroadcastLabelRequirements(
       ComputeLabelParents(*graph_, graph_->labels().size()),
       std::move(initial));
-  QuotientRebuild(effective_req_);
+  // Re-partition under the lowered requirements. On the common path
+  // (unchanged graph, requirements within the trace) this is a pure merge:
+  // every node projects through the refinement trace in O(1), no signature
+  // hashing. The result is exactly DkIndex::Build(graph, new_reqs) — not
+  // the old quotient-of-the-current-index, which carried over demotion
+  // scars via min-member-k.
+  Rebuild(effective_req_);
 }
 
 }  // namespace dki

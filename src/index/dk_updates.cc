@@ -1,11 +1,16 @@
 // Section 5.1 and 5.2 of the paper: D(k)-index maintenance under data
-// changes — subgraph addition (Algorithm 3) and edge addition
-// (Algorithms 4 and 5).
+// changes — subgraph addition and edge addition (Algorithms 4 and 5).
+// Subgraph addition no longer runs the paper's Algorithm 3 quotient
+// construction: it marks the inserted nodes dirty and hands the partition to
+// the incremental re-refinement engine (dk_incremental.cc), which yields the
+// exact fresh-construction index instead of a conservative quotient.
 
 #include <algorithm>
 #include <deque>
 #include <map>
 #include <set>
+#include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -104,20 +109,28 @@ int DkIndex::UpdateLocalSimilarity(IndexNodeId u_node, IndexNodeId v_node,
 int64_t DkIndex::DemotionWave(IndexNodeId start) {
   // Algorithm 5, step 3: BFS from the target; crossing edge W -> X lowers
   // k(X) to k(W) + 1 when that is smaller, and stops the wave otherwise.
-  int64_t touched = 0;
-  std::deque<IndexNodeId> queue = {start};
+  // Each queue entry records the k that caused the enqueue; a node demoted
+  // again while queued leaves a stale entry behind, which is skipped at pop
+  // (its lower k already re-enqueued it). On a diamond DAG every node is
+  // therefore expanded once per distinct k it reaches — not once per
+  // converging path — and the returned count is the number of DISTINCT index
+  // nodes the wave demoted (the start node included).
+  std::unordered_set<IndexNodeId> demoted = {start};
+  std::deque<std::pair<IndexNodeId, int>> queue;
+  queue.emplace_back(start, index_.k(start));
   while (!queue.empty()) {
-    IndexNodeId w = queue.front();
+    auto [w, k_w] = queue.front();
     queue.pop_front();
-    ++touched;
+    if (index_.k(w) != k_w) continue;  // stale: demoted further after enqueue
     for (IndexNodeId x : index_.children(w)) {
-      if (index_.k(w) + 1 < index_.k(x)) {
-        index_.set_k(x, index_.k(w) + 1);
-        queue.push_back(x);
+      if (k_w + 1 < index_.k(x)) {
+        index_.set_k(x, k_w + 1);
+        demoted.insert(x);
+        queue.emplace_back(x, k_w + 1);
       }
     }
   }
-  return touched;
+  return static_cast<int64_t>(demoted.size());
 }
 
 DkIndex::EdgeUpdateStats DkIndex::AddEdge(NodeId u, NodeId v) {
@@ -138,6 +151,7 @@ DkIndex::EdgeUpdateStats DkIndex::AddEdge(NodeId u, NodeId v) {
       UpdateLocalSimilarity(u_node, v_node, &stats.label_paths_expanded);
 
   graph_->AddEdge(u, v);
+  dirty_.push_back(v);  // v's parent set changed: re-refine it next rebuild
   index_.AddIndexEdge(u_node, v_node);
   // The data graph changed even when the index adjacency already carried
   // this edge (another member pair supported it) — validation answers can
@@ -201,6 +215,7 @@ int DkIndex::RemovalLocalSimilarity(IndexNodeId u_node, NodeId v, int k_old,
 
 bool DkIndex::RemoveEdge(NodeId u, NodeId v) {
   if (!graph_->RemoveEdge(u, v)) return false;
+  dirty_.push_back(v);  // v's parent set changed: re-refine it next rebuild
   DKI_METRIC_COUNTER("index.dk.remove_edge.calls").Increment();
   ScopedTimer timer(&DKI_METRIC_TIMER("index.dk.remove_edge"));
   IndexNodeId u_node = index_.index_of(u);
@@ -221,42 +236,9 @@ bool DkIndex::RemoveEdge(NodeId u, NodeId v) {
   return true;
 }
 
-void DkIndex::QuotientRebuild(const std::vector<int>& effective_req) {
-  DKI_METRIC_COUNTER("index.dk.quotient_rebuild.calls").Increment();
-  ScopedTimer timer(&DKI_METRIC_TIMER("index.dk.quotient_rebuild"));
-  // The rebuilt IndexGraph starts life with a fresh epoch; carry the old one
-  // forward (plus one for the rebuild itself) so the epoch never revisits a
-  // value a cached result may still be stamped with.
-  const uint64_t old_epoch = index_.epoch();
-  IndexGraphView view(&index_);
-  std::vector<int> block_k;
-  Partition p = BuildDkPartition(view, effective_req, &block_k);
-
-  // Conservative local similarity for merged nodes: the quotient target
-  // cannot claim more similarity than its least-similar member (members may
-  // have been demoted by prior edge additions).
-  std::vector<int> final_k = block_k;
-  for (IndexNodeId i = 0; i < index_.NumIndexNodes(); ++i) {
-    int32_t b = p.block_of[static_cast<size_t>(i)];
-    final_k[static_cast<size_t>(b)] =
-        std::min(final_k[static_cast<size_t>(b)], index_.k(i));
-  }
-
-  std::vector<int32_t> block_of_data(
-      static_cast<size_t>(graph_->NumNodes()), -1);
-  for (NodeId n = 0; n < graph_->NumNodes(); ++n) {
-    block_of_data[static_cast<size_t>(n)] =
-        p.block_of[static_cast<size_t>(index_.index_of(n))];
-  }
-  index_ =
-      IndexGraph::FromPartition(graph_, block_of_data, p.num_blocks, final_k);
-  index_.set_epoch(old_epoch + 1);
-}
-
 std::vector<NodeId> DkIndex::AddSubgraph(const DataGraph& h) {
   DKI_METRIC_COUNTER("index.dk.add_subgraph.calls").Increment();
   ScopedTimer timer(&DKI_METRIC_TIMER("index.dk.add_subgraph"));
-  const uint64_t old_epoch = index_.epoch();
   // --- copy H into the data graph (H's root is identified with our root).
   std::vector<LabelId> label_map(static_cast<size_t>(h.labels().size()),
                                  kInvalidLabel);
@@ -281,86 +263,28 @@ std::vector<NodeId> DkIndex::AddSubgraph(const DataGraph& h) {
       } else {
         graph_->AddEdgeUnchecked(from, to);
       }
+      // The inserted nodes are implicitly dirty (they sit past the trace
+      // watermark); the only pre-existing node whose parent set can change
+      // is our root, when H carries an edge back into its own root.
+      if (b == h.root()) dirty_.push_back(to);
     }
   }
 
-  // --- refresh effective requirements over the combined label adjacency.
-  std::vector<int> old_effective = effective_req_;
+  // --- refresh effective requirements over the combined label adjacency
+  // (new labels start at 0; H's adjacency may re-broadcast old ones).
   std::vector<int> initial = effective_req_;
   initial.resize(static_cast<size_t>(graph_->labels().size()), 0);
   effective_req_ = BroadcastLabelRequirements(
       ComputeLabelParents(*graph_, graph_->labels().size()),
       std::move(initial));
 
-  // Algorithm 3 assumes index nodes with the same label carry the same local
-  // similarity on both sides. If H introduced label adjacency that *raises*
-  // the effective requirement of a label already present in G, G's old
-  // blocks are not refined enough for quotienting (Theorem 2's refinement
-  // premise fails); fall back to a fresh construction over the combined
-  // graph, which is always correct.
-  bool requirement_raised = false;
-  for (size_t l = 0; l < old_effective.size(); ++l) {
-    requirement_raised |= effective_req_[l] > old_effective[l];
-  }
-  if (requirement_raised) {
-    std::vector<int> block_k;
-    Partition p = BuildDkPartition(*graph_, effective_req_, &block_k);
-    index_ =
-        IndexGraph::FromPartition(graph_, p.block_of, p.num_blocks, block_k);
-    index_.set_epoch(old_epoch + 1);
-    return node_map;
-  }
-
-  // --- Algorithm 3 step 1: D(k) partition of H alone (same per-label
-  // similarities as I_G, as the paper requires).
-  std::vector<int> h_req(static_cast<size_t>(h.labels().size()), 0);
-  for (LabelId l = 0; l < h.labels().size(); ++l) {
-    h_req[static_cast<size_t>(l)] =
-        effective_req_[static_cast<size_t>(label_map[static_cast<size_t>(l)])];
-  }
-  std::vector<int> h_block_k;
-  Partition ph = BuildDkPartition(h, h_req, &h_block_k);
-
-  // --- Algorithm 3 step 2: attach I_H under the root of I_G. The combined
-  // structure is expressed as one data-node partition over the new graph;
-  // H's root block is dropped (its node was identified with our root).
-  std::vector<int32_t> block_of_data(
-      static_cast<size_t>(graph_->NumNodes()), -1);
-  int32_t next_block = 0;
-  std::vector<int> combined_k;
-  // Old index nodes keep their blocks (and possibly-demoted k values).
-  std::vector<int32_t> old_block(
-      static_cast<size_t>(index_.NumIndexNodes()), -1);
-  for (IndexNodeId i = 0; i < index_.NumIndexNodes(); ++i) {
-    old_block[static_cast<size_t>(i)] = next_block++;
-    combined_k.push_back(index_.k(i));
-  }
-  for (IndexNodeId i = 0; i < index_.NumIndexNodes(); ++i) {
-    for (NodeId n : index_.extent(i)) {
-      block_of_data[static_cast<size_t>(n)] =
-          old_block[static_cast<size_t>(i)];
-    }
-  }
-  // H's blocks become fresh index nodes.
-  std::vector<int32_t> h_block_to_combined(
-      static_cast<size_t>(ph.num_blocks), -1);
-  for (NodeId n = 0; n < h.NumNodes(); ++n) {
-    if (n == h.root()) continue;
-    int32_t hb = ph.block_of[static_cast<size_t>(n)];
-    if (h_block_to_combined[static_cast<size_t>(hb)] == -1) {
-      h_block_to_combined[static_cast<size_t>(hb)] = next_block++;
-      combined_k.push_back(h_block_k[static_cast<size_t>(hb)]);
-    }
-    block_of_data[static_cast<size_t>(node_map[static_cast<size_t>(n)])] =
-        h_block_to_combined[static_cast<size_t>(hb)];
-  }
-  index_ = IndexGraph::FromPartition(graph_, block_of_data, next_block,
-                                     combined_k);
-  index_.set_epoch(old_epoch + 1);
-
-  // --- Algorithm 3 step 3+4: treat the combined index graph as a data graph
-  // and recompute its D(k)-index, merging extents (Theorem 2).
-  QuotientRebuild(effective_req_);
+  // Re-partition the combined graph. The incremental engine projects G's
+  // old nodes straight through the refinement trace and re-refines only the
+  // inserted cone, producing the exact fresh-construction index (this
+  // replaces the paper's Algorithm 3 quotient, which could only approximate
+  // it, and its requirement-raised special case, which the engine's
+  // CoversRequirements fallback subsumes).
+  Rebuild(effective_req_);
   return node_map;
 }
 

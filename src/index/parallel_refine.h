@@ -65,13 +65,8 @@ Partition ParallelRefineOnce(const GraphT& g, const Partition& prev,
         key.push_back(-1);  // untouched block: identity signature
         key.push_back(b);
       } else {
-        key.push_back(b);
-        size_t prefix = key.size();
-        for (int32_t par : g.parents(static_cast<int32_t>(node))) {
-          key.push_back(prev.block_of[static_cast<size_t>(par)]);
-        }
-        std::sort(key.begin() + prefix, key.end());
-        key.erase(std::unique(key.begin() + prefix, key.end()), key.end());
+        internal::AppendRefineSignature(g, prev.block_of,
+                                        static_cast<int32_t>(node), &key);
       }
       auto [it, inserted] = table.ids.emplace(
           key, static_cast<int32_t>(table.order.size()));

@@ -55,6 +55,23 @@ struct VecHash {
   }
 };
 
+// Writes node `n`'s refinement signature — (previous block, sorted set of
+// previous parent blocks) — into *key. The single definition shared by
+// RefineOnce, ParallelRefineOnce, and the incremental re-refinement engine
+// (dk_incremental.cc): the incremental path matches freshly computed
+// signatures against traced ones, so all three must byte-agree.
+template <typename GraphT>
+void AppendRefineSignature(const GraphT& g, const std::vector<int32_t>& prev_block_of,
+                           int32_t n, std::vector<int32_t>* key) {
+  key->push_back(prev_block_of[static_cast<size_t>(n)]);
+  size_t prefix = key->size();
+  for (int32_t par : g.parents(n)) {
+    key->push_back(prev_block_of[static_cast<size_t>(par)]);
+  }
+  std::sort(key->begin() + prefix, key->end());
+  key->erase(std::unique(key->begin() + prefix, key->end()), key->end());
+}
+
 }  // namespace internal
 
 // The 0-bisimulation partition: nodes grouped by label. This is the paper's
@@ -102,13 +119,8 @@ Partition RefineOnce(const GraphT& g, const Partition& prev,
       key.push_back(-1);
       key.push_back(b);
     } else {
-      key.push_back(b);
-      size_t prefix = key.size();
-      for (int32_t par : g.parents(static_cast<int32_t>(n))) {
-        key.push_back(prev.block_of[static_cast<size_t>(par)]);
-      }
-      std::sort(key.begin() + prefix, key.end());
-      key.erase(std::unique(key.begin() + prefix, key.end()), key.end());
+      internal::AppendRefineSignature(g, prev.block_of,
+                                      static_cast<int32_t>(n), &key);
     }
     auto [it, inserted] = ids.emplace(key, next.num_blocks);
     if (inserted) {

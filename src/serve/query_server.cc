@@ -321,6 +321,7 @@ QueryServer::Stats QueryServer::stats() const {
   s.ops_rejected_closed = rejected_closed_;
   s.ops_applied = applied_published_;
   s.ops_invalid = invalid_;
+  s.ops_coalesced = coalesced_;
   s.ops_logged = logged_;
   s.batches = batches_;
   s.publishes = publishes_;
@@ -361,12 +362,34 @@ void QueryServer::WriterLoop() {
         logged_ += batch_logged;
       }
     }
+    // End-to-end writer cost of the batch: apply (index rebuilds included)
+    // plus the snapshot republish. bench/maintenance reads this histogram's
+    // p99 — it is what a submitter waits for before its update is visible.
+    ScopedLatency publish_latency(
+        &DKI_METRIC_HISTOGRAM("serve.writer.publish.latency"));
     {
       ScopedTimer batch_timer(&DKI_METRIC_TIMER("serve.writer.batch"));
+      // Overlapping retune waves in one batch collapse into the final
+      // shrink-retune's re-partition (exactness argument in apply.h). The
+      // WAL above logged every op uncoalesced — replay redoes the skipped
+      // work but converges to the same partition — and skipped ops are
+      // still VALIDATED so ops_invalid matches the uncoalesced run.
+      std::vector<char> skip = CoalesceSupersededRetunes(master_, batch);
+      int64_t coalesced = 0;
       for (size_t i = 0; i < batch.size(); ++i) {
         if (!loggable[i]) {
           std::lock_guard<std::mutex> lock(state_mu_);
           ++invalid_;
+          continue;
+        }
+        if (skip[i]) {
+          if (!ValidateUpdateOp(master_, batch[i])) {
+            std::lock_guard<std::mutex> lock(state_mu_);
+            ++invalid_;
+            DKI_METRIC_COUNTER("serve.update.invalid").Increment();
+          } else {
+            ++coalesced;
+          }
           continue;
         }
         ScopedTimer op_timer(&DKI_METRIC_TIMER("serve.writer.op"));
@@ -375,6 +398,12 @@ void QueryServer::WriterLoop() {
           ++invalid_;
           DKI_METRIC_COUNTER("serve.update.invalid").Increment();
         }
+      }
+      if (coalesced > 0) {
+        DKI_METRIC_COUNTER("serve.writer.coalesced_retunes")
+            .Increment(coalesced);
+        std::lock_guard<std::mutex> lock(state_mu_);
+        coalesced_ += coalesced;
       }
     }
     DKI_METRIC_COUNTER("serve.writer.batches").Increment();

@@ -185,6 +185,10 @@ class QueryServer {
     int64_t ops_applied = 0;    // ops applied to the master and published
     int64_t ops_invalid = 0;    // dropped at apply time (e.g. bad node id)
     int64_t ops_logged = 0;     // ops appended to the WAL (0 when disabled)
+    // Retunes whose apply was elided because a later shrink-retune in the
+    // same batch supersedes them (serve/apply.h). Counted in ops_applied —
+    // the op's effect is fully subsumed, not lost.
+    int64_t ops_coalesced = 0;
     int64_t batches = 0;        // writer batches (== republishes after init)
     int64_t publishes = 0;      // snapshots published, including the initial
     int64_t checkpoints = 0;    // checkpoints written (incl. the initial one)
@@ -266,6 +270,7 @@ class QueryServer {
   int64_t rejected_closed_ = 0;
   int64_t invalid_ = 0;
   int64_t logged_ = 0;
+  int64_t coalesced_ = 0;
   int64_t batches_ = 0;
   int64_t publishes_ = 0;
   int64_t checkpoints_written_ = 0;

@@ -220,5 +220,37 @@ TEST(DkTuningTest, PromoteOnCyclicIndexTerminates) {
   EXPECT_TRUE(dk.index().ValidateEdges(&error)) << error;
 }
 
+TEST(DkTuningTest, PromoteDeepChainDoesNotOverflowStack) {
+  // Regression: Promote used to recurse through the parent chain, one C
+  // stack frame (holding a parents vector) per ancestor — a 10^5-node path
+  // promoted to k ~ 10^5 blew the stack. The explicit-worklist rewrite must
+  // walk the whole chain and leave the same similarities behind.
+  constexpr int kChain = 100000;
+  DataGraph g;
+  NodeId prev = g.root();
+  for (int i = 0; i < kChain; ++i) {
+    // Distinct labels keep every chain node in its own index node, so the
+    // promotion really recurses the full depth.
+    NodeId n = g.AddNode("c" + std::to_string(i));
+    g.AddEdge(prev, n);
+    prev = n;
+  }
+  DkIndex dk = DkIndex::Build(&g, {});  // label split
+  dk.PromoteLabel(g.label(prev), kChain);
+
+  EXPECT_EQ(dk.index().k(dk.index().index_of(prev)), kChain);
+  // Walking up: the ancestor at distance d must have reached kChain - d.
+  NodeId cur = prev;
+  int expect = kChain;
+  while (cur != g.root()) {
+    EXPECT_GE(dk.index().k(dk.index().index_of(cur)), expect);
+    ASSERT_EQ(g.parents(cur).size(), 1u);
+    cur = g.parents(cur)[0];
+    --expect;
+  }
+  std::string error;
+  EXPECT_TRUE(dk.index().ValidateDkConstraint(&error)) << error;
+}
+
 }  // namespace
 }  // namespace dki

@@ -272,5 +272,54 @@ TEST(DkUpdateTest, SubgraphAdditionThenQueriesAreCorrect) {
   }
 }
 
+TEST(DkUpdateTest, DemotionWaveCountsDistinctNodesOnDiamondDag) {
+  // Regression for the wave's work counter: index_nodes_touched must be the
+  // number of DISTINCT index nodes the wave demoted (plus the start node),
+  // however many converging diamond paths reach each of them — the old
+  // implementation charged one per queue pop.
+  DataGraph g;
+  NodeId src = g.AddNode("s");
+  g.AddEdge(g.root(), src);
+  NodeId top = g.AddNode("t");
+  g.AddEdge(g.root(), top);
+  NodeId cur = top;
+  const int kDiamonds = 6;
+  for (int i = 0; i < kDiamonds; ++i) {
+    std::string tier = std::to_string(i);
+    NodeId l = g.AddNode("l" + tier);
+    NodeId r = g.AddNode("r" + tier);
+    NodeId join = g.AddNode("j" + tier);
+    g.AddEdge(cur, l);
+    g.AddEdge(cur, r);
+    g.AddEdge(l, join);
+    g.AddEdge(r, join);
+    cur = join;
+  }
+  // A deep requirement on the bottom label broadcasts high similarities all
+  // the way up, so the wave started by the low-k source floods every tier.
+  LabelRequirements reqs;
+  reqs[g.label(cur)] = 4 * kDiamonds + 4;
+  DkIndex dk = DkIndex::Build(&g, reqs);
+
+  std::vector<int> before(static_cast<size_t>(dk.index().NumIndexNodes()));
+  for (IndexNodeId i = 0; i < dk.index().NumIndexNodes(); ++i) {
+    before[static_cast<size_t>(i)] = dk.index().k(i);
+  }
+  DkIndex::EdgeUpdateStats stats = dk.AddEdge(src, top);
+
+  // AddEdge never splits index nodes, so ids are comparable across the call.
+  int64_t dropped = 0;
+  for (IndexNodeId i = 0; i < dk.index().NumIndexNodes(); ++i) {
+    if (dk.index().k(i) < before[static_cast<size_t>(i)]) ++dropped;
+  }
+  IndexNodeId v_node = dk.index().index_of(top);
+  int64_t expected =
+      dropped +
+      (dk.index().k(v_node) < before[static_cast<size_t>(v_node)] ? 0 : 1);
+  EXPECT_EQ(stats.index_nodes_touched, expected);
+  EXPECT_GT(dropped, kDiamonds);  // the wave really flooded the diamonds
+  EXPECT_LE(stats.index_nodes_touched, dk.index().NumIndexNodes());
+}
+
 }  // namespace
 }  // namespace dki

@@ -1,0 +1,319 @@
+// Differential suite for the incremental maintenance engine
+// (src/index/dk_incremental.cc): a DkIndex in the default kIncremental mode
+// must stay indistinguishable — partition, local similarities, evaluation
+// results and evaluation costs — from one in kFullRebuild mode (and from a
+// fresh DkIndex::Build) across randomized interleaved update/tuning
+// streams. Wired into the TSan CI job alongside serve_test.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/nasa_generator.h"
+#include "datagen/xmark_generator.h"
+#include "index/dk_index.h"
+#include "query/evaluator.h"
+#include "serve/apply.h"
+#include "serve/query_server.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+// Same-partition-same-k assertion (the dk_tuning_test helper): block
+// NUMBERING may differ between the two engines — pass A/B of the
+// incremental path allocates ids in projection order, the full path in
+// signature-scan order — but the grouping and every k must agree.
+void ExpectSameIndex(const IndexGraph& a, const IndexGraph& b) {
+  ASSERT_EQ(a.graph().NumNodes(), b.graph().NumNodes());
+  ASSERT_EQ(a.NumIndexNodes(), b.NumIndexNodes());
+  std::vector<IndexNodeId> map(static_cast<size_t>(a.NumIndexNodes()),
+                               kInvalidNode);
+  for (NodeId n = 0; n < a.graph().NumNodes(); ++n) {
+    IndexNodeId ia = a.index_of(n);
+    if (map[static_cast<size_t>(ia)] == kInvalidNode) {
+      map[static_cast<size_t>(ia)] = b.index_of(n);
+    }
+    ASSERT_EQ(map[static_cast<size_t>(ia)], b.index_of(n))
+        << "partition differs at node " << n;
+    ASSERT_EQ(a.k(ia), b.k(b.index_of(n)))
+        << "local similarity differs at node " << n;
+  }
+}
+
+LabelRequirements RandomReqs(const DataGraph& g, Rng* rng, int count,
+                             int max_k) {
+  LabelRequirements reqs;
+  for (int i = 0; i < count; ++i) {
+    reqs[static_cast<LabelId>(rng->UniformInt(2, g.labels().size() - 1))] =
+        static_cast<int>(rng->UniformInt(1, max_k));
+  }
+  return reqs;
+}
+
+// A small attachable document: a couple of levels below the root, labels
+// drawn from the host graph's alphabet plus occasionally a fresh one.
+DataGraph RandomSubgraph(const DataGraph& host, Rng* rng) {
+  DataGraph h;
+  std::vector<std::string> labels;
+  for (LabelId l = 2; l < host.labels().size(); ++l) {
+    labels.push_back(host.labels().Name(l));
+  }
+  if (rng->UniformInt(0, 3) == 0) labels.push_back("fresh_label");
+  int n = static_cast<int>(rng->UniformInt(3, 10));
+  for (int i = 0; i < n; ++i) {
+    NodeId node = h.AddNode(labels[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(labels.size()) - 1))]);
+    h.AddEdge(static_cast<NodeId>(rng->UniformInt(0, node - 1)), node);
+  }
+  return h;
+}
+
+// Applies one random op to BOTH indexes (they own independent graph copies)
+// and returns a short description for failure messages.
+std::string ApplyRandomOp(DkIndex* a, DkIndex* b, Rng* rng) {
+  switch (rng->UniformInt(0, 5)) {
+    case 0:
+    case 1: {  // AddEdge
+      NodeId u = static_cast<NodeId>(
+          rng->UniformInt(1, a->graph().NumNodes() - 1));
+      NodeId v = static_cast<NodeId>(
+          rng->UniformInt(1, a->graph().NumNodes() - 1));
+      a->AddEdge(u, v);
+      b->AddEdge(u, v);
+      return "AddEdge";
+    }
+    case 2: {  // RemoveEdge (may be a no-op when absent — same on both)
+      NodeId u = static_cast<NodeId>(
+          rng->UniformInt(1, a->graph().NumNodes() - 1));
+      NodeId v = static_cast<NodeId>(
+          rng->UniformInt(1, a->graph().NumNodes() - 1));
+      a->RemoveEdge(u, v);
+      b->RemoveEdge(u, v);
+      return "RemoveEdge";
+    }
+    case 3: {  // PromoteBatch
+      LabelRequirements reqs = RandomReqs(a->graph(), rng, 2, 3);
+      a->PromoteBatch(reqs);
+      b->PromoteBatch(reqs);
+      return "PromoteBatch";
+    }
+    case 4: {  // Demote
+      LabelRequirements reqs = RandomReqs(a->graph(), rng, 2, 3);
+      a->Demote(reqs);
+      b->Demote(reqs);
+      return "Demote";
+    }
+    default: {  // AddSubgraph
+      DataGraph h = RandomSubgraph(a->graph(), rng);
+      a->AddSubgraph(h);
+      b->AddSubgraph(h);
+      return "AddSubgraph";
+    }
+  }
+}
+
+void ExpectSameAnswers(const DkIndex& a, const DkIndex& b, Rng* rng,
+                       int num_queries) {
+  for (int q = 0; q < num_queries; ++q) {
+    std::string text = testing_util::RandomChainQuery(
+        a.graph(), static_cast<int>(rng->UniformInt(1, 3)), rng);
+    PathExpression qa = testing_util::MustParse(text, a.graph().labels());
+    PathExpression qb = testing_util::MustParse(text, b.graph().labels());
+    EvalStats sa, sb;
+    std::vector<NodeId> ra = EvaluateOnIndex(a.index(), qa, &sa);
+    std::vector<NodeId> rb = EvaluateOnIndex(b.index(), qb, &sb);
+    ASSERT_EQ(ra, rb) << "answers diverge for " << text;
+    // Equal partitions must also cost the same to evaluate — EvalStats is
+    // numbering-independent.
+    ASSERT_EQ(sa.index_nodes_visited, sb.index_nodes_visited) << text;
+    ASSERT_EQ(sa.data_nodes_visited, sb.data_nodes_visited) << text;
+    ASSERT_EQ(sa.validated_candidates, sb.validated_candidates) << text;
+    ASSERT_EQ(sa.uncertain_index_nodes, sb.uncertain_index_nodes) << text;
+    ASSERT_EQ(sa.result_size, sb.result_size) << text;
+  }
+}
+
+TEST(MaintenanceDiffTest, RandomStreamsMatchFullRebuildBitForBit) {
+  Rng rng(811);
+  for (int trial = 0; trial < 6; ++trial) {
+    DataGraph g_inc = testing_util::RandomGraph(110, 5, 25, &rng);
+    DataGraph g_full = g_inc;
+    LabelRequirements initial = RandomReqs(g_inc, &rng, 3, 3);
+
+    DkIndex inc = DkIndex::Build(&g_inc, initial);
+    ASSERT_EQ(inc.maintenance_mode(), DkIndex::MaintenanceMode::kIncremental);
+    DkIndex full = DkIndex::Build(&g_full, initial);
+    full.set_maintenance_mode(DkIndex::MaintenanceMode::kFullRebuild);
+
+    uint64_t last_epoch = inc.epoch();
+    for (int step = 0; step < 30; ++step) {
+      std::string op = ApplyRandomOp(&inc, &full, &rng);
+      ASSERT_NO_FATAL_FAILURE(ExpectSameIndex(inc.index(), full.index()))
+          << "trial " << trial << " step " << step << " op " << op;
+      // Identical op sequences take identical epoch trajectories, and
+      // epochs never move backwards (the result cache's safety invariant).
+      ASSERT_EQ(inc.epoch(), full.epoch()) << op;
+      ASSERT_GE(inc.epoch(), last_epoch) << op;
+      last_epoch = inc.epoch();
+      std::string error;
+      ASSERT_TRUE(inc.index().ValidatePartition(&error)) << error;
+      ASSERT_TRUE(inc.index().ValidateEdges(&error)) << error;
+      ASSERT_TRUE(inc.index().ValidateDkConstraint(&error)) << error;
+    }
+    ExpectSameAnswers(inc, full, &rng, 6);
+  }
+}
+
+TEST(MaintenanceDiffTest, DemoteAfterUpdatesMatchesFreshBuild) {
+  // The incremental path's strongest claim: after arbitrary edge churn, a
+  // Demote produces exactly DkIndex::Build(current graph, reqs) — not
+  // merely a sound quotient of the scarred index.
+  Rng rng(911);
+  for (int trial = 0; trial < 6; ++trial) {
+    DataGraph g = testing_util::RandomGraph(130, 4, 30, &rng);
+    DkIndex dk = DkIndex::Build(&g, RandomReqs(g, &rng, 3, 4));
+    for (int i = 0; i < 10; ++i) {
+      NodeId u =
+          static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+      NodeId v =
+          static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+      if (rng.UniformInt(0, 2) == 0) {
+        dk.RemoveEdge(u, v);
+      } else {
+        dk.AddEdge(u, v);
+      }
+    }
+    LabelRequirements target = RandomReqs(g, &rng, 2, 3);
+    dk.Demote(target);
+
+    DataGraph g2 = g;
+    DkIndex fresh = DkIndex::Build(&g2, target);
+    fresh.mutable_index()->set_graph(&g);  // compare over the same graph
+    ExpectSameIndex(dk.index(), fresh.index());
+  }
+}
+
+TEST(MaintenanceDiffTest, XmarkStreamMatchesFullRebuild) {
+  Rng rng(1013);
+  XmarkOptions options;
+  options.scale = 0.04;
+  DataGraph g_inc = GenerateXmarkGraph(options).graph;
+  DataGraph g_full = g_inc;
+  LabelRequirements initial = RandomReqs(g_inc, &rng, 4, 3);
+
+  DkIndex inc = DkIndex::Build(&g_inc, initial);
+  DkIndex full = DkIndex::Build(&g_full, initial);
+  full.set_maintenance_mode(DkIndex::MaintenanceMode::kFullRebuild);
+  for (int step = 0; step < 12; ++step) {
+    std::string op = ApplyRandomOp(&inc, &full, &rng);
+    ASSERT_NO_FATAL_FAILURE(ExpectSameIndex(inc.index(), full.index()))
+        << "step " << step << " op " << op;
+  }
+  ExpectSameAnswers(inc, full, &rng, 4);
+}
+
+TEST(MaintenanceDiffTest, NasaStreamMatchesFullRebuild) {
+  Rng rng(1117);
+  NasaOptions options;
+  options.scale = 0.04;
+  DataGraph g_inc = GenerateNasaGraph(options).graph;
+  DataGraph g_full = g_inc;
+  LabelRequirements initial = RandomReqs(g_inc, &rng, 4, 3);
+
+  DkIndex inc = DkIndex::Build(&g_inc, initial);
+  DkIndex full = DkIndex::Build(&g_full, initial);
+  full.set_maintenance_mode(DkIndex::MaintenanceMode::kFullRebuild);
+  for (int step = 0; step < 12; ++step) {
+    std::string op = ApplyRandomOp(&inc, &full, &rng);
+    ASSERT_NO_FATAL_FAILURE(ExpectSameIndex(inc.index(), full.index()))
+        << "step " << step << " op " << op;
+  }
+  ExpectSameAnswers(inc, full, &rng, 4);
+}
+
+TEST(MaintenanceDiffTest, CoalescedBatchApplyMatchesSequentialApply) {
+  // CoalesceSupersededRetunes marks retunes whose apply a later
+  // shrink-retune makes unobservable. Applying the batch with the skips
+  // must land on the same partition and similarities as applying every op.
+  Rng rng(1213);
+  for (int trial = 0; trial < 4; ++trial) {
+    DataGraph g_a = testing_util::RandomGraph(90, 4, 20, &rng);
+    DataGraph g_b = g_a;
+    LabelRequirements initial = RandomReqs(g_a, &rng, 2, 3);
+    DkIndex a = DkIndex::Build(&g_a, initial);
+    DkIndex b = DkIndex::Build(&g_b, initial);
+
+    std::vector<UpdateOp> batch;
+    batch.push_back(UpdateOp::Retune(RandomReqs(g_a, &rng, 2, 4), false));
+    batch.push_back(UpdateOp::AddEdge(
+        static_cast<NodeId>(rng.UniformInt(1, g_a.NumNodes() - 1)),
+        static_cast<NodeId>(rng.UniformInt(1, g_a.NumNodes() - 1))));
+    batch.push_back(UpdateOp::Retune(RandomReqs(g_a, &rng, 2, 4), true));
+    batch.push_back(UpdateOp::Retune(RandomReqs(g_a, &rng, 2, 3), true));
+
+    std::vector<char> skip = CoalesceSupersededRetunes(a, batch);
+    // The two leading retunes precede the final valid shrink-retune.
+    EXPECT_TRUE(skip[0]);
+    EXPECT_FALSE(skip[1]);  // not a retune
+    EXPECT_TRUE(skip[2]);
+    EXPECT_FALSE(skip[3]);
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!skip[i]) {
+        ASSERT_TRUE(ApplyUpdateOp(&a, batch[i]));
+      }
+      ASSERT_TRUE(ApplyUpdateOp(&b, batch[i]));
+    }
+    ExpectSameIndex(a.index(), b.index());
+  }
+}
+
+TEST(MaintenanceDiffTest, ServerRetuneBurstStaysExact) {
+  // End-to-end: a burst of retunes (coalescible when they land in one
+  // writer batch) plus edge churn through the server must serve exactly
+  // the answers of the sequentially maintained reference index.
+  Rng rng(1319);
+  DataGraph g = testing_util::RandomGraph(100, 4, 20, &rng);
+  DataGraph g_ref = g;
+  LabelRequirements initial = RandomReqs(g, &rng, 2, 3);
+  DkIndex dk = DkIndex::Build(&g, initial);
+  DkIndex ref = DkIndex::Build(&g_ref, initial);
+
+  QueryServer server(dk);
+  for (int wave = 0; wave < 4; ++wave) {
+    LabelRequirements reqs = RandomReqs(g_ref, &rng, 2, 3);
+    ASSERT_TRUE(server.SubmitRetune(reqs, /*shrink=*/true));
+    ref.PromoteBatch(reqs);
+    ref.Demote(reqs);
+    NodeId u = static_cast<NodeId>(rng.UniformInt(1, g_ref.NumNodes() - 1));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(1, g_ref.NumNodes() - 1));
+    ASSERT_TRUE(server.SubmitAddEdge(u, v));
+    ref.AddEdge(u, v);
+  }
+  server.Flush();
+
+  QueryServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.ops_applied, 8);
+  EXPECT_EQ(stats.ops_invalid, 0);
+  EXPECT_GE(stats.ops_coalesced, 0);
+  EXPECT_LE(stats.ops_coalesced, 3);  // the last retune always applies
+
+  auto snap = server.snapshot();
+  for (int q = 0; q < 6; ++q) {
+    std::string text = testing_util::RandomChainQuery(
+        g_ref, static_cast<int>(rng.UniformInt(1, 3)), &rng);
+    auto served = server.EvaluateOn(
+        *snap, text);
+    ASSERT_TRUE(served.has_value()) << text;
+    EXPECT_EQ(*served,
+              EvaluateOnIndex(ref.index(), testing_util::MustParse(
+                                               text, g_ref.labels())))
+        << text;
+  }
+}
+
+}  // namespace
+}  // namespace dki
