@@ -32,6 +32,64 @@ Dataset MakeXmark(double scale) {
   return dataset;
 }
 
+namespace {
+
+// Splices unary chains out of the root: while the root has exactly one
+// child (XmlToGraph's document-element indirection — root -> site -> ...),
+// drop the chain and attach the last chain node's children directly to the
+// root. ShardRouter::Partition seeds one provisional group per root child,
+// so without this every XML-derived tree is a single group and sharding
+// degenerates to one populated shard.
+DataGraph SpliceUnaryRoot(const DataGraph& g) {
+  NodeId top = g.root();
+  while (g.children(top).size() == 1) top = g.children(top)[0];
+  if (top == g.root()) return g;
+
+  DataGraph out;
+  std::vector<NodeId> to_new(static_cast<size_t>(g.NumNodes()),
+                             kInvalidNode);
+  to_new[static_cast<size_t>(g.root())] =
+      out.AddNode(g.labels().Name(g.label(g.root())));
+  std::vector<NodeId> queue(g.children(top).begin(), g.children(top).end());
+  for (NodeId c : queue) {
+    to_new[static_cast<size_t>(c)] =
+        out.AddNode(g.labels().Name(g.label(c)));
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    for (NodeId v : g.children(queue[head])) {
+      if (to_new[static_cast<size_t>(v)] != kInvalidNode) continue;
+      to_new[static_cast<size_t>(v)] =
+          out.AddNode(g.labels().Name(g.label(v)));
+      queue.push_back(v);
+    }
+  }
+  for (NodeId c : g.children(top)) {
+    out.AddEdge(out.root(), to_new[static_cast<size_t>(c)]);
+  }
+  for (NodeId u : queue) {
+    for (NodeId v : g.children(u)) {
+      out.AddEdge(to_new[static_cast<size_t>(u)],
+                  to_new[static_cast<size_t>(v)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset MakeXmarkTree(double scale) {
+  XmarkOptions options;
+  options.scale = scale;
+  XmlToGraphOptions graph_options = XmarkGraphOptions();
+  graph_options.idref_attributes.clear();
+  Dataset dataset;
+  dataset.name = "XmarkTree";
+  dataset.graph = SpliceUnaryRoot(
+      XmlToGraph(GenerateXmarkDocument(options), graph_options).graph);
+  dataset.ref_pairs = XmarkRefLabelPairs();
+  return dataset;
+}
+
 Dataset MakeNasa(double scale) {
   NasaOptions options;
   options.scale = scale;

@@ -35,6 +35,14 @@ double ScaleFromEnv();
 Dataset MakeXmark(double scale);
 Dataset MakeNasa(double scale);
 
+// XMark without resolving IDREF attributes: pure document tree. The
+// sharded traffic runs use this — IDREF edges connect arbitrary subtrees,
+// which would collapse the router's edge-closed partition into one giant
+// group and leave nothing to shard. The ID/IDREF label pairs are kept, so
+// the Section 6.2 update recipe still generates (referencing, referenced)
+// candidate edges.
+Dataset MakeXmarkTree(double scale);
+
 // Prints name, node/edge/label counts and depth.
 void PrintDatasetBanner(const Dataset& dataset);
 

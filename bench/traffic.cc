@@ -1,15 +1,23 @@
 // Open-loop production-traffic benchmark (see docs/BENCHMARKS.md and the
 // EXPERIMENTS.md "traffic simulator" section): Zipf-skewed queries and
 // NURand-skewed edge toggles arrive on a Poisson tape against a live
-// QueryServer, swept across offered loads, with a drift phase that rotates
-// the hot query set so the load-mining retune controller promotes/demotes
-// under fire. Emits the per-phase table to stdout and the machine-readable
-// BENCH_traffic.json (schema version 1).
+// serving stack, swept across offered loads, with a drift phase that
+// rotates the hot query set so the load-mining retune controller
+// promotes/demotes under fire. Emits the per-phase table to stdout and the
+// machine-readable BENCH_traffic.json (schema version 2).
 //
 // Flags:
 //   --small        CI smoke configuration (tiny dataset, short phases)
 //   --json PATH    output path (default BENCH_traffic.json)
 //   --seed N       base seed (default 20030609)
+//   --shards N     serve through a ShardedQueryServer with N partitions
+//                  (N=1 included, so "--shards 1" vs "--shards 4" compares
+//                  one writer against four on the same stack). Sharded
+//                  runs use the tree-mode XMark dataset: IDREF edges span
+//                  arbitrary subtrees and would collapse the edge-closed
+//                  partition into a single shard.
+//   --update-fraction F   fraction of arrivals that are edge toggles
+//                  (default 0.05; raise it to saturate the write path)
 
 #include <unistd.h>
 
@@ -28,6 +36,8 @@ int Main(int argc, char** argv) {
   bool small = false;
   std::string json_path = "BENCH_traffic.json";
   uint64_t seed = 20030609;
+  int num_shards = 0;
+  double update_fraction = -1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--small") {
@@ -36,18 +46,33 @@ int Main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      num_shards = std::atoi(argv[++i]);
+      if (num_shards < 1 || num_shards > 64) {
+        std::fprintf(stderr, "--shards wants 1..64\n");
+        return 2;
+      }
+    } else if (arg == "--update-fraction" && i + 1 < argc) {
+      update_fraction = std::atof(argv[++i]);
+      if (update_fraction < 0.0 || update_fraction > 1.0) {
+        std::fprintf(stderr, "--update-fraction wants [0, 1]\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
     }
   }
 
+  const double scale = small ? 0.1 : bench::ScaleFromEnv();
   bench::Dataset dataset =
-      bench::MakeXmark(small ? 0.1 : bench::ScaleFromEnv());
+      num_shards > 0 ? bench::MakeXmarkTree(scale) : bench::MakeXmark(scale);
   bench::PrintDatasetBanner(dataset);
 
   bench::TrafficOptions opts;
   opts.seed = seed;
+  opts.num_shards = num_shards;
+  if (update_fraction >= 0.0) opts.update_fraction = update_fraction;
   if (small) {
     opts.query_pool = 32;
     opts.workers = 2;
@@ -70,9 +95,10 @@ int Main(int argc, char** argv) {
 
   std::printf(
       "\nOpen-loop traffic: %d-query Zipf(s=%.2f) pool, %d workers, "
-      "%.0f%% updates, deadline %.0fms, phases of %.1fs\n",
+      "%.0f%% updates, deadline %.0fms, phases of %.1fs, shards=%d\n",
       opts.query_pool, opts.zipf_s, opts.workers,
-      100.0 * opts.update_fraction, opts.deadline_ms, opts.phase_sec);
+      100.0 * opts.update_fraction, opts.deadline_ms, opts.phase_sec,
+      opts.num_shards);
 
   bench::TrafficResult result = bench::RunTraffic(dataset, opts);
   bench::PrintTrafficResult(result);

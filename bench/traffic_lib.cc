@@ -14,6 +14,7 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "query/load_tracker.h"
+#include "serve/sharded_server.h"
 
 namespace dki {
 namespace bench {
@@ -80,6 +81,81 @@ std::vector<Arrival> MakeTape(
   return tape;
 }
 
+// Dispatches the phase loop to whichever serving stack the run drives: one
+// QueryServer (TrafficOptions::num_shards == 0) or a ShardedQueryServer.
+// Both expose the same submit/evaluate verbs; the handle flattens the stat
+// surfaces the phases report deltas of.
+class ServerHandle {
+ public:
+  ServerHandle(DataGraph* graph, const LabelRequirements& reqs,
+               const TrafficOptions& opts) {
+    if (opts.num_shards > 0) {
+      ShardedQueryServer::Options options;
+      options.num_shards = opts.num_shards;
+      options.server = opts.ServerOptions();
+      sharded_ =
+          std::make_unique<ShardedQueryServer>(*graph, reqs, options);
+    } else {
+      DkIndex dk = DkIndex::Build(graph, reqs);
+      single_ = std::make_unique<QueryServer>(dk, opts.ServerOptions());
+    }
+  }
+
+  // Non-null for sharded runs: the update pool is pre-filtered through it.
+  const ShardRouter* router() const {
+    return sharded_ ? &sharded_->router() : nullptr;
+  }
+  int num_shards() const { return sharded_ ? sharded_->num_shards() : 0; }
+
+  void Evaluate(const std::string& text) {
+    if (sharded_) {
+      sharded_->Evaluate(text);
+    } else {
+      single_->Evaluate(text);
+    }
+  }
+  bool SubmitAddEdge(NodeId u, NodeId v) {
+    return sharded_ ? sharded_->SubmitAddEdge(u, v)
+                    : single_->SubmitAddEdge(u, v);
+  }
+  bool SubmitRemoveEdge(NodeId u, NodeId v) {
+    return sharded_ ? sharded_->SubmitRemoveEdge(u, v)
+                    : single_->SubmitRemoveEdge(u, v);
+  }
+  bool SubmitRetune(const LabelRequirements& targets) {
+    return sharded_ ? sharded_->SubmitRetune(targets, /*shrink=*/true)
+                    : single_->SubmitRetune(targets, /*shrink=*/true);
+  }
+  void Flush() { sharded_ ? sharded_->Flush() : single_->Flush(); }
+  void Stop() { sharded_ ? sharded_->Stop() : single_->Stop(); }
+
+  int64_t publishes() const {
+    return sharded_ ? sharded_->stats().aggregate.publishes
+                    : single_->stats().publishes;
+  }
+  int64_t ops_applied() const {
+    return sharded_ ? sharded_->stats().aggregate.ops_applied
+                    : single_->stats().ops_applied;
+  }
+  int64_t cross_shard_rejects() const {
+    return sharded_ ? sharded_->stats().cross_shard_rejects : 0;
+  }
+  ResultCache::Stats cache_stats() const {
+    if (!sharded_) return single_->cache_stats();
+    ResultCache::Stats total;
+    for (int s = 0; s < sharded_->num_shards(); ++s) {
+      ResultCache::Stats cs = sharded_->shard(s).cache_stats();
+      total.hits += cs.hits;
+      total.misses += cs.misses;
+    }
+    return total;
+  }
+
+ private:
+  std::unique_ptr<QueryServer> single_;
+  std::unique_ptr<ShardedQueryServer> sharded_;
+};
+
 // Point-in-time values of the serving-stack counters a phase reports deltas
 // of.
 struct MetricPoint {
@@ -90,8 +166,10 @@ struct MetricPoint {
   int64_t publishes = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  int64_t ops_applied = 0;
+  int64_t cross_shard_rejects = 0;
 
-  static MetricPoint Capture(const QueryServer& server) {
+  static MetricPoint Capture(const ServerHandle& server) {
     MetricsRegistry& reg = MetricsRegistry::Global();
     MetricPoint p;
     p.wal_appends = reg.GetCounter("wal.appends").value();
@@ -99,10 +177,12 @@ struct MetricPoint {
     p.promote_label_calls =
         reg.GetCounter("index.dk.promote_label.calls").value();
     p.demote_calls = reg.GetCounter("index.dk.demote.calls").value();
-    p.publishes = server.stats().publishes;
+    p.publishes = server.publishes();
     ResultCache::Stats cs = server.cache_stats();
     p.cache_hits = cs.hits;
     p.cache_misses = cs.misses;
+    p.ops_applied = server.ops_applied();
+    p.cross_shard_rejects = server.cross_shard_rejects();
     return p;
   }
 };
@@ -119,12 +199,26 @@ class TrafficEngine {
     // controller's first coverage-mined retune has something to demote.
     LabelRequirements reqs =
         MineWorkloadRequirements(workload_, graph_.labels());
-    DkIndex dk = DkIndex::Build(&graph_, reqs);
-    server_ = std::make_unique<QueryServer>(dk, opts.ServerOptions());
+    server_ = std::make_unique<ServerHandle>(&graph_, reqs, opts);
 
     Dataset pool_source{dataset.name, graph_, dataset.ref_pairs};
-    edge_pool_ = MakeUpdateEdges(pool_source, opts.update_edge_pool,
-                                 opts.seed ^ 0x9e3779b9u);
+    if (const ShardRouter* router = server_->router()) {
+      // Sharded: draw a larger candidate pool and keep the first
+      // `update_edge_pool` edges the router accepts (same shard, not into
+      // the root), so the tape's offered update load is routable at any
+      // shard count instead of measuring the rejection rate.
+      auto candidates = MakeUpdateEdges(
+          pool_source, opts.update_edge_pool * 8, opts.seed ^ 0x9e3779b9u);
+      for (const auto& e : candidates) {
+        if (!router->RouteEdge(e.first, e.second).has_value()) continue;
+        edge_pool_.push_back(e);
+        if (edge_pool_.size() == static_cast<size_t>(opts.update_edge_pool))
+          break;
+      }
+    } else {
+      edge_pool_ = MakeUpdateEdges(pool_source, opts.update_edge_pool,
+                                   opts.seed ^ 0x9e3779b9u);
+    }
     for (const auto& e : edge_pool_) {
       if (graph_.HasEdge(e.first, e.second)) present_.insert(e);
     }
@@ -164,7 +258,7 @@ class TrafficEngine {
           mined = tracker_.MineRequirements(opts_.coverage);
         }
         if (mined.empty() || mined == last_retune_) continue;
-        if (server_->SubmitRetune(mined, /*shrink=*/true)) {
+        if (server_->SubmitRetune(mined)) {
           last_retune_ = mined;
         }
       }
@@ -236,7 +330,33 @@ class TrafficEngine {
     s.promote_label_calls =
         after.promote_label_calls - before.promote_label_calls;
     s.demote_calls = after.demote_calls - before.demote_calls;
+    s.ops_applied = after.ops_applied - before.ops_applied;
+    s.cross_shard_rejects =
+        after.cross_shard_rejects - before.cross_shard_rejects;
     return s;
+  }
+
+  // Run-wide per-shard evaluation latency from the process-global
+  // serve.shard.<i>.eval.latency histograms. Empty for unsharded runs.
+  std::vector<ShardLatencyStats> ShardLatencies() const {
+    std::vector<ShardLatencyStats> out;
+    for (int s = 0; s < server_->num_shards(); ++s) {
+      HistogramSnapshot snap =
+          MetricsRegistry::Global()
+              .GetHistogram("serve.shard." + std::to_string(s) +
+                            ".eval.latency")
+              .snapshot();
+      ShardLatencyStats l;
+      l.shard = s;
+      l.evals = snap.count;
+      l.p50_ms = snap.p50() / 1e6;
+      l.p95_ms = snap.p95() / 1e6;
+      l.p99_ms = snap.p99() / 1e6;
+      l.max_ms = static_cast<double>(snap.max) / 1e6;
+      l.mean_ms = snap.mean() / 1e6;
+      out.push_back(l);
+    }
+    return out;
   }
 
   void Stop() { server_->Stop(); }
@@ -248,7 +368,7 @@ class TrafficEngine {
   std::vector<std::string> query_texts_;
   std::vector<std::pair<NodeId, NodeId>> edge_pool_;
   std::set<std::pair<NodeId, NodeId>> present_;
-  std::unique_ptr<QueryServer> server_;
+  std::unique_ptr<ServerHandle> server_;
 
   std::mutex tracker_mu_;
   QueryLoadTracker tracker_;
@@ -294,6 +414,7 @@ TrafficResult RunTraffic(const Dataset& dataset, const TrafficOptions& opts) {
   result.phases.push_back(engine.RunPhase("drift", opts.drift_qps,
                                           /*rotation=*/pool / 2,
                                           next_seed()));
+  result.shard_latency = engine.ShardLatencies();
   engine.Stop();
   return result;
 }
@@ -302,7 +423,7 @@ Json TrafficResultToJson(const TrafficResult& result,
                          const TrafficOptions& opts) {
   Json root = Json::Object();
   root.Set("bench", Json::Str("traffic"));
-  root.Set("version", Json::Int(1));
+  root.Set("version", Json::Int(2));
 
   Json dataset = Json::Object();
   dataset.Set("name", Json::Str(result.dataset_name));
@@ -320,6 +441,7 @@ Json TrafficResultToJson(const TrafficResult& result,
   config.Set("deadline_ms", Json::Num(opts.deadline_ms));
   config.Set("phase_sec", Json::Num(opts.phase_sec));
   config.Set("coverage", Json::Num(opts.coverage));
+  config.Set("num_shards", Json::Int(opts.num_shards));
   config.Set("durability", Json::Bool(!opts.durability_dir.empty()));
   root.Set("config", std::move(config));
 
@@ -350,18 +472,37 @@ Json TrafficResultToJson(const TrafficResult& result,
     deltas.Set("retunes_submitted", Json::Int(p.retunes_submitted));
     deltas.Set("promote_label_calls", Json::Int(p.promote_label_calls));
     deltas.Set("demote_calls", Json::Int(p.demote_calls));
+    deltas.Set("ops_applied", Json::Int(p.ops_applied));
+    deltas.Set("cross_shard_rejects", Json::Int(p.cross_shard_rejects));
     phase.Set("metrics_delta", std::move(deltas));
     phases.Push(std::move(phase));
   }
   root.Set("phases", std::move(phases));
+
+  // Run-wide per-shard evaluation latency; [] for unsharded runs.
+  Json shards = Json::Array();
+  for (const ShardLatencyStats& l : result.shard_latency) {
+    Json shard = Json::Object();
+    shard.Set("shard", Json::Int(l.shard));
+    shard.Set("evals", Json::Int(l.evals));
+    Json lat = Json::Object();
+    lat.Set("p50", Json::Num(l.p50_ms));
+    lat.Set("p95", Json::Num(l.p95_ms));
+    lat.Set("p99", Json::Num(l.p99_ms));
+    lat.Set("max", Json::Num(l.max_ms));
+    lat.Set("mean", Json::Num(l.mean_ms));
+    shard.Set("latency_ms", std::move(lat));
+    shards.Push(std::move(shard));
+  }
+  root.Set("shards", std::move(shards));
   return root;
 }
 
 void PrintTrafficResult(const TrafficResult& result) {
-  std::printf("\n%-12s %9s %9s %8s %7s %7s %7s %7s %7s %7s %6s %6s %6s\n",
-              "phase", "offered", "achieved", "done", "drop", "p50ms",
-              "p95ms", "p99ms", "maxms", "hit%", "retune", "promo",
-              "demote");
+  std::printf(
+      "\n%-12s %9s %9s %8s %7s %7s %7s %7s %7s %7s %7s %6s %6s %6s\n",
+      "phase", "offered", "achieved", "done", "drop", "p50ms", "p95ms",
+      "p99ms", "maxms", "hit%", "applied", "retune", "promo", "demote");
   for (const PhaseStats& p : result.phases) {
     const int64_t lookups = p.cache_hits + p.cache_misses;
     const double hit_rate =
@@ -370,13 +511,20 @@ void PrintTrafficResult(const TrafficResult& result) {
                            static_cast<double>(lookups);
     std::printf(
         "%-12s %9.0f %9.0f %8lld %7lld %7.2f %7.2f %7.2f %7.1f %6.1f "
-        "%6lld %6lld %6lld\n",
+        "%7lld %6lld %6lld %6lld\n",
         p.name.c_str(), p.offered_qps, p.achieved_qps,
         static_cast<long long>(p.completed),
         static_cast<long long>(p.dropped), p.p50_ms, p.p95_ms, p.p99_ms,
-        p.max_ms, hit_rate, static_cast<long long>(p.retunes_submitted),
+        p.max_ms, hit_rate, static_cast<long long>(p.ops_applied),
+        static_cast<long long>(p.retunes_submitted),
         static_cast<long long>(p.promote_label_calls),
         static_cast<long long>(p.demote_calls));
+  }
+  for (const ShardLatencyStats& l : result.shard_latency) {
+    std::printf(
+        "shard %-6d %9s %9s %8lld %7s %7.2f %7.2f %7.2f %7.1f\n", l.shard,
+        "", "", static_cast<long long>(l.evals), "", l.p50_ms, l.p95_ms,
+        l.p99_ms, l.max_ms);
   }
 }
 

@@ -2,7 +2,8 @@
 #define DKINDEX_BENCH_TRAFFIC_LIB_H_
 
 // The production-traffic simulator behind bench/traffic (docs/BENCHMARKS.md
-// has the handbook entry). Open-loop driving of a QueryServer: arrivals are
+// has the handbook entry). Open-loop driving of a serving stack — one
+// QueryServer, or a ShardedQueryServer when num_shards > 0: arrivals are
 // a precomputed Poisson tape at an *offered* rate, workers serve each
 // arrival at its scheduled time (or drop it once it is hopelessly late), and
 // latency is measured from the scheduled arrival — not from when a worker
@@ -63,8 +64,18 @@ struct TrafficOptions {
   double decay = 0.8;
   int64_t min_tracked_queries = 32;  // don't retune off nearly-empty trackers
 
+  // 0: classic single QueryServer. >= 1: a ShardedQueryServer with that
+  // many partitions (1 included, so "--shards 1" vs "--shards 4" compares
+  // one writer against four on the exact same stack). Sharded runs filter
+  // the update-edge pool through the run's own router, so every offered
+  // toggle is routable and applied-ops/s measures writer throughput, not
+  // rejection rate.
+  int num_shards = 0;
+
   // Non-empty: enable the WAL/checkpoint pipeline in this directory (the
   // traffic binary points it at a fresh temp dir so wal.* deltas are real).
+  // Sharded runs treat it as the sharded root (router.manifest +
+  // shard-<i>/ subdirectories).
   std::string durability_dir;
 
   QueryServer::Options ServerOptions() const;
@@ -94,12 +105,28 @@ struct PhaseStats {
   int64_t retunes_submitted = 0;
   int64_t promote_label_calls = 0;
   int64_t demote_calls = 0;
+  // Writer throughput: ops actually applied to a master and published
+  // (summed over shards when sharded) — the sharding acceptance metric.
+  int64_t ops_applied = 0;
+  // Sharded runs only: update ops the router refused (cross-shard /
+  // into-root). 0 for unsharded runs and for pools filtered at setup.
+  int64_t cross_shard_rejects = 0;
+};
+
+// Run-wide per-shard evaluation latency (serve.shard.<i>.eval.latency),
+// captured once at the end of a sharded run. Empty for unsharded runs.
+struct ShardLatencyStats {
+  int shard = 0;
+  int64_t evals = 0;  // per-shard evaluations dispatched (pruned ones absent)
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0,
+         mean_ms = 0.0;
 };
 
 struct TrafficResult {
   std::string dataset_name;
   int64_t nodes = 0, edges = 0, labels = 0;
   std::vector<PhaseStats> phases;
+  std::vector<ShardLatencyStats> shard_latency;  // sharded runs only
 };
 
 // Runs the full phase script against a server built from `dataset` (index
@@ -107,8 +134,10 @@ struct TrafficResult {
 // returns per-phase stats.
 TrafficResult RunTraffic(const Dataset& dataset, const TrafficOptions& opts);
 
-// The BENCH_traffic.json schema (version 1) — documented in
-// docs/BENCHMARKS.md and round-trip-validated by tests/traffic_smoke_test.
+// The BENCH_traffic.json schema (version 2: num_shards in config,
+// ops_applied/cross_shard_rejects per-phase deltas, top-level "shards"
+// array) — documented in docs/BENCHMARKS.md and round-trip-validated by
+// tests/traffic_smoke_test.
 Json TrafficResultToJson(const TrafficResult& result,
                          const TrafficOptions& opts);
 

@@ -65,6 +65,17 @@ class FrozenView {
   // Total bytes held by the frozen arrays (the "flat memory" cost).
   int64_t ApproxBytes() const;
 
+  // How many data nodes carry `label` in this view (0 for labels outside
+  // the frozen universe, including kUnknownLabel). O(1), backed by the
+  // label->nodes inverted index. ShardedQueryServer's scatter phase uses
+  // this to prune shards whose label population cannot seed a query's
+  // automaton start states.
+  int64_t DataNodesWithLabel(LabelId label) const {
+    if (label < 0 || label >= num_labels_) return 0;
+    return data_bylabel_off_[static_cast<size_t>(label) + 1] -
+           data_bylabel_off_[static_cast<size_t>(label)];
+  }
+
   // Index-graph evaluation, equivalent to EvaluateOnIndex: certain extents
   // by Theorem 1, uncertain extents validated against the frozen data graph
   // (or kept whole with `validate` false). Passing a `scratch` reuses

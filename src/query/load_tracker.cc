@@ -23,7 +23,6 @@ void QueryLoadTracker::Record(const PathExpression& query,
       per_label_[label][k] += static_cast<double>(count);
     }
   }
-  total_ += static_cast<double>(count);
 }
 
 int64_t QueryLoadTracker::label_traffic(LabelId label) const {
@@ -46,18 +45,9 @@ void QueryLoadTracker::Decay(double factor) {
     label_it = buckets.empty() ? per_label_.erase(label_it)
                                : std::next(label_it);
   }
-  // Recompute the total from the survivors instead of just scaling it: the
-  // sweep above also *erases* buckets that decayed below 1, and a scaled
-  // total would keep counting that erased weight forever, skewing every
-  // coverage fraction computed against it.
-  total_ = 0.0;
-  for (const auto& [label, buckets] : per_label_) {
-    (void)label;
-    for (const auto& [k, count] : buckets) {
-      (void)k;
-      total_ += count;
-    }
-  }
+  // No separate total to fix up: total_queries() derives from the
+  // surviving buckets, so the eviction sweep above is automatically
+  // reflected and erased weight can never be counted again.
 }
 
 LabelRequirements QueryLoadTracker::MineRequirements(double coverage) const {

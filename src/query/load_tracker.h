@@ -33,11 +33,28 @@ class QueryLoadTracker {
   void Record(const PathExpression& query, const LabelTable& labels,
               int64_t count = 1);
 
-  // Total live weight: recorded executions, decayed alongside the buckets.
-  // Invariant after Decay: equals the sum of all surviving bucket counts
-  // (bucket-less Record calls only survive until the next decay sweep).
+  // Total live weight: the sum of all surviving bucket counts, rounded
+  // once. Computed from the buckets on demand, so the invariant
+  //   total_queries() == llround(sum of surviving bucket weights)
+  // holds by construction after ANY Record/Decay interleaving. (An earlier
+  // version kept a separate running total_ that Record bumped once per
+  // query while multi-target queries fed several buckets; the first Decay
+  // then recomputed the total from the buckets, silently jumping it — a
+  // constant load could drift total_queries() upward. There is nothing to
+  // drift now.) Note a query contributing T target buckets counts T times,
+  // matching what Decay's survivor sweep preserves; queries with no
+  // bucket at all (non-chain expressions without requirement targets) are
+  // not counted.
   int64_t total_queries() const {
-    return static_cast<int64_t>(std::llround(total_));
+    double total = 0.0;
+    for (const auto& [label, buckets] : per_label_) {
+      (void)label;
+      for (const auto& [k, count] : buckets) {
+        (void)k;
+        total += count;
+      }
+    }
+    return static_cast<int64_t>(std::llround(total));
   }
   // Recorded executions targeting `label`.
   int64_t label_traffic(LabelId label) const;
@@ -66,8 +83,9 @@ class QueryLoadTracker {
  private:
   LoadAnalyzerOptions options_;
   // Per target label: required-k -> recorded executions needing exactly it.
+  // The single source of truth — total_queries() and label_traffic() both
+  // derive from it, so they can never disagree with the buckets.
   std::unordered_map<LabelId, std::map<int, double>> per_label_;
-  double total_ = 0.0;
 };
 
 }  // namespace dki

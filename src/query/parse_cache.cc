@@ -1,0 +1,51 @@
+#include "query/parse_cache.h"
+
+#include <optional>
+
+namespace dki {
+
+std::shared_ptr<const PathExpression> ParseCache::Get(
+    const std::string& text, const LabelTable& labels,
+    std::string* parse_error) {
+  const int64_t label_version = labels.size();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(text);
+  if (it != index_.end()) {
+    Entry& entry = it->second->second;
+    if (entry.label_version == label_version) {
+      hits_.Increment();
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (entry.expr == nullptr && parse_error != nullptr) {
+        *parse_error = entry.error;
+      }
+      return entry.expr;
+    }
+    // Stale label version: re-parse in place (the entry keeps its LRU slot).
+  } else {
+    lru_.emplace_front(text, Entry());
+    it = index_.emplace(text, lru_.begin()).first;
+    // Evict least-recently-used entries one at a time — never the entry
+    // just inserted (it sits at the front and max_entries_ >= 2).
+    while (lru_.size() > max_entries_) {
+      evictions_.Increment();
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+  misses_.Increment();
+  Entry& entry = it->second->second;
+  entry.error.clear();
+  std::optional<PathExpression> parsed =
+      PathExpression::Parse(text, labels, &entry.error);
+  entry.expr = parsed.has_value()
+                   ? std::make_shared<const PathExpression>(std::move(*parsed))
+                   : nullptr;
+  entry.label_version = label_version;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (entry.expr == nullptr && parse_error != nullptr) {
+    *parse_error = entry.error;
+  }
+  return entry.expr;
+}
+
+}  // namespace dki

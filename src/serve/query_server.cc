@@ -89,12 +89,10 @@ std::optional<std::vector<NodeId>> QueryServer::EvaluateOn(
   // Parse against the snapshot's own label table: labels added by a queued
   // AddSubgraph become queryable exactly when a snapshot containing them is
   // published.
-  std::string parse_error;
-  std::optional<PathExpression> query =
-      PathExpression::Parse(query_text, snap.graph().labels(), &parse_error);
-  if (!query.has_value()) {
+  std::shared_ptr<const PathExpression> query =
+      parse_cache_.Get(query_text, snap.graph().labels(), error);
+  if (query == nullptr) {
     DKI_METRIC_COUNTER("serve.query.parse_errors").Increment();
-    if (error != nullptr) *error = parse_error;
     return std::nullopt;
   }
   return cache_.CachedEvaluate(snap.frozen(), *query, stats,
@@ -122,62 +120,59 @@ std::vector<std::optional<std::vector<NodeId>>> QueryServer::EvaluateBatchOn(
   if (errors != nullptr) errors->assign(n, std::string());
   const FrozenView& view = snap.frozen();
 
-  // Phase 1 (under batch_mu_): probe the result cache by canonicalized text
-  // (no parse needed for a hit), then resolve misses through the parse
-  // cache; only actual misses go to the pool. Duplicate misses within one
-  // batch are evaluated twice (the second Put overwrites with an identical
-  // result) — correct, just not deduplicated.
+  // Phase 1 (no batch_mu_ — the result cache and parse cache carry their
+  // own locks, so two concurrent all-hit batches never serialize): probe
+  // the result cache by canonicalized text (no parse needed for a hit),
+  // then resolve misses through the parse cache; only actual misses go to
+  // the pool. The collected expressions are shared_ptr-held, so a
+  // concurrent batch evicting parse-cache entries cannot invalidate them.
+  // Duplicate misses within one batch are evaluated twice (the second Put
+  // overwrites with an identical result) — correct, just not deduplicated.
+  std::vector<std::shared_ptr<const PathExpression>> miss_exprs;
   std::vector<const PathExpression*> miss_queries;
   std::vector<size_t> miss_slots;
   std::vector<std::string> miss_keys;
   std::vector<EvalStats> miss_stats;
   std::vector<std::vector<NodeId>> miss_results;
-  {
-    std::lock_guard<std::mutex> lock(batch_mu_);
-    const LabelTable& labels = snap.graph().labels();
-    const int64_t label_version = labels.size();
-    // Bound the parse cache up front: clearing mid-loop would invalidate
-    // the entry pointers already collected into miss_queries.
-    if (parse_cache_.size() + n > kMaxParsedQueries) parse_cache_.clear();
-    for (size_t i = 0; i < n; ++i) {
-      std::string key = CanonicalizeQuery(query_texts[i]);
-      if (!options_.validate) key += "#raw";
-      std::vector<NodeId> cached;
-      if (cache_.TryGet(key, view.epoch(), &cached)) {
-        if (stats != nullptr) {
-          (*stats)[i].result_size = static_cast<int64_t>(cached.size());
-        }
-        results[i] = std::move(cached);
-        continue;
+  const LabelTable& labels = snap.graph().labels();
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = CanonicalizeQuery(query_texts[i]);
+    if (!options_.validate) key += "#raw";
+    std::vector<NodeId> cached;
+    if (cache_.TryGet(key, view.epoch(), &cached)) {
+      if (stats != nullptr) {
+        (*stats)[i].result_size = static_cast<int64_t>(cached.size());
       }
-      ParsedQuery& pq = parse_cache_[query_texts[i]];
-      if (pq.label_version != label_version) {
-        pq.error.clear();
-        pq.expr =
-            PathExpression::Parse(query_texts[i], labels, &pq.error);
-        pq.label_version = label_version;
-      }
-      if (!pq.expr.has_value()) {
-        DKI_METRIC_COUNTER("serve.query.parse_errors").Increment();
-        if (errors != nullptr) (*errors)[i] = pq.error;
-        continue;  // results[i] stays nullopt
-      }
-      miss_slots.push_back(i);
-      miss_keys.push_back(std::move(key));
-      miss_queries.push_back(&*pq.expr);
+      results[i] = std::move(cached);
+      continue;
     }
+    std::string parse_error;
+    std::shared_ptr<const PathExpression> expr =
+        parse_cache_.Get(query_texts[i], labels, &parse_error);
+    if (expr == nullptr) {
+      DKI_METRIC_COUNTER("serve.query.parse_errors").Increment();
+      if (errors != nullptr) (*errors)[i] = parse_error;
+      continue;  // results[i] stays nullopt
+    }
+    miss_slots.push_back(i);
+    miss_keys.push_back(std::move(key));
+    miss_queries.push_back(expr.get());
+    miss_exprs.push_back(std::move(expr));
+  }
 
-    // Phase 2 (parallel): evaluate the misses over the frozen view, with
-    // the persistent lane scratches so repeated batches skip dense-table
-    // compilation.
-    if (!miss_queries.empty()) {
-      if (batch_pool_ == nullptr) {
-        batch_pool_ = std::make_unique<ThreadPool>(options_.batch_threads);
-      }
-      miss_results =
-          view.EvaluateBatch(miss_queries, batch_pool_.get(), &miss_stats,
-                             options_.validate, &batch_scratches_);
+  // Phase 2 (under batch_mu_, parallel): evaluate the misses over the
+  // frozen view, with the persistent lane scratches so repeated batches
+  // skip dense-table compilation. ThreadPool::ParallelFor supports one
+  // caller at a time, so only batches that actually reach the pool
+  // serialize here.
+  if (!miss_queries.empty()) {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    if (batch_pool_ == nullptr) {
+      batch_pool_ = std::make_unique<ThreadPool>(options_.batch_threads);
     }
+    miss_results =
+        view.EvaluateBatch(miss_queries, batch_pool_.get(), &miss_stats,
+                           options_.validate, &batch_scratches_);
   }
   for (size_t j = 0; j < miss_queries.size(); ++j) {
     cache_.Put(miss_keys[j], view.epoch(), miss_results[j]);

@@ -9,7 +9,6 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -17,6 +16,7 @@
 #include "index/dk_index.h"
 #include "query/evaluator.h"
 #include "query/frozen_view.h"
+#include "query/parse_cache.h"
 #include "query/result_cache.h"
 #include "serve/checkpoint.h"
 #include "serve/snapshot.h"
@@ -126,8 +126,9 @@ class QueryServer {
   // (*errors)[i] when given); per-query stats land in (*stats)[i], with
   // cache hits charging only result_size. Results and stats are
   // bit-identical to issuing the same Evaluate calls sequentially against
-  // the same snapshot. Thread-safe; concurrent batches serialize on the
-  // pool.
+  // the same snapshot. Thread-safe; only batches with cache misses
+  // serialize (on the shared fan-out pool) — concurrent all-hit batches
+  // run fully in parallel.
   std::vector<std::optional<std::vector<NodeId>>> EvaluateBatch(
       const std::vector<std::string>& query_texts,
       std::vector<EvalStats>* stats = nullptr,
@@ -226,25 +227,25 @@ class QueryServer {
   mutable ResultCache cache_;
 
   // EvaluateBatch's worker pool: created lazily (first batch), held under
-  // batch_mu_ for the whole fan-out because ThreadPool::ParallelFor supports
-  // one caller at a time (concurrent batches serialize here; single-query
-  // readers never touch it). The lane scratches persist across batches so a
-  // cycling workload amortizes dense-table compilation; the parse cache
-  // amortizes string->PathExpression compilation the same way. A cached
-  // parse is revalidated against the snapshot's label-table size — sound
-  // because the writer only ever appends to the label table, so equal size
-  // means identical contents. (Like the epoch-keyed result cache, this
-  // assumes EvaluateBatchOn is fed snapshots from this server's pipeline.)
+  // batch_mu_ only for the fan-out itself because ThreadPool::ParallelFor
+  // supports one caller at a time (batches with misses serialize here;
+  // all-hit batches and single-query readers never touch it). The lane
+  // scratches persist across batches so a cycling workload amortizes
+  // dense-table compilation.
   mutable std::mutex batch_mu_;
   mutable std::unique_ptr<ThreadPool> batch_pool_;
   mutable std::vector<std::unique_ptr<FrozenScratch>> batch_scratches_;
-  struct ParsedQuery {
-    int64_t label_version = -1;
-    std::optional<PathExpression> expr;
-    std::string error;
-  };
+
+  // Parse cache (query/parse_cache.h): query text -> compiled
+  // PathExpression, shared by the single-query and batch read paths, with
+  // per-entry LRU eviction at kMaxParsedQueries. Cached parses revalidate
+  // against the snapshot's label-table size — sound because the writer only
+  // ever appends to the label table, so equal size means identical
+  // contents. (Like the epoch-keyed result cache, this assumes
+  // EvaluateOn/EvaluateBatchOn are fed snapshots from this server's
+  // pipeline.) Counters: serve.parse_cache.{hits,misses,evictions}.
   static constexpr size_t kMaxParsedQueries = 4096;
-  mutable std::unordered_map<std::string, ParsedQuery> parse_cache_;
+  mutable ParseCache parse_cache_{"serve.parse_cache", kMaxParsedQueries};
 
   // Durability pipeline; null when Options::durability.dir is empty.
   std::unique_ptr<WriteAheadLog> wal_;

@@ -1,0 +1,176 @@
+#ifndef DKINDEX_SERVE_SHARD_ROUTER_H_
+#define DKINDEX_SERVE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "graph/label_table.h"
+
+namespace dki {
+
+// Partitions one data graph into `num_shards` edge-disjoint shard graphs and
+// owns the global<->local node-id mapping for the lifetime of a
+// ShardedQueryServer (serve/sharded_server.h).
+//
+// Partitioning rule: every child of the global root seeds a subtree group
+// (BFS over child edges, first-claimer wins); nodes unreachable from the
+// root fall back to a hash of their label name. Groups are then CLOSED over
+// every edge of the graph with a union-find — two groups joined by any edge
+// (tree or IDREF) merge — so after closure NO edge crosses a group
+// boundary. Closed groups are packed onto shards greedily by descending
+// node count (deterministic; ties go to the earlier group / lower shard).
+//
+// Exactness: because groups are edge-closed, each shard graph is the full
+// subgraph induced by its nodes plus the replicated root, and the union of
+// the shard graphs is exactly the input graph. A k-bisimulation computed
+// per shard therefore equals the restriction of the global k-bisimulation
+// to that shard's nodes for path queries: every incoming path of a
+// non-root node lies entirely inside its shard (prefixed by the replicated
+// root), so per-shard query answers, mapped back to global ids and merged,
+// are bit-identical to evaluating on the unpartitioned graph. (Per-NODE
+// local similarities k(n) may legitimately differ from the single-graph
+// index — a shard's label adjacency is a subset of the global one, so its
+// broadcast requirements can be weaker — but answers never do.)
+//
+// The root (global id 0) is replicated: it is local id 0 in EVERY shard,
+// and edges incident to it route to the other endpoint's shard.
+//
+// Ownership rule for updates: an edge may be added or removed only if both
+// endpoints live in the same shard (or one endpoint is the replicated
+// root). Cross-shard edges are REJECTED at routing time — re-closing
+// groups online would mean migrating live nodes between writers. Inserted
+// subgraphs (Algorithm 3 file insertions) are owned wholly by one shard,
+// chosen by hashing the label of the subgraph's first non-root node; their
+// new nodes get global ids reserved here so the sharded deployment assigns
+// the same ids a single server would.
+//
+// All mapping state is guarded internally (shared_mutex): concurrent
+// readers (RouteEdge, MapToGlobal) never block each other; RouteSubgraph /
+// RollbackSubgraph / Reconcile take the write side.
+class ShardRouter {
+ public:
+  // global_shard_ sentinel for the replicated root.
+  static constexpr int32_t kAllShards = -2;
+  // global_shard_ sentinel for ids lost to a crash (see Reconcile).
+  static constexpr int32_t kHole = -1;
+
+  ShardRouter() : mu_(std::make_unique<std::shared_mutex>()) {}
+
+  ShardRouter(ShardRouter&&) = default;
+  ShardRouter& operator=(ShardRouter&&) = default;
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // Partitions `graph` as described above. num_shards >= 1; shards beyond
+  // the number of closed groups stay root-only.
+  static ShardRouter Partition(const DataGraph& graph, int num_shards);
+
+  int num_shards() const { return num_shards_; }
+
+  // The shard graphs Partition built (valid until TakeShardGraph). Each has
+  // the FULL base label table pre-interned, so label ids are globally
+  // consistent across shards.
+  const DataGraph& shard_graph(int shard) const {
+    return shard_graphs_[static_cast<size_t>(shard)];
+  }
+  // Moves a shard graph out (ShardedQueryServer does this once, at index
+  // build time, to avoid holding a second copy of the partition).
+  DataGraph TakeShardGraph(int shard) {
+    return std::move(shard_graphs_[static_cast<size_t>(shard)]);
+  }
+
+  // --- update routing ----------------------------------------------------
+
+  struct EdgeRoute {
+    int shard = 0;
+    NodeId u = kInvalidNode;  // local ids
+    NodeId v = kInvalidNode;
+  };
+  // Routes an edge op. nullopt if an endpoint id is unknown (out of range
+  // or lost to a crash), if the edge points INTO the replicated root
+  // (self-loops included — such an edge would open downward paths through
+  // the root that cross shard boundaries), or if the endpoints live in
+  // different shards (the ownership rule above). Edges FROM the root route
+  // to the other endpoint's shard.
+  std::optional<EdgeRoute> RouteEdge(NodeId global_u, NodeId global_v) const;
+
+  struct SubgraphRoute {
+    int shard = 0;
+    NodeId first_global = kInvalidNode;  // first reserved global id
+    int64_t new_nodes = 0;               // h.NumNodes() - 1
+  };
+  // Picks the owning shard for inserted subgraph `h` and reserves global
+  // ids for its non-root nodes (contiguous from the current high-water
+  // mark, mirroring DkIndex::AddSubgraph's sequential assignment). Also
+  // flags label divergence when `h` carries a label outside the base
+  // table. nullopt (nothing reserved) if `h` carries an edge back into its
+  // own root — the same into-the-root restriction as RouteEdge. The caller
+  // must serialize RouteSubgraph..RollbackSubgraph pairs
+  // (ShardedQueryServer holds its subgraph mutex across route + submit).
+  std::optional<SubgraphRoute> RouteSubgraph(const DataGraph& h);
+  // Undoes the most recent RouteSubgraph (only valid while no later
+  // reservation exists); used when the owning shard rejects the submit.
+  void RollbackSubgraph(const SubgraphRoute& route);
+
+  // --- id mapping --------------------------------------------------------
+
+  // Shard owning `global` (kAllShards for the root, kHole if unknown).
+  int32_t ShardOfNode(NodeId global) const;
+  NodeId ToGlobal(int shard, NodeId local) const;
+  // Maps shard-local ids (ascending) to global ids; the output is ascending
+  // too, because each shard's local->global list is built in ascending
+  // global order and only ever appended to.
+  void MapToGlobal(int shard, const std::vector<NodeId>& locals,
+                   std::vector<NodeId>* globals) const;
+
+  // Total global ids ever assigned (== a single unsharded server's node
+  // count after the same accepted inserts).
+  NodeId next_global() const;
+
+  // --- label universe ----------------------------------------------------
+
+  // Labels of the ORIGINAL graph, identically interned in every shard.
+  const LabelTable& base_labels() const { return base_labels_; }
+  int64_t base_label_count() const { return base_labels_.size(); }
+  // True once any accepted subgraph introduced a label outside the base
+  // table: shard label tables may have diverged, so cross-shard query
+  // pruning against one shard's automaton is no longer sound. Sticky.
+  bool labels_diverged() const;
+
+  // --- durability --------------------------------------------------------
+
+  // Atomically persists the mapping (io/fs_util.h AtomicWriteFile). The
+  // sharded server write-ahead-saves this BEFORE submitting an insert to
+  // the owning shard, so recovery can reconcile reserved-but-lost ids.
+  bool SaveManifest(const std::string& path, std::string* error) const;
+  static bool LoadManifest(const std::string& path, ShardRouter* out,
+                           std::string* error);
+  // Post-recovery reconciliation: shard `s` came back with
+  // shard_node_counts[s] nodes (root included); reservations past that are
+  // ops the crash lost — their global ids become holes (never reused, like
+  // a single server's unreplayed WAL tail simply never existing).
+  bool Reconcile(const std::vector<int64_t>& shard_node_counts,
+                 std::string* error);
+
+ private:
+  int num_shards_ = 0;
+  LabelTable base_labels_;
+  bool labels_diverged_ = false;
+  // Per global id: owning shard (kAllShards root / kHole) + local id there.
+  std::vector<int32_t> global_shard_;
+  std::vector<NodeId> global_local_;
+  // Per shard: local id -> global id, ascending; entry 0 is the root.
+  std::vector<std::vector<NodeId>> local_to_global_;
+  std::vector<DataGraph> shard_graphs_;  // emptied by TakeShardGraph
+
+  mutable std::unique_ptr<std::shared_mutex> mu_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_SERVE_SHARD_ROUTER_H_

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/random.h"
 #include "query/evaluator.h"
 #include "tests/test_util.h"
@@ -110,6 +116,92 @@ TEST_F(LoadTrackerTest, DecayRecomputesTotalFromSurvivors) {
   EXPECT_EQ(tracker.total_queries(), 0);
   EXPECT_EQ(tracker.label_traffic(b_), 0);
   EXPECT_EQ(tracker.label_traffic(c_), 0);
+}
+
+TEST_F(LoadTrackerTest, MultiTargetLoadDoesNotJumpAcrossDecay) {
+  // A regex query feeding two target buckets used to be counted once by
+  // Record but twice by Decay's recompute, so a no-op Decay(1.0) jumped
+  // total_queries(). The total now derives from the buckets, so a factor-1
+  // decay of a constant load is invisible.
+  QueryLoadTracker tracker;
+  Record(&tracker, "a.a.(b|c)", 10);
+  const int64_t before = tracker.total_queries();
+  EXPECT_EQ(before, tracker.label_traffic(b_) + tracker.label_traffic(c_));
+  for (int i = 0; i < 5; ++i) {
+    tracker.Decay(1.0);
+    EXPECT_EQ(tracker.total_queries(), before);
+  }
+}
+
+TEST_F(LoadTrackerTest, PropertyTotalAlwaysEqualsSurvivingBucketSum) {
+  // Differential property test against a shadow model of the buckets: after
+  // ANY interleaving of Record and Decay, total_queries() must equal the
+  // rounded sum of surviving bucket weights, and each label_traffic() the
+  // rounded sum of that label's buckets.
+  QueryLoadTracker tracker;
+  std::map<std::pair<LabelId, int>, double> shadow;
+  LoadAnalyzerOptions analyzer_options;
+
+  const std::vector<std::string> pool = {"a.b.c", "b.c",        "a.b",
+                                         "c",     "a.a.(b|c)",  "a?.b.c",
+                                         "a.b*",  "(a|b).c"};
+  Rng rng(20260807);
+  auto check = [&] {
+    double total = 0.0;
+    std::map<LabelId, double> by_label;
+    for (const auto& [key, weight] : shadow) {
+      total += weight;
+      by_label[key.first] += weight;
+    }
+    ASSERT_EQ(tracker.total_queries(),
+              static_cast<int64_t>(std::llround(total)));
+    for (LabelId l : {a_, b_, c_}) {
+      ASSERT_EQ(tracker.label_traffic(l),
+                static_cast<int64_t>(std::llround(by_label[l])));
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    if (rng.Next() % 4 != 0) {
+      const std::string& text = pool[rng.Next() % pool.size()];
+      int64_t count = 1 + static_cast<int64_t>(rng.Next() % 50);
+      PathExpression q = testing_util::MustParse(text, labels_);
+      tracker.Record(q, labels_, count);
+      // Mirror Record's bucket semantics.
+      auto targets = QueryRequirementTargets(q, labels_, analyzer_options);
+      if (targets.empty()) {
+        if (q.is_chain() && !q.chain_labels().empty() &&
+            q.chain_labels().back() >= 0) {
+          shadow[{q.chain_labels().back(), 0}] += static_cast<double>(count);
+        }
+      } else {
+        for (const auto& [label, k] : targets) {
+          shadow[{label, k}] += static_cast<double>(count);
+        }
+      }
+    } else {
+      // Fractional factors exercise the llround path; occasional 1.0 is the
+      // constant-load case.
+      double factor = 0.3 + 0.1 * static_cast<double>(rng.Next() % 8);
+      tracker.Decay(factor);
+      for (auto it = shadow.begin(); it != shadow.end();) {
+        it->second *= factor;
+        it = it->second < 1.0 ? shadow.erase(it) : std::next(it);
+      }
+    }
+    check();
+  }
+  // Drain: repeated decay of whatever is left must converge to 0 on both
+  // sides without ever disagreeing.
+  for (int i = 0; i < 30; ++i) {
+    tracker.Decay(0.5);
+    for (auto it = shadow.begin(); it != shadow.end();) {
+      it->second *= 0.5;
+      it = it->second < 1.0 ? shadow.erase(it) : std::next(it);
+    }
+    check();
+  }
+  EXPECT_EQ(tracker.total_queries(), 0);
 }
 
 TEST_F(LoadTrackerTest, RegexQueriesAttributeToEndLabels) {

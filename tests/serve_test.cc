@@ -8,10 +8,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "index/dk_index.h"
 #include "query/evaluator.h"
 #include "query/load_tracker.h"
+#include "query/parse_cache.h"
 #include "serve/snapshot.h"
 #include "serve/update_queue.h"
 #include "serve/wal.h"
@@ -474,6 +476,134 @@ TEST(QueryServerTest, MinedRequirementsDriveRetune) {
     ASSERT_LT(static_cast<size_t>(label), eff.size());
     EXPECT_GE(eff[static_cast<size_t>(label)], k) << "label " << label;
   }
+}
+
+// ---------------------------------------------------------------------------
+// ParseCache (query/parse_cache.h): incremental LRU eviction, label-version
+// revalidation, cached parse failures.
+// ---------------------------------------------------------------------------
+
+Counter& TestCounter(const std::string& name) {
+  Counter& c = MetricsRegistry::Global().GetCounter(name);
+  c.Reset();
+  return c;
+}
+
+TEST(ParseCacheTest, HotEntrySurvivesColdCycling) {
+  // The regression this guards: the old cache dropped EVERYTHING when it
+  // hit its cap, so a cycling cold stream forced the hot query to re-parse
+  // once per wipe. With per-entry LRU eviction the hot query — touched
+  // every iteration — parses exactly once, and total re-parses equal the
+  // distinct texts seen: misses are O(evictions), not O(traffic).
+  Counter& hits = TestCounter("test.parse_cache.cycling.hits");
+  Counter& misses = TestCounter("test.parse_cache.cycling.misses");
+  Counter& evictions = TestCounter("test.parse_cache.cycling.evictions");
+
+  LabelTable labels;
+  constexpr size_t kCap = 64;
+  ParseCache cache("test.parse_cache.cycling", kCap);
+  const std::string hot = "movieDB.director.movie";
+  const int kCold = 200;  // distinct cold texts, far above capacity
+  for (int i = 0; i < kCold; ++i) {
+    ASSERT_NE(cache.Get(hot, labels, nullptr), nullptr);
+    ASSERT_NE(cache.Get("cold" + std::to_string(i), labels, nullptr),
+              nullptr);
+  }
+  EXPECT_EQ(misses.value(), kCold + 1);  // each distinct text parsed once
+  EXPECT_EQ(hits.value(), kCold - 1);    // every later hot access hits
+  EXPECT_EQ(evictions.value(), kCold + 1 - static_cast<int64_t>(kCap));
+}
+
+TEST(ParseCacheTest, StaleLabelVersionReparsesInPlace) {
+  Counter& misses = TestCounter("test.parse_cache.stale.misses");
+  Counter& evictions = TestCounter("test.parse_cache.stale.evictions");
+  LabelTable labels;
+  ParseCache cache("test.parse_cache.stale", 64);
+  auto first = cache.Get("studio.film", labels, nullptr);
+  ASSERT_NE(first, nullptr);
+  // Same label version: the exact compiled object comes back.
+  EXPECT_EQ(cache.Get("studio.film", labels, nullptr).get(), first.get());
+  EXPECT_EQ(misses.value(), 1);
+  // The label table grew: the entry revalidates by re-parsing in place —
+  // one miss, no eviction — and the caller's old shared_ptr stays valid.
+  labels.Intern("studio");
+  auto second = cache.Get("studio.film", labels, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_EQ(misses.value(), 2);
+  EXPECT_EQ(evictions.value(), 0);
+}
+
+TEST(ParseCacheTest, ParseFailuresAreCachedWithTheirError) {
+  Counter& hits = TestCounter("test.parse_cache.fail.hits");
+  Counter& misses = TestCounter("test.parse_cache.fail.misses");
+  LabelTable labels;
+  ParseCache cache("test.parse_cache.fail", 64);
+  std::string error;
+  EXPECT_EQ(cache.Get("movie..", labels, &error), nullptr);
+  ASSERT_FALSE(error.empty());
+  const std::string first_error = error;
+  error.clear();
+  // The second lookup is a HIT that replays the cached failure.
+  EXPECT_EQ(cache.Get("movie..", labels, &error), nullptr);
+  EXPECT_EQ(error, first_error);
+  EXPECT_EQ(misses.value(), 1);
+  EXPECT_EQ(hits.value(), 1);
+}
+
+TEST(QueryServerTest, ColdQueryCyclingEvictsIncrementally) {
+  // Same property end-to-end through the server's read path, at the real
+  // capacity: cycling 5000 distinct cold queries past a hot one costs
+  // exactly one parse per distinct text, with evictions = overflow.
+  Counter& hits = TestCounter("serve.parse_cache.hits");
+  Counter& misses = TestCounter("serve.parse_cache.misses");
+  Counter& evictions = TestCounter("serve.parse_cache.evictions");
+
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = BuildMovieIndex(&g);
+  QueryServer server(dk);
+  const std::string hot = "director.movie.title";
+  const int kCold = 5000;  // above QueryServer::kMaxParsedQueries (4096)
+  for (int i = 0; i < kCold; ++i) {
+    ASSERT_TRUE(server.Evaluate(hot).has_value());
+    // Unknown labels parse fine and match nothing, so each cold query is a
+    // cheap distinct parse.
+    ASSERT_TRUE(server.Evaluate("cold" + std::to_string(i)).has_value());
+  }
+  EXPECT_EQ(misses.value(), kCold + 1);
+  EXPECT_EQ(hits.value(), kCold - 1);
+  EXPECT_EQ(evictions.value(), kCold + 1 - 4096);
+}
+
+// ---------------------------------------------------------------------------
+// EvaluateBatch concurrency: all-hit batches run without the fan-out lock
+// (this test is in the TSan suite; a race here fails the sanitizer run).
+// ---------------------------------------------------------------------------
+
+TEST(QueryServerTest, ConcurrentAllHitBatchesStayBitIdentical) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = BuildMovieIndex(&g);
+  QueryServer server(dk);
+  const std::vector<std::string> batch = {
+      "director.movie.title", "actor.movie.title", "movieDB//title",
+      "director.name"};
+  // Warm every cache: from here on, concurrent batches are pure hits and
+  // take the lock-free path (cache probe + parse outside batch_mu_).
+  const auto reference = server.EvaluateBatch(batch);
+  for (const auto& r : reference) ASSERT_TRUE(r.has_value());
+
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const auto got = server.EvaluateBatch(batch);
+        if (got != reference) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(WalCodecTest, RetuneRecordRoundTrips) {

@@ -115,11 +115,11 @@ TEST_F(TrafficSmokeTest, EmittedJsonRoundTripsTheDocumentedSchema) {
   ASSERT_TRUE(Json::Parse(contents, &parsed, &error)) << error;
   std::remove(path.c_str());
 
-  // Schema version 1, as documented in docs/BENCHMARKS.md.
+  // Schema version 2, as documented in docs/BENCHMARKS.md.
   ASSERT_NE(parsed.Find("bench"), nullptr);
   EXPECT_EQ(parsed.Find("bench")->AsString(), "traffic");
   ASSERT_NE(parsed.Find("version"), nullptr);
-  EXPECT_EQ(parsed.Find("version")->AsInt(), 1);
+  EXPECT_EQ(parsed.Find("version")->AsInt(), 2);
   const Json* dataset = parsed.Find("dataset");
   ASSERT_NE(dataset, nullptr);
   for (const char* key : {"name", "nodes", "edges", "labels"}) {
@@ -129,9 +129,10 @@ TEST_F(TrafficSmokeTest, EmittedJsonRoundTripsTheDocumentedSchema) {
   ASSERT_NE(config, nullptr);
   for (const char* key : {"seed", "query_pool", "zipf_s", "workers",
                           "update_fraction", "deadline_ms", "phase_sec",
-                          "coverage", "durability"}) {
+                          "coverage", "num_shards", "durability"}) {
     EXPECT_NE(config->Find(key), nullptr) << key;
   }
+  EXPECT_EQ(config->Find("num_shards")->AsInt(), 0);
   const Json* phases = parsed.Find("phases");
   ASSERT_NE(phases, nullptr);
   ASSERT_TRUE(phases->is_array());
@@ -152,9 +153,64 @@ TEST_F(TrafficSmokeTest, EmittedJsonRoundTripsTheDocumentedSchema) {
     ASSERT_NE(deltas, nullptr);
     for (const char* key :
          {"cache_hits", "cache_misses", "publishes", "wal_appends",
-          "retunes_submitted", "promote_label_calls", "demote_calls"}) {
+          "retunes_submitted", "promote_label_calls", "demote_calls",
+          "ops_applied", "cross_shard_rejects"}) {
       EXPECT_NE(deltas->Find(key), nullptr) << key;
     }
+  }
+  // Unsharded runs emit an empty per-shard array.
+  const Json* shards = parsed.Find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_TRUE(shards->is_array());
+  EXPECT_TRUE(shards->items().empty());
+}
+
+// A sharded run must complete the same phase script through the
+// ShardedQueryServer front door, apply its (router-filtered) updates, and
+// emit per-shard latency entries in the v2 schema.
+TEST(ShardedTrafficSmokeTest, ShardedRunServesAndEmitsPerShardLatency) {
+  Dataset dataset = MakeXmarkTree(0.05);
+  TrafficOptions opts;
+  opts.query_pool = 16;
+  opts.workers = 2;
+  opts.phase_sec = 0.15;
+  opts.warm_qps = 150.0;
+  opts.sweep_qps = {150.0};
+  opts.drift_qps = 150.0;
+  opts.control_interval_ms = 40.0;
+  opts.min_tracked_queries = 4;
+  opts.update_fraction = 0.2;  // make sure the writer path is exercised
+  opts.num_shards = 2;
+  TrafficResult result = RunTraffic(dataset, opts);
+
+  ASSERT_EQ(result.phases.size(), 3u);
+  int64_t completed = 0, applied = 0, rejects = 0;
+  for (const PhaseStats& p : result.phases) {
+    completed += p.completed;
+    applied += p.ops_applied;
+    rejects += p.cross_shard_rejects;
+  }
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(applied, 0);  // router-filtered pool: toggles reach a writer
+  EXPECT_EQ(rejects, 0);  // ...and none of them are cross-shard
+  ASSERT_EQ(result.shard_latency.size(), 2u);
+  int64_t shard_evals = 0;
+  for (const ShardLatencyStats& l : result.shard_latency) {
+    shard_evals += l.evals;
+    EXPECT_GE(l.max_ms, l.p50_ms);
+  }
+  EXPECT_GT(shard_evals, 0);
+
+  Json emitted = TrafficResultToJson(result, opts);
+  EXPECT_EQ(emitted.Find("version")->AsInt(), 2);
+  EXPECT_EQ(emitted.Find("config")->Find("num_shards")->AsInt(), 2);
+  const Json* shards = emitted.Find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_EQ(shards->items().size(), 2u);
+  for (const Json& shard : shards->items()) {
+    EXPECT_NE(shard.Find("shard"), nullptr);
+    EXPECT_NE(shard.Find("evals"), nullptr);
+    EXPECT_NE(shard.Find("latency_ms"), nullptr);
   }
 }
 
