@@ -1,8 +1,10 @@
 #include "bench/bench_json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -201,15 +203,31 @@ class Parser {
     }
     if (pos_ == start) return Fail("expected value");
     const std::string token(text_.substr(start, pos_ - start));
-    try {
-      if (is_double) {
-        *out = Json::Num(std::stod(token));
-      } else {
-        *out = Json::Int(std::stoll(token));
+    if (!is_double) {
+      try {
+        const int64_t value = std::stoll(token);
+        if (value == 0 && token[0] == '-') {
+          // "-0" must keep its sign bit, which int64 cannot represent.
+          *out = Json::Num(-0.0);
+        } else {
+          *out = Json::Int(value);
+        }
+        return true;
+      } catch (...) {
+        // Integer token wider than int64 — fall through to the double path.
       }
-    } catch (...) {
+    }
+    // std::stod throws out_of_range on subnormal underflow, rejecting valid
+    // documents (e.g. a rate of 5e-324); strtod returns the nearest
+    // representable value instead. Only genuine overflow is an error.
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() ||
+        (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL))) {
       return Fail("bad number '" + token + "'");
     }
+    *out = Json::Num(value);
     return true;
   }
 
@@ -271,8 +289,15 @@ void Json::Dump(std::ostream* out, int indent) const {
         *out << "null";
         return;
       }
+      // Shortest decimal form that parses back to exactly this double. A
+      // fixed %.6g silently corrupted values through the emit -> parse
+      // round trip benchmark pipelines depend on (nanosecond timestamps,
+      // long counters, precise rates all lose low digits).
       char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.6g", double_);
+      for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, double_);
+        if (std::strtod(buf, nullptr) == double_) break;
+      }
       *out << buf;
       return;
     }

@@ -78,6 +78,16 @@ struct TrafficOptions {
   // shard-<i>/ subdirectories).
   std::string durability_dir;
 
+  // > 0: published snapshots build their FrozenView through the budgeted
+  // storage tier (query/frozen_view.h) — cold adjacency/extent arrays are
+  // kept varint/delta-compressed, spilling to an mmap-backed temp file when
+  // hot-flat + compressed exceeds this many MiB (per view; per shard when
+  // sharded). Answers are bit-identical to the flat representation; the
+  // run's "memory" JSON section reports the resident/flat ratio, and
+  // unsharded runs re-check every pool query against a flat rebuild of the
+  // final snapshot (exactness_mismatches must stay 0).
+  int64_t memory_budget_mb = 0;
+
   QueryServer::Options ServerOptions() const;
 };
 
@@ -122,11 +132,35 @@ struct ShardLatencyStats {
          mean_ms = 0.0;
 };
 
+// End-of-run storage accounting, captured from the final published
+// snapshot(s) — summed over shards when sharded.
+struct TrafficMemoryStats {
+  // FrozenView accounting (query/frozen_view.h): what the flat
+  // representation would cost vs what the budgeted tier keeps resident.
+  // resident == flat when no budget is set.
+  int64_t frozen_flat_bytes = 0;
+  int64_t frozen_resident_bytes = 0;
+  int64_t frozen_compressed_bytes = 0;
+  int64_t frozen_spilled_bytes = 0;
+  // Cumulative bytes the checkpointer wrote over the run (the
+  // checkpoint.bytes counter); 0 without durability.
+  int64_t checkpoint_bytes_written = 0;
+  // getrusage(RUSAGE_SELF) peak RSS for the whole process, in KiB.
+  int64_t max_rss_kb = 0;
+  // Unsharded budgeted runs only: every pool query re-evaluated on the
+  // final snapshot, budgeted FrozenView vs a flat rebuild of the same
+  // index. Any mismatch is a correctness bug; the traffic binary exits
+  // nonzero on it. Both stay 0 when the check does not apply.
+  int64_t exactness_queries = 0;
+  int64_t exactness_mismatches = 0;
+};
+
 struct TrafficResult {
   std::string dataset_name;
   int64_t nodes = 0, edges = 0, labels = 0;
   std::vector<PhaseStats> phases;
   std::vector<ShardLatencyStats> shard_latency;  // sharded runs only
+  TrafficMemoryStats memory;
 };
 
 // Runs the full phase script against a server built from `dataset` (index
@@ -134,10 +168,10 @@ struct TrafficResult {
 // returns per-phase stats.
 TrafficResult RunTraffic(const Dataset& dataset, const TrafficOptions& opts);
 
-// The BENCH_traffic.json schema (version 2: num_shards in config,
-// ops_applied/cross_shard_rejects per-phase deltas, top-level "shards"
-// array) — documented in docs/BENCHMARKS.md and round-trip-validated by
-// tests/traffic_smoke_test.
+// The BENCH_traffic.json schema (version 3: version 2's num_shards /
+// per-phase ops_applied / top-level "shards" array, plus memory_budget_mb
+// in config and the top-level "memory" section) — documented in
+// docs/BENCHMARKS.md and round-trip-validated by tests/traffic_smoke_test.
 Json TrafficResultToJson(const TrafficResult& result,
                          const TrafficOptions& opts);
 

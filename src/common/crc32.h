@@ -11,6 +11,19 @@ namespace dki {
 // pass a previous result as `seed` to extend it over concatenated buffers.
 uint32_t Crc32(std::string_view data, uint32_t seed = 0);
 
+// Streaming form of the same checksum, for writers that never hold the full
+// payload (the v2 checkpoint writer streams chunks straight to disk).
+// Update(a); Update(b); value() == Crc32(a + b).
+class Crc32Stream {
+ public:
+  void Update(std::string_view data) { crc_ = Crc32(data, crc_); }
+  uint32_t value() const { return crc_; }
+  void Reset() { crc_ = 0; }
+
+ private:
+  uint32_t crc_ = 0;
+};
+
 }  // namespace dki
 
 #endif  // DKINDEX_COMMON_CRC32_H_

@@ -55,12 +55,23 @@ int64_t Histogram::BucketWidth(size_t index) {
 
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot snap;
+  size_t highest_nonzero = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
     snap.count += snap.buckets[i];
+    if (snap.buckets[i] > 0) highest_nonzero = i;
   }
   snap.sum = sum_.load(std::memory_order_relaxed);
   snap.max = max_.load(std::memory_order_relaxed);
+  // Record() bumps the bucket and the max in two independent relaxed
+  // stores, so a snapshot racing it can observe the bucket increment but a
+  // stale max (e.g. count > 0 with max == 0) — and ValueAtQuantile clamps
+  // every quantile to that bogus max. Restore the invariant "max covers
+  // every counted observation" from the buckets themselves: an observation
+  // in bucket i is at least BucketLowerBound(i).
+  if (snap.count > 0) {
+    snap.max = std::max(snap.max, BucketLowerBound(highest_nonzero));
+  }
   return snap;
 }
 

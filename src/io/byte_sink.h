@@ -1,0 +1,40 @@
+#ifndef DKINDEX_IO_BYTE_SINK_H_
+#define DKINDEX_IO_BYTE_SINK_H_
+
+#include <string>
+#include <string_view>
+
+namespace dki {
+
+// Destination abstraction for the binary encoders (io/varint.h,
+// io/serialization.cc): serializers emit bytes through a sink instead of an
+// in-memory string, so the checkpoint writer can stream an arbitrarily large
+// state straight to a file descriptor with O(1) buffering instead of
+// materializing the whole payload first.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  // Accepts the next chunk of output. Returns false on a write failure; an
+  // encoder seeing false should stop and propagate the failure (the sink
+  // remembers it, so a final check at the end also suffices).
+  virtual bool Append(std::string_view data) = 0;
+};
+
+// In-memory sink: appends to a caller-owned string. Never fails.
+class StringSink : public ByteSink {
+ public:
+  explicit StringSink(std::string* out) : out_(out) {}
+
+  bool Append(std::string_view data) override {
+    out_->append(data);
+    return true;
+  }
+
+ private:
+  std::string* out_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_IO_BYTE_SINK_H_

@@ -5,6 +5,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -62,6 +63,112 @@ bool AtomicWriteFile(const std::string& path, std::string_view contents,
     return false;
   }
   return SyncDir(DirName(path), error);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!finished_) Abandon();
+}
+
+bool AtomicFileWriter::Open(const std::string& path, std::string* error) {
+  path_ = path;
+  tmp_path_ = path + ".tmp";
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return Fail(error, "cannot create " + tmp_path_);
+  buffer_.reserve(kBufferBytes);
+  return true;
+}
+
+bool AtomicFileWriter::FlushBuffer() {
+  const char* data = buffer_.data();
+  size_t remaining = buffer_.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failed_ = true;
+      Fail(&append_error_, "write to " + tmp_path_);
+      return false;
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return true;
+}
+
+bool AtomicFileWriter::Append(std::string_view data) {
+  if (failed_ || fd_ < 0) return false;
+  bytes_written_ += static_cast<int64_t>(data.size());
+  // Oversized chunks go around the buffer (after draining it, preserving
+  // byte order) so the buffer never grows past kBufferBytes.
+  if (data.size() >= kBufferBytes) {
+    if (!buffer_.empty() && !FlushBuffer()) return false;
+    const char* p = data.data();
+    size_t remaining = data.size();
+    while (remaining > 0) {
+      ssize_t n = ::write(fd_, p, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        failed_ = true;
+        Fail(&append_error_, "write to " + tmp_path_);
+        return false;
+      }
+      p += n;
+      remaining -= static_cast<size_t>(n);
+    }
+    return true;
+  }
+  if (buffer_.size() + data.size() > kBufferBytes && !FlushBuffer()) {
+    return false;
+  }
+  buffer_.append(data);
+  peak_buffer_bytes_ = std::max(peak_buffer_bytes_, buffer_.size());
+  return true;
+}
+
+bool AtomicFileWriter::Finish(std::string* error) {
+  if (failed_) {
+    if (error != nullptr) *error = append_error_;
+    Abandon();
+    return false;
+  }
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "AtomicFileWriter: not open";
+    return false;
+  }
+  if (!FlushBuffer()) {
+    if (error != nullptr) *error = append_error_;
+    Abandon();
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    Fail(error, "fsync " + tmp_path_);
+    Abandon();
+    return false;
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    Fail(error, "close " + tmp_path_);
+    Abandon();
+    return false;
+  }
+  fd_ = -1;
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    Fail(error, "rename " + tmp_path_ + " -> " + path_);
+    Abandon();
+    return false;
+  }
+  finished_ = true;
+  return SyncDir(DirName(path_), error);
+}
+
+void AtomicFileWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!tmp_path_.empty()) ::unlink(tmp_path_.c_str());
+  finished_ = true;
 }
 
 bool ReadFileToString(const std::string& path, std::string* contents,

@@ -1,8 +1,12 @@
 #ifndef DKINDEX_IO_FS_UTIL_H_
 #define DKINDEX_IO_FS_UTIL_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
+
+#include "io/byte_sink.h"
 
 namespace dki {
 
@@ -18,6 +22,58 @@ namespace dki {
 // the canonical path is untouched in that case.
 bool AtomicWriteFile(const std::string& path, std::string_view contents,
                      std::string* error);
+
+// Streaming counterpart of AtomicWriteFile with the same crash-safety
+// contract, for payloads too large to buffer whole: bytes Append()ed flow
+// through a fixed-size buffer into `<path>.tmp`; Finish() flushes, fsyncs,
+// renames over `path`, and fsyncs the directory. A failure at any point
+// (reported by Finish, which also surfaces earlier Append failures) leaves
+// the canonical path untouched and removes the temp file. Peak buffered
+// memory is bounded by kBufferBytes regardless of total size —
+// peak_buffer_bytes() exposes the high-water mark so tests can assert the
+// O(1) claim.
+class AtomicFileWriter : public ByteSink {
+ public:
+  static constexpr size_t kBufferBytes = 1 << 16;
+
+  AtomicFileWriter() = default;
+  ~AtomicFileWriter() override;  // abandons (unlinks temp) if not finished
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  // Opens `<path>.tmp` for writing. False + *error on failure.
+  bool Open(const std::string& path, std::string* error);
+
+  // Buffers/writes the next chunk. False once any write has failed (the
+  // failure is sticky and re-reported by Finish).
+  bool Append(std::string_view data) override;
+
+  // Flush + fsync + rename + directory fsync. False + *error on any failure
+  // (including a sticky Append failure); the temp file is removed then.
+  bool Finish(std::string* error);
+
+  // Closes and unlinks the temp file without renaming (error paths).
+  void Abandon();
+
+  // Total bytes accepted by Append so far.
+  int64_t bytes_written() const { return bytes_written_; }
+  // High-water mark of the internal buffer (<= kBufferBytes).
+  size_t peak_buffer_bytes() const { return peak_buffer_bytes_; }
+
+ private:
+  bool FlushBuffer();
+
+  int fd_ = -1;
+  std::string path_;
+  std::string tmp_path_;
+  std::string buffer_;
+  std::string append_error_;
+  int64_t bytes_written_ = 0;
+  size_t peak_buffer_bytes_ = 0;
+  bool failed_ = false;
+  bool finished_ = false;
+};
 
 // Reads the entire file into *contents. False + error if unreadable.
 bool ReadFileToString(const std::string& path, std::string* contents,

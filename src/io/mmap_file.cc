@@ -1,0 +1,84 @@
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dki {
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+SpillFile::~SpillFile() {
+  if (map_ != nullptr) ::munmap(map_, size_);
+  if (fd_ >= 0) ::close(fd_);
+  // Unsealed death: the temp file was never unlinked — do it now.
+  if (!sealed_ && !path_.empty()) ::unlink(path_.c_str());
+}
+
+bool SpillFile::OpenTemp(const std::string& dir, std::string* error) {
+  std::string tmpl = (dir.empty() ? std::string("/tmp") : dir) +
+                     "/dki-spill-XXXXXX";
+  // mkstemp wants a mutable buffer.
+  std::string buf(tmpl);
+  fd_ = ::mkstemp(buf.data());
+  if (fd_ < 0) {
+    SetError(error, "mkstemp " + tmpl);
+    return false;
+  }
+  path_ = buf;
+  return true;
+}
+
+long long SpillFile::Append(std::string_view bytes) {
+  if (failed_ || fd_ < 0 || sealed_) return -1;
+  const long long offset = static_cast<long long>(size_);
+  const char* data = bytes.data();
+  size_t remaining = bytes.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failed_ = true;
+      SetError(&error_, "write " + path_);
+      return -1;
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  size_ += bytes.size();
+  return offset;
+}
+
+bool SpillFile::Seal(std::string* error) {
+  if (failed_) {
+    if (error != nullptr) *error = error_;
+    return false;
+  }
+  if (fd_ < 0 || sealed_) {
+    if (error != nullptr) *error = "SpillFile: not open";
+    return false;
+  }
+  if (size_ > 0) {
+    void* map = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd_, 0);
+    if (map == MAP_FAILED) {
+      SetError(error, "mmap " + path_);
+      return false;
+    }
+    map_ = map;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  ::unlink(path_.c_str());
+  sealed_ = true;
+  return true;
+}
+
+}  // namespace dki

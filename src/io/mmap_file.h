@@ -1,0 +1,59 @@
+#ifndef DKINDEX_IO_MMAP_FILE_H_
+#define DKINDEX_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace dki {
+
+// Write-once, map-read-only spill storage for the memory-budgeted FrozenView
+// (query/frozen_view.h): bytes appended during construction land in an
+// anonymous-by-deletion temp file which is then mmap'd PROT_READ and
+// unlinked, so the pages live in the kernel page cache — evictable under
+// memory pressure and reclaimed automatically when the mapping (or the
+// process) dies. Usage:
+//
+//   SpillFile spill;
+//   spill.OpenTemp(dir, &err);       // dir defaults to /tmp when empty
+//   off_a = spill.Append(bytes_a);   // returns the chunk's file offset
+//   off_b = spill.Append(bytes_b);
+//   spill.Seal(&err);                // mmap + unlink; data() now valid
+//   ... spill.data() + off_a ...
+class SpillFile {
+ public:
+  SpillFile() = default;
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  // Creates an exclusive temp file under `dir` ("/tmp" when empty).
+  bool OpenTemp(const std::string& dir, std::string* error);
+
+  // Appends `bytes`, returning its starting offset; -1 on failure (the
+  // failure is sticky and re-reported by Seal).
+  long long Append(std::string_view bytes);
+
+  // Maps the file read-only and unlinks it. After success data()/size() are
+  // valid for the lifetime of this object. An empty file seals to a null
+  // mapping of size 0.
+  bool Seal(std::string* error);
+
+  const char* data() const { return static_cast<const char*>(map_); }
+  size_t size() const { return size_; }
+  bool sealed() const { return sealed_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  void* map_ = nullptr;
+  size_t size_ = 0;
+  bool sealed_ = false;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_IO_MMAP_FILE_H_

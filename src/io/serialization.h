@@ -1,24 +1,34 @@
 #ifndef DKINDEX_IO_SERIALIZATION_H_
 #define DKINDEX_IO_SERIALIZATION_H_
 
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/data_graph.h"
 #include "index/dk_index.h"
 #include "index/index_graph.h"
+#include "io/byte_sink.h"
 
 namespace dki {
 
-// Line-oriented text persistence for graphs and indexes, so a built summary
-// can be stored next to the document and reattached without reconstruction.
-// Formats are versioned ("dki-graph v1" / "dki-index v1"); loading validates
-// structure and returns false + error on any mismatch (never aborts).
+// Persistence for graphs and indexes, so a built summary can be stored next
+// to the document and reattached without reconstruction. Two formats:
 //
-// The index format stores extents and local similarities; adjacency is
-// re-derived on load (it is a function of the partition and the graph).
+//   * v1 — line-oriented text ("dki-graph v1" / "dki-index v1"), retained
+//     for migration and debuggability;
+//   * v2 — binary ("dki-graph v2\n" magic line, then varint sections with
+//     delta-encoded adjacency/extent arrays — io/varint.h), typically 3-5×
+//     smaller; the checkpoint pipeline writes v2 and streams it through a
+//     ByteSink, so arbitrarily large states never get buffered whole.
+//
+// Loading either format validates structure and returns false + error on
+// any mismatch (never aborts). The index formats store extents and local
+// similarities; adjacency is re-derived on load (it is a function of the
+// partition and the graph).
 
 bool SaveGraph(const DataGraph& graph, std::ostream* out);
 bool LoadGraph(std::istream* in, DataGraph* graph, std::string* error);
@@ -43,6 +53,38 @@ std::optional<DkIndex> LoadDkIndex(std::istream* in, DataGraph* graph,
 // entry per label id.
 bool SaveDkIndexParts(const DataGraph& graph, const IndexGraph& index,
                       const std::vector<int>& reqs, std::ostream* out);
+
+// --- v2 binary format ------------------------------------------------------
+//
+// Encoders emit through a ByteSink (StringSink for in-memory buffers, or
+// AtomicFileWriter to stream to disk); they return false iff the sink
+// reported a write failure. Decoders are cursor-based: `*pos` is advanced
+// past the decoded section, so sections compose (graph + index + reqs in
+// one buffer, exactly like the v1 stream form).
+
+bool SaveGraphV2(const DataGraph& graph, ByteSink* sink);
+bool LoadGraphV2(std::string_view data, size_t* pos, DataGraph* graph,
+                 std::string* error);
+
+bool SaveIndexV2(const IndexGraph& index, ByteSink* sink);
+bool LoadIndexV2(std::string_view data, size_t* pos, const DataGraph* graph,
+                 IndexGraph* index, std::string* error);
+
+bool SaveDkIndexPartsV2(const DataGraph& graph, const IndexGraph& index,
+                        const std::vector<int>& reqs, ByteSink* sink);
+std::optional<DkIndex> LoadDkIndexV2(std::string_view data, size_t* pos,
+                                     DataGraph* graph, std::string* error);
+
+// True if `data` begins with the v2 binary magic line — the version sniff
+// the checkpoint loader uses to dispatch between text v1 and binary v2.
+bool LooksLikeGraphV2(std::string_view data);
+
+// Loads a complete DkIndex payload in whichever format it is (v2 binary
+// when the magic matches, v1 text otherwise). For v2, trailing bytes after
+// the decoded sections are an error (a complete payload is exactly one
+// graph + index + requirements).
+std::optional<DkIndex> LoadDkIndexAny(std::string_view payload,
+                                      DataGraph* graph, std::string* error);
 
 // File-path conveniences. The Save* variants are crash-safe: the bytes are
 // written to `<path>.tmp` and atomically renamed over `path`

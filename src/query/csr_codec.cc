@@ -1,0 +1,82 @@
+#include "query/csr_codec.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "io/varint.h"
+
+namespace dki {
+
+void CompressedCsr::Build(const int32_t* off, const int32_t* values,
+                          int64_t num_rows) {
+  num_rows_ = num_rows;
+  bytes_.clear();
+  const int64_t blocks =
+      (num_rows + kRowsPerBlock - 1) >> kRowsPerBlockShift;
+  block_off_.assign(static_cast<size_t>(blocks) + 1, 0);
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t row_begin = b << kRowsPerBlockShift;
+    const int64_t row_end = std::min(num_rows, row_begin + kRowsPerBlock);
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      const int32_t degree = off[r + 1] - off[r];
+      AppendVarint(static_cast<uint64_t>(degree), &bytes_);
+    }
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      int32_t prev = 0;  // per-row delta chain: rows decode independently
+      for (int32_t e = off[r]; e != off[r + 1]; ++e) {
+        AppendVarintSigned(static_cast<int64_t>(values[e]) - prev, &bytes_);
+        prev = values[e];
+      }
+    }
+    block_off_[static_cast<size_t>(b) + 1] =
+        static_cast<uint64_t>(bytes_.size());
+  }
+  encoded_bytes_ = static_cast<int64_t>(bytes_.size());
+  bytes_.shrink_to_fit();
+  data_ = bytes_.data();
+}
+
+void CompressedCsr::Rebase(const char* bytes) {
+  data_ = bytes;
+  bytes_.clear();
+  bytes_.shrink_to_fit();
+}
+
+int CompressedCsr::DecodeBlock(int64_t block, std::vector<int32_t>* values,
+                               std::vector<int32_t>* row_off) const {
+  DKI_DCHECK(block >= 0 && block < num_blocks());
+  const int64_t row_begin = block << kRowsPerBlockShift;
+  const int rows = static_cast<int>(
+      std::min<int64_t>(num_rows_ - row_begin, kRowsPerBlock));
+  const std::string_view data(
+      data_ + block_off_[static_cast<size_t>(block)],
+      static_cast<size_t>(block_off_[static_cast<size_t>(block) + 1] -
+                          block_off_[static_cast<size_t>(block)]));
+  size_t pos = 0;
+  row_off->resize(static_cast<size_t>(rows) + 1);
+  int64_t total = 0;
+  (*row_off)[0] = 0;
+  for (int r = 0; r < rows; ++r) {
+    uint64_t degree = 0;
+    DKI_CHECK(GetVarint(data, &pos, &degree));
+    total += static_cast<int64_t>(degree);
+    (*row_off)[static_cast<size_t>(r) + 1] = static_cast<int32_t>(total);
+  }
+  values->resize(static_cast<size_t>(total));
+  size_t idx = 0;
+  for (int r = 0; r < rows; ++r) {
+    const int32_t degree = (*row_off)[static_cast<size_t>(r) + 1] -
+                           (*row_off)[static_cast<size_t>(r)];
+    int64_t prev = 0;
+    for (int32_t i = 0; i < degree; ++i) {
+      int64_t delta = 0;
+      DKI_CHECK(GetVarintSigned(data, &pos, &delta));
+      prev += delta;
+      (*values)[idx++] = static_cast<int32_t>(prev);
+    }
+  }
+  DKI_CHECK(pos == data.size());
+  return rows;
+}
+
+}  // namespace dki

@@ -1,0 +1,119 @@
+#ifndef DKINDEX_QUERY_CSR_CODEC_H_
+#define DKINDEX_QUERY_CSR_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dki {
+
+// Block-compressed CSR adjacency, the cold-array storage behind a
+// memory-budgeted FrozenView (query/frozen_view.h). Rows are grouped into
+// fixed-size blocks of kRowsPerBlock; each block stores every row's degree
+// as a varint, then every row's values as zigzag varint deltas (the delta
+// chain restarts at 0 per row, so blocks and rows decode independently of
+// their neighbours). A flat byte-offset table (one uint64 per block) gives
+// random access to any block; a row read decodes its whole block, which a
+// BlockCache amortizes across the sequential row accesses BFS traversals
+// tend to make.
+//
+// The encoded bytes normally live in an owned buffer, but can be re-based
+// onto external storage (an mmap'd spill file) with Rebase() — the offset
+// table stays in memory, the bulk bytes become demand-paged and evictable.
+class CompressedCsr {
+ public:
+  static constexpr int kRowsPerBlockShift = 6;
+  static constexpr int kRowsPerBlock = 1 << kRowsPerBlockShift;  // 64
+
+  CompressedCsr() = default;
+  CompressedCsr(const CompressedCsr&) = delete;
+  CompressedCsr& operator=(const CompressedCsr&) = delete;
+
+  // Encodes a flat CSR (`off` has num_rows+1 entries; values[off[r]..
+  // off[r+1]) is row r). Replaces any previous content.
+  void Build(const int32_t* off, const int32_t* values, int64_t num_rows);
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_blocks() const {
+    return static_cast<int64_t>(block_off_.empty() ? 0
+                                                   : block_off_.size() - 1);
+  }
+
+  // Encoded payload (excludes the offset table). Valid after Build.
+  const std::string& bytes() const { return bytes_; }
+  int64_t encoded_bytes() const { return encoded_bytes_; }
+  // Heap bytes of the in-memory offset table.
+  int64_t table_bytes() const {
+    return static_cast<int64_t>(block_off_.capacity() * sizeof(uint64_t));
+  }
+
+  // Points the decoder at an external copy of bytes() (same content, e.g.
+  // inside an mmap'd spill file) and releases the owned buffer.
+  void Rebase(const char* bytes);
+
+  // Decodes block `b` into *values (concatenated rows) and *row_off
+  // (rows-in-block + 1 offsets into *values). Returns the number of rows in
+  // the block. The encoded bytes are produced in-process, so a malformed
+  // block is a programmer error and aborts.
+  int DecodeBlock(int64_t block, std::vector<int32_t>* values,
+                  std::vector<int32_t>* row_off) const;
+
+ private:
+  int64_t num_rows_ = 0;
+  int64_t encoded_bytes_ = 0;
+  std::string bytes_;             // owned payload (empty after Rebase)
+  const char* data_ = nullptr;    // decode source: bytes_ or external
+  std::vector<uint64_t> block_off_;  // num_blocks+1 byte offsets
+};
+
+// A small direct-mapped cache of decoded blocks, one per FrozenScratch (so
+// per reader thread — no locking). Slots are keyed by (array_key, block);
+// array_key must be globally unique per compressed array per view
+// generation, so a scratch outliving a snapshot swap can never serve stale
+// rows. Row() returns the [begin, end) span of one row inside the cached
+// decode; the span stays valid until the next Row() call that evicts the
+// slot, which callers avoid by copying out before the next access.
+class BlockCache {
+ public:
+  static constexpr size_t kSlots = 64;  // power of two
+
+  BlockCache() = default;
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  std::pair<const int32_t*, const int32_t*> Row(const CompressedCsr& csr,
+                                                uint64_t array_key,
+                                                int64_t row) {
+    const int64_t block = row >> CompressedCsr::kRowsPerBlockShift;
+    // Mix so consecutive blocks of one array spread over the slots and two
+    // arrays' block 0 do not collide head-on.
+    const uint64_t h =
+        (array_key * 0x9E3779B97F4A7C15ull) ^ static_cast<uint64_t>(block);
+    Slot& slot = slots_[h & (kSlots - 1)];
+    if (slot.array_key != array_key || slot.block != block) {
+      csr.DecodeBlock(block, &slot.values, &slot.row_off);
+      slot.array_key = array_key;
+      slot.block = block;
+    }
+    const int r =
+        static_cast<int>(row & (CompressedCsr::kRowsPerBlock - 1));
+    const int32_t* base = slot.values.data();
+    return {base + slot.row_off[static_cast<size_t>(r)],
+            base + slot.row_off[static_cast<size_t>(r) + 1]};
+  }
+
+ private:
+  struct Slot {
+    uint64_t array_key = 0;  // 0 = empty (real keys start at 1)
+    int64_t block = -1;
+    std::vector<int32_t> values;
+    std::vector<int32_t> row_off;
+  };
+  Slot slots_[kSlots];
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_QUERY_CSR_CODEC_H_

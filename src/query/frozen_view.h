@@ -5,17 +5,44 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "graph/data_graph.h"
 #include "index/index_graph.h"
+#include "io/mmap_file.h"
 #include "pathexpr/path_expression.h"
+#include "query/csr_codec.h"
 #include "query/evaluator.h"
 
 namespace dki {
 
 class FrozenScratch;
+
+// Construction knobs for FrozenView's storage tier.
+struct FrozenViewOptions {
+  // 0 (default) freezes everything flat — the fastest representation.
+  // Positive: a resident-heap budget in bytes. The cold bulk arrays (data
+  // adjacency in both directions, extents) are stored block-compressed
+  // (query/csr_codec.h) and decoded through a per-scratch block cache; when
+  // hot flat arrays + compressed bytes still exceed the budget, the
+  // compressed bytes spill to an unlinked mmap'd temp file (io/mmap_file.h)
+  // so the kernel can page them in and out on demand. Query answers are
+  // bit-identical to the flat representation in every mode.
+  int64_t memory_budget_bytes = 0;
+  // Directory for the spill file ("" = /tmp). Unlinked at creation: the
+  // space is reclaimed automatically when the view dies, crash included.
+  std::string spill_dir;
+};
+
+// Memory accounting of one frozen view (see FrozenView::memory_stats).
+struct FrozenMemoryStats {
+  int64_t flat_bytes = 0;        // what the unbudgeted representation costs
+  int64_t resident_bytes = 0;    // heap bytes this view actually holds
+  int64_t compressed_bytes = 0;  // encoded cold-array payload bytes
+  int64_t spilled_bytes = 0;     // of those, bytes living in the mmap spill
+};
 
 // The frozen read path: an immutable flat-memory snapshot of one
 // (data graph, index graph) pair, built once per published state and shared
@@ -37,6 +64,12 @@ class FrozenScratch;
 // The view borrows nothing: every array is an owned copy, so the source
 // graphs may mutate (or die) freely afterwards. `epoch()` records the index
 // epoch at freeze time for result-cache keying.
+//
+// With FrozenViewOptions::memory_budget_bytes set, the bulk "cold" arrays
+// (data adjacency both ways, extents) live block-compressed instead of
+// flat, decoded on demand through a per-scratch BlockCache, and spill to an
+// mmap'd temp file when the budget is still exceeded — evaluation results
+// stay bit-identical, trading decode CPU for a ~3× smaller resident index.
 class FrozenView {
  public:
   // Candidate count at or above which Evaluate fans uncertain-extent
@@ -48,8 +81,11 @@ class FrozenView {
   // latency than the parallelism returns.
   static constexpr int64_t kMinQueriesPerLane = 8;
 
-  // Freezes `index` and its data graph. O(|V| + |E|) flat copies.
-  explicit FrozenView(const IndexGraph& index);
+  // Freezes `index` and its data graph. O(|V| + |E|) flat copies; with a
+  // memory budget the cold arrays are then compressed (and spilled when
+  // still over budget) before the flat copies are dropped.
+  explicit FrozenView(const IndexGraph& index,
+                      const FrozenViewOptions& options = {});
 
   FrozenView(const FrozenView&) = delete;
   FrozenView& operator=(const FrozenView&) = delete;
@@ -62,8 +98,14 @@ class FrozenView {
     return static_cast<int64_t>(index_label_.size());
   }
   int32_t num_labels() const { return num_labels_; }
-  // Total bytes held by the frozen arrays (the "flat memory" cost).
+  // Bytes of the flat (unbudgeted) representation of this view — the
+  // baseline the budgeted storage tier is measured against. Equals the
+  // actual footprint when no budget is set.
   int64_t ApproxBytes() const;
+  // Where the bytes actually live: flat baseline, resident heap,
+  // compressed payload, spilled-to-mmap share.
+  const FrozenMemoryStats& memory_stats() const { return memory_stats_; }
+  bool budgeted() const { return budgeted_; }
 
   // How many data nodes carry `label` in this view (0 for labels outside
   // the frozen universe, including kUnknownLabel). O(1), backed by the
@@ -125,6 +167,22 @@ class FrozenView {
   bool ValidateFrozenCandidate(FrozenScratch* scratch, NodeId node,
                                int64_t* visited_pairs) const;
 
+  // Row accessors over the three cold arrays, branching on storage mode:
+  // flat mode returns spans into the owned arrays; budgeted mode decodes
+  // through the scratch's block cache. The span is valid until the next
+  // accessor call on the same scratch (callers copy out or finish iterating
+  // before touching another row of the same cache slot's array).
+  std::pair<const int32_t*, const int32_t*> ChildRow(FrozenScratch* scratch,
+                                                     int32_t node) const;
+  std::pair<const int32_t*, const int32_t*> ParentRow(FrozenScratch* scratch,
+                                                      int32_t node) const;
+  std::pair<const int32_t*, const int32_t*> ExtentRow(FrozenScratch* scratch,
+                                                      int32_t inode) const;
+
+  // Budgeted-mode construction tail: compress the cold arrays, drop their
+  // flat copies, spill past the budget. Called at the end of the ctor.
+  void ApplyMemoryBudget(const FrozenViewOptions& options);
+
   uint64_t epoch_ = 0;
   int32_t num_labels_ = 0;
 
@@ -147,6 +205,19 @@ class FrozenView {
   std::vector<NodeId> extent_;       // concatenated extents, size N
   std::vector<int32_t> index_bylabel_off_;  // size L+1
   std::vector<IndexNodeId> index_bylabel_;
+
+  // Budgeted storage tier. In budgeted mode the flat child/parent/extent
+  // arrays above are empty and these hold the state instead; everything
+  // else (labels, by-label buckets, the index-side arrays) stays flat — the
+  // hot label-pruned paths (DataNodesWithLabel, automaton seeding) keep
+  // their O(1) behavior.
+  bool budgeted_ = false;
+  uint64_t view_id_ = 0;  // unique per view: keys scratch block caches
+  CompressedCsr comp_child_;
+  CompressedCsr comp_parent_;
+  CompressedCsr comp_extent_;
+  SpillFile spill_;
+  FrozenMemoryStats memory_stats_;
 };
 
 // Reusable per-thread traversal state for FrozenView evaluation: the dense
@@ -267,6 +338,10 @@ class FrozenScratch {
   // Uncertain-extent candidates of the current query (parallel validation).
   std::vector<NodeId> candidates_;
   std::vector<uint8_t> verdicts_;
+
+  // Decoded-block cache for budgeted views (keyed per view, so one scratch
+  // can serve successive snapshots without staleness).
+  BlockCache cache_;
 };
 
 }  // namespace dki

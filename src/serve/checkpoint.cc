@@ -19,10 +19,63 @@ namespace {
 constexpr char kCheckpointPrefix[] = "checkpoint-";
 constexpr char kCheckpointSuffix[] = ".dki";
 
+// v2 trailing footer: magic + payload length + payload CRC, fixed-width LE.
+constexpr std::string_view kFooterMagic = "DKCK";
+constexpr size_t kFooterBytes = 4 + 8 + 4;
+
 bool Fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
   return false;
 }
+
+void PutFixed64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutFixed32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint64_t GetFixed64(std::string_view data) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint32_t GetFixed32(std::string_view data) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[i])) << (8 * i);
+  }
+  return v;
+}
+
+// Forwards to the file writer while tracking the payload's running CRC and
+// byte count — the footer's two fields — without buffering the payload.
+class CrcCountingSink : public ByteSink {
+ public:
+  explicit CrcCountingSink(ByteSink* inner) : inner_(inner) {}
+
+  bool Append(std::string_view data) override {
+    crc_.Update(data);
+    bytes_ += static_cast<uint64_t>(data.size());
+    return inner_->Append(data);
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  uint32_t crc() const { return crc_.value(); }
+
+ private:
+  ByteSink* inner_;
+  Crc32Stream crc_;
+  uint64_t bytes_ = 0;
+};
 
 // Parses "checkpoint-<seq>.dki"; nullopt for any other name (including the
 // in-flight "*.tmp" a crashed checkpointer leaves behind).
@@ -40,12 +93,11 @@ std::optional<uint64_t> SeqFromName(const std::string& name) {
   return static_cast<uint64_t>(*seq);
 }
 
-// Parses and validates one checkpoint file: header, payload length, CRC.
-// On success *payload holds the SaveDkIndexParts text and *seq its seq.
-bool ReadCheckpointPayload(const std::string& path, uint64_t* seq,
-                           std::string* payload, std::string* error) {
-  std::string contents;
-  if (!ReadFileToString(path, &contents, error)) return false;
+// Validates one legacy v1 checkpoint: header-borne length + CRC lines, text
+// payload after the header.
+bool ReadCheckpointPayloadV1(const std::string& path,
+                             const std::string& contents, uint64_t* seq,
+                             std::string* payload, std::string* error) {
   std::istringstream in(contents);
   std::string magic, version;
   if (!(in >> magic >> version) || magic != "dki-checkpoint" ||
@@ -81,6 +133,62 @@ bool ReadCheckpointPayload(const std::string& path, uint64_t* seq,
   return true;
 }
 
+// Validates one v2 checkpoint: "dki-checkpoint v2\nseq <n>\n" header,
+// binary payload, 16-byte footer carrying the payload length + CRC.
+bool ReadCheckpointPayloadV2(const std::string& path,
+                             const std::string& contents, uint64_t* seq,
+                             std::string* payload, std::string* error) {
+  constexpr std::string_view kMagicLine = "dki-checkpoint v2\n";
+  std::string_view rest(contents);
+  rest.remove_prefix(kMagicLine.size());
+  constexpr std::string_view kSeqPrefix = "seq ";
+  if (rest.substr(0, kSeqPrefix.size()) != kSeqPrefix) {
+    return Fail(error, path + ": bad seq line");
+  }
+  rest.remove_prefix(kSeqPrefix.size());
+  const size_t newline = rest.find('\n');
+  if (newline == std::string_view::npos) {
+    return Fail(error, path + ": bad seq line");
+  }
+  std::optional<int64_t> seq_value = ParseInt64(rest.substr(0, newline));
+  if (!seq_value.has_value() || *seq_value < 0) {
+    return Fail(error, path + ": bad seq line");
+  }
+  rest.remove_prefix(newline + 1);
+  if (rest.size() < kFooterBytes) {
+    return Fail(error, path + ": truncated checkpoint");
+  }
+  std::string_view footer = rest.substr(rest.size() - kFooterBytes);
+  if (footer.substr(0, kFooterMagic.size()) != kFooterMagic) {
+    return Fail(error, path + ": bad checkpoint footer");
+  }
+  const uint64_t payload_bytes = GetFixed64(footer.substr(4, 8));
+  const uint32_t crc = GetFixed32(footer.substr(12, 4));
+  std::string_view body = rest.substr(0, rest.size() - kFooterBytes);
+  if (body.size() != payload_bytes) {
+    return Fail(error, path + ": payload length mismatch");
+  }
+  if (Crc32(body) != crc) {
+    return Fail(error, path + ": payload CRC mismatch");
+  }
+  *seq = static_cast<uint64_t>(*seq_value);
+  payload->assign(body);
+  return true;
+}
+
+// Parses and validates one checkpoint file of either version. On success
+// *payload holds the serialized DkIndex parts (text v1 or binary v2 —
+// LoadDkIndexAny sniffs which) and *seq its sequence number.
+bool ReadCheckpointPayload(const std::string& path, uint64_t* seq,
+                           std::string* payload, std::string* error) {
+  std::string contents;
+  if (!ReadFileToString(path, &contents, error)) return false;
+  if (StartsWith(contents, "dki-checkpoint v2\n")) {
+    return ReadCheckpointPayloadV2(path, contents, seq, payload, error);
+  }
+  return ReadCheckpointPayloadV1(path, contents, seq, payload, error);
+}
+
 }  // namespace
 
 CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
@@ -104,28 +212,33 @@ bool CheckpointStore::Write(const DataGraph& graph, const IndexGraph& index,
                             const std::vector<int>& reqs, uint64_t seq,
                             std::string* error) {
   ScopedTimer timer(&DKI_METRIC_TIMER("checkpoint.write"));
-  std::ostringstream body;
-  if (!SaveDkIndexParts(graph, index, reqs, &body)) {
-    DKI_METRIC_COUNTER("checkpoint.failures").Increment();
-    return Fail(error, "checkpoint: state not serializable");
-  }
-  std::string payload = body.str();
-  std::ostringstream out;
-  out << "dki-checkpoint v1\n"
-      << "seq " << seq << "\n"
-      << "payload_bytes " << payload.size() << "\n"
-      << "payload_crc " << Crc32(payload) << "\n"
-      << payload;
   const std::string path =
       dir_ + "/" + kCheckpointPrefix + std::to_string(seq) + kCheckpointSuffix;
-  std::string contents = out.str();
-  if (!AtomicWriteFile(path, contents, error)) {
+  AtomicFileWriter file;
+  std::string werror;
+  if (!file.Open(path, &werror)) {
     DKI_METRIC_COUNTER("checkpoint.failures").Increment();
-    return false;
+    return Fail(error, werror);
   }
+  // Header, then the payload streamed through the CRC/byte counter, then the
+  // footer those counts fill in. Append failures are sticky inside the
+  // writer, so one Finish() check at the end covers the whole sequence.
+  file.Append("dki-checkpoint v2\nseq " + std::to_string(seq) + "\n");
+  CrcCountingSink payload_sink(&file);
+  const bool serialized = SaveDkIndexPartsV2(graph, index, reqs, &payload_sink);
+  std::string footer(kFooterMagic);
+  PutFixed64(payload_sink.bytes(), &footer);
+  PutFixed32(payload_sink.crc(), &footer);
+  file.Append(footer);
+  if (!serialized || !file.Finish(&werror)) {
+    file.Abandon();
+    DKI_METRIC_COUNTER("checkpoint.failures").Increment();
+    return Fail(error, serialized ? werror
+                                  : "checkpoint: state not serializable");
+  }
+  last_write_peak_buffer_bytes_ = file.peak_buffer_bytes();
   DKI_METRIC_COUNTER("checkpoint.writes").Increment();
-  DKI_METRIC_COUNTER("checkpoint.bytes")
-      .Increment(static_cast<int64_t>(contents.size()));
+  DKI_METRIC_COUNTER("checkpoint.bytes").Increment(file.bytes_written());
   // Prune to the newest two AFTER the new one is durable; a failure to
   // delete old files is harmless (they are skipped-over extras).
   std::vector<Info> all = List();
@@ -152,10 +265,10 @@ std::optional<DkIndex> CheckpointStore::LoadNewestValid(
     std::string attempt_error;
     if (ReadCheckpointPayload(all[i].path, &file_seq, &payload,
                               &attempt_error)) {
-      std::istringstream in(payload);
       // Loads directly into the caller's graph (assigned only on success);
-      // the returned index borrows it.
-      auto dk = LoadDkIndex(&in, graph, &attempt_error);
+      // the returned index borrows it. Payload format (text v1 / binary v2)
+      // is sniffed per file, so mixed retention directories recover fine.
+      auto dk = LoadDkIndexAny(payload, graph, &attempt_error);
       if (dk.has_value()) {
         *seq = file_seq;
         if (i > 0) {

@@ -13,13 +13,23 @@
 namespace dki {
 
 // Atomic, CRC-guarded checkpoints of the servable D(k)-index state, one file
-// per checkpoint:
+// per checkpoint. Write emits the compact binary v2 layout:
 //
-//   dki-checkpoint v1
+//   dki-checkpoint v2
 //   seq <n>              ── WAL sequence number the state includes
-//   payload_bytes <len>  ── exact byte length of the payload below
-//   payload_crc <crc32>  ── CRC32 of the payload bytes
-//   <payload: SaveDkIndexParts text (graph + index + requirements)>
+//   <payload: SaveDkIndexPartsV2 binary (graph + index + requirements)>
+//   DKCK <payload_bytes: 8 LE> <payload_crc32: 4 LE>   ── 16-byte footer
+//
+// The length + CRC live in a trailing footer (not the header) so the writer
+// can STREAM the payload to the temp file in one pass — chunks flow through
+// a fixed-size buffer with an incremental CRC32, never materializing the
+// serialized state in memory (peak transient allocation is O(1) in the
+// state size; last_write_peak_buffer_bytes() exposes the high-water mark).
+// Loading still accepts the legacy text v1 layout (header-borne
+// payload_bytes/payload_crc lines, SaveDkIndexParts text payload) for
+// migration: version dispatch is by the first header line, and the payload
+// format is sniffed independently (LoadDkIndexAny), so mixed-version
+// retention directories recover fine.
 //
 // Files are named checkpoint-<seq>.dki and written via write-temp + fsync +
 // atomic-rename (io/fs_util.h), so a canonical checkpoint file is either
@@ -60,8 +70,16 @@ class CheckpointStore {
 
   const std::string& dir() const { return dir_; }
 
+  // High-water mark of the stream buffer during the most recent Write —
+  // bounded by AtomicFileWriter::kBufferBytes regardless of state size
+  // (the O(1) transient-memory guarantee tests assert).
+  int64_t last_write_peak_buffer_bytes() const {
+    return last_write_peak_buffer_bytes_;
+  }
+
  private:
   const std::string dir_;
+  int64_t last_write_peak_buffer_bytes_ = 0;
 };
 
 // Result of RecoverDkIndex, for logging and for seeding a restarted server.

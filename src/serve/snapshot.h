@@ -28,12 +28,15 @@ class IndexSnapshot {
   // needs to persist this state without touching the writer's master: the
   // per-label requirements (part of the SaveDkIndex format) and the
   // write-ahead-log sequence number of the last op the snapshot includes.
+  // `frozen_options` selects the frozen view's storage tier (flat by
+  // default; memory-budgeted/out-of-core when a budget is set).
   IndexSnapshot(const DataGraph& graph, const IndexGraph& index,
                 std::vector<int> effective_requirements = {},
-                uint64_t seq = 0)
+                uint64_t seq = 0,
+                const FrozenViewOptions& frozen_options = {})
       : graph_(graph),
         index_(index.CloneOnto(&graph_)),
-        frozen_(index_),
+        frozen_(index_, frozen_options),
         effective_requirements_(std::move(effective_requirements)),
         seq_(seq) {}
 

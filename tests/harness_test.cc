@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <utility>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
+#include "common/random.h"
 #include "index/ak_index.h"
 #include "query/evaluator.h"
 
@@ -90,6 +94,58 @@ TEST(HarnessTest, SeriesRowAggregation) {
   EXPECT_DOUBLE_EQ(row.avg_cost,
                    static_cast<double>(total.cost()) /
                        static_cast<double>(workload.size()));
+}
+
+TEST(HarnessTest, JsonDoublesSurviveEmitParseEmitExactly) {
+  // The old %.6g emitter silently rounded doubles to 6 significant digits,
+  // so any pipeline that parses a benchmark JSON and re-emits it (series
+  // aggregation, CI comparisons) corrupted timestamps, rates, and long
+  // counters. Emission now picks the shortest form that strtod round-trips.
+  const double cases[] = {
+      0.0,
+      -0.0,
+      1.0 / 3.0,
+      0.1,
+      123456789.123456,            // > 6 significant digits
+      1755021712345678848.0,       // nanosecond-scale timestamp
+      98765.432109876543,
+      6.02214076e23,
+      5e-324,                      // min subnormal
+      1.7976931348623157e308,      // max double
+  };
+  for (double v : cases) {
+    Json j = Json::Num(v);
+    const std::string emitted = j.ToString();
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::Parse(emitted, &parsed, &error))
+        << emitted << ": " << error;
+    EXPECT_EQ(parsed.AsDouble(), v) << "value corrupted through '" << emitted
+                                    << "'";
+    // Emit -> parse -> emit is a fixed point: byte-identical second pass.
+    EXPECT_EQ(parsed.ToString(), emitted);
+  }
+
+  // Whole nested documents too, with adversarial random doubles.
+  Rng rng(139);
+  Json doc = Json::Object();
+  Json arr = Json::Array();
+  for (int i = 0; i < 200; ++i) {
+    const double v =
+        static_cast<double>(rng.UniformInt(1, int64_t{1} << 62)) /
+        static_cast<double>(rng.UniformInt(1, 1000000));
+    arr.Push(Json::Num(v));
+  }
+  doc.Set("values", std::move(arr));
+  const std::string once = doc.ToString();
+  Json reparsed;
+  std::string error;
+  ASSERT_TRUE(Json::Parse(once, &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed.ToString(), once);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(reparsed.Find("values")->items()[i].AsDouble(),
+              doc.Find("values")->items()[i].AsDouble());
+  }
 }
 
 TEST(HarnessTest, ScaleFromEnvParsesAndClamps) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -166,6 +167,46 @@ TEST(HistogramTest, ConcurrentRecordsAreLossless) {
   HistogramSnapshot snap = h.snapshot();
   EXPECT_EQ(snap.count, static_cast<int64_t>(kThreads) * kPerThread);
   EXPECT_EQ(snap.max, (kThreads - 1) * 1000 + kPerThread - 1);
+}
+
+TEST(HistogramTest, SnapshotMaxCoversCountedObservationsUnderRaces) {
+  // Record() bumps the bucket and the max in two separate relaxed atomic
+  // ops; a snapshot landing between them used to report count > 0 with a
+  // stale max (even 0), and ValueAtQuantile clamps EVERY quantile to max —
+  // so a freshly loaded histogram read p50 == p99 == 0. The snapshot now
+  // reconstructs a covering max from the buckets. Hammer the interleaving:
+  // a writer recording a constant value, a reader snapshotting in a loop.
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test.hist.snapshot_race");
+  h.Reset();
+  constexpr int64_t kValue = 4096;  // exact bucket lower bound
+  std::atomic<bool> stop{false};
+  std::thread writer([&h, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) h.Record(kValue);
+  });
+  for (int i = 0; i < 50000; ++i) {
+    HistogramSnapshot snap = h.snapshot();
+    if (snap.count == 0) continue;
+    // The invariant the fix restores: the reported max covers every counted
+    // observation (>= the highest nonzero bucket's lower bound), so
+    // quantiles can never clamp below the data.
+    ASSERT_GE(snap.max, kValue) << "stale max with count=" << snap.count;
+    ASSERT_GE(snap.ValueAtQuantile(0.99), static_cast<double>(kValue));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST(HistogramTest, SnapshotMaxStillExactWhenQuiescent) {
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test.hist.snapshot_exact");
+  h.Reset();
+  h.Record(12345);
+  h.Record(7);
+  HistogramSnapshot snap = h.snapshot();
+  // With no concurrent writer the tracked max is already covering, and the
+  // clamp must not inflate it past the true maximum.
+  EXPECT_EQ(snap.max, 12345);
 }
 
 TEST(HistogramTest, RegistryRegistrationAndDump) {

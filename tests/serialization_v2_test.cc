@@ -1,0 +1,443 @@
+// Differential tests of the binary v2 persistence format against the text
+// v1 it replaces (io/serialization.h): random graphs plus the paper's two
+// workloads round-trip bit-identically through either format, the v2
+// checkpoint pipeline streams with O(1) transient memory, corruption
+// (truncation, byte flips) is always detected, and a SIGKILL landing
+// mid-checkpoint-write never damages recovery.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/crc32.h"
+#include "common/random.h"
+#include "datagen/nasa_generator.h"
+#include "datagen/xmark_generator.h"
+#include "graph/data_graph.h"
+#include "index/dk_index.h"
+#include "io/byte_sink.h"
+#include "io/fs_util.h"
+#include "io/serialization.h"
+#include "query/evaluator.h"
+#include "serve/checkpoint.h"
+#include "tests/test_util.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DKI_UNDER_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define DKI_UNDER_TSAN 1
+#endif
+
+namespace dki {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "dki_v2_" + name + "_" +
+                    std::to_string(::getpid());
+  if (PathExists(dir)) {
+    std::string cmd = "rm -rf '" + dir + "'";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+  }
+  std::string error;
+  EXPECT_TRUE(EnsureDir(dir, &error)) << error;
+  return dir;
+}
+
+void ExpectSameGraph(const DataGraph& got, const DataGraph& want) {
+  ASSERT_EQ(got.NumNodes(), want.NumNodes());
+  ASSERT_EQ(got.NumEdges(), want.NumEdges());
+  for (NodeId n = 0; n < want.NumNodes(); ++n) {
+    ASSERT_EQ(got.label_name(n), want.label_name(n)) << "node " << n;
+    ASSERT_EQ(got.children(n), want.children(n)) << "node " << n;
+    // Both formats emit edges in ascending source-node order, so a loaded
+    // graph's parent lists are canonicalized even when the original was
+    // built with interleaved insertions. Parent order never affects
+    // evaluation, so compare as multisets.
+    std::vector<NodeId> gp(got.parents(n).begin(), got.parents(n).end());
+    std::vector<NodeId> wp(want.parents(n).begin(), want.parents(n).end());
+    std::sort(gp.begin(), gp.end());
+    std::sort(wp.begin(), wp.end());
+    ASSERT_EQ(gp, wp) << "node " << n;
+  }
+}
+
+void ExpectSameIndex(const IndexGraph& got, const IndexGraph& want) {
+  ASSERT_EQ(got.NumIndexNodes(), want.NumIndexNodes());
+  for (IndexNodeId i = 0; i < want.NumIndexNodes(); ++i) {
+    ASSERT_EQ(got.label(i), want.label(i)) << "index node " << i;
+    ASSERT_EQ(got.k(i), want.k(i)) << "index node " << i;
+    ASSERT_EQ(got.extent(i), want.extent(i)) << "index node " << i;
+    ASSERT_EQ(got.children(i), want.children(i)) << "index node " << i;
+  }
+}
+
+std::string V2Payload(const DkIndex& dk, const DataGraph& g) {
+  std::string payload;
+  StringSink sink(&payload);
+  EXPECT_TRUE(
+      SaveDkIndexPartsV2(g, dk.index(), dk.effective_requirements(), &sink));
+  return payload;
+}
+
+std::string V1Payload(const DkIndex& dk, const DataGraph& g) {
+  std::ostringstream out;
+  EXPECT_TRUE(
+      SaveDkIndexParts(g, dk.index(), dk.effective_requirements(), &out));
+  return out.str();
+}
+
+TEST(SerializationV2Test, GraphRoundTripsRandomGraphs) {
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    DataGraph g = testing_util::RandomGraph(
+        static_cast<int>(rng.UniformInt(1, 400)),
+        static_cast<int>(rng.UniformInt(2, 12)),
+        static_cast<int>(rng.UniformInt(0, 80)), &rng);
+    std::string buf;
+    StringSink sink(&buf);
+    ASSERT_TRUE(SaveGraphV2(g, &sink));
+    EXPECT_TRUE(LooksLikeGraphV2(buf));
+
+    size_t pos = 0;
+    DataGraph loaded;
+    std::string error;
+    ASSERT_TRUE(LoadGraphV2(buf, &pos, &loaded, &error)) << error;
+    EXPECT_EQ(pos, buf.size());
+    ExpectSameGraph(loaded, g);
+  }
+}
+
+TEST(SerializationV2Test, DkIndexDifferentialRandom) {
+  Rng rng(73);
+  for (int trial = 0; trial < 10; ++trial) {
+    DataGraph g = testing_util::RandomGraph(300, 6, 60, &rng);
+    LabelRequirements reqs;
+    // Require extra depth on labels that actually occur in this graph.
+    for (int i = 0; i < 2; ++i) {
+      const NodeId n =
+          static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+      reqs[g.label(n)] = static_cast<int>(rng.UniformInt(0, 3));
+    }
+    DkIndex dk = DkIndex::Build(&g, reqs);
+
+    const std::string v2 = V2Payload(dk, g);
+    const std::string v1 = V1Payload(dk, g);
+
+    // Both payloads decode through the sniffing entry point to one state.
+    DataGraph g_v2, g_v1;
+    std::string error;
+    auto dk_v2 = LoadDkIndexAny(v2, &g_v2, &error);
+    ASSERT_TRUE(dk_v2.has_value()) << error;
+    auto dk_v1 = LoadDkIndexAny(v1, &g_v1, &error);
+    ASSERT_TRUE(dk_v1.has_value()) << error;
+
+    ExpectSameGraph(g_v2, g);
+    ExpectSameIndex(dk_v2->index(), dk.index());
+    ExpectSameIndex(dk_v2->index(), dk_v1->index());
+    EXPECT_EQ(dk_v2->effective_requirements(),
+              dk.effective_requirements());
+    std::string invariant;
+    EXPECT_TRUE(dk_v2->index().ValidatePartition(&invariant)) << invariant;
+  }
+}
+
+// The paper's workloads: identical recovered state through either format,
+// and the acceptance-criterion size win (v2 <= 1/3 of v1) on both.
+void RunWorkloadDifferential(DataGraph g, const std::string& name) {
+  LabelRequirements reqs;  // defaults: a 1-index-style baseline
+  DkIndex dk = DkIndex::Build(&g, reqs);
+
+  const std::string v2 = V2Payload(dk, g);
+  const std::string v1 = V1Payload(dk, g);
+  EXPECT_LE(v2.size() * 3, v1.size())
+      << name << ": v2 " << v2.size() << "B vs v1 " << v1.size() << "B";
+
+  DataGraph g_v2;
+  std::string error;
+  auto dk_v2 = LoadDkIndexAny(v2, &g_v2, &error);
+  ASSERT_TRUE(dk_v2.has_value()) << name << ": " << error;
+  ExpectSameGraph(g_v2, g);
+  ExpectSameIndex(dk_v2->index(), dk.index());
+}
+
+TEST(SerializationV2Test, XmarkDifferentialAndSizeWin) {
+  XmarkOptions options;
+  options.scale = 0.25;
+  RunWorkloadDifferential(GenerateXmarkGraph(options).graph, "xmark");
+}
+
+TEST(SerializationV2Test, NasaDifferentialAndSizeWin) {
+  NasaOptions options;
+  options.scale = 0.25;
+  RunWorkloadDifferential(GenerateNasaGraph(options).graph, "nasa");
+}
+
+TEST(SerializationV2Test, TrailingBytesAfterV2PayloadRejected) {
+  Rng rng(79);
+  DataGraph g = testing_util::RandomGraph(50, 4, 10, &rng);
+  DkIndex dk = DkIndex::Build(&g, {});
+  std::string payload = V2Payload(dk, g);
+  payload.push_back('\0');
+  DataGraph out;
+  std::string error;
+  EXPECT_FALSE(LoadDkIndexAny(payload, &out, &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(SerializationV2Test, TruncationSweepNeverLoads) {
+  Rng rng(83);
+  DataGraph g = testing_util::RandomGraph(120, 5, 25, &rng);
+  DkIndex dk = DkIndex::Build(&g, {});
+  const std::string payload = V2Payload(dk, g);
+  // Every strict prefix must be rejected (malformed, never a crash). Sweep
+  // densely near the start and the end, sparsely through the middle.
+  for (size_t cut = 0; cut < payload.size();
+       cut += (cut < 64 || cut + 64 > payload.size()) ? 1 : 37) {
+    DataGraph out;
+    std::string error;
+    EXPECT_FALSE(
+        LoadDkIndexAny(payload.substr(0, cut), &out, &error).has_value())
+        << "prefix of " << cut << " bytes unexpectedly loaded";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// v2 checkpoint pipeline (serve/checkpoint.h).
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointV2Test, WritesV2AndRoundTrips) {
+  std::string dir = FreshDir("roundtrip");
+  DataGraph g = testing_util::BuildMovieGraph();
+  LabelRequirements reqs;
+  reqs[g.labels().Find("title")] = 2;
+  DkIndex dk = DkIndex::Build(&g, reqs);
+
+  CheckpointStore store(dir);
+  std::string error;
+  ASSERT_TRUE(
+      store.Write(g, dk.index(), dk.effective_requirements(), 17, &error))
+      << error;
+
+  // The file on disk is the v2 layout.
+  auto files = store.List();
+  ASSERT_EQ(files.size(), 1u);
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(files[0].path, &contents, &error)) << error;
+  EXPECT_EQ(contents.substr(0, 18), "dki-checkpoint v2\n");
+
+  DataGraph loaded;
+  uint64_t seq = 0;
+  bool fallback = true;
+  auto recovered = store.LoadNewestValid(&loaded, &seq, &fallback, &error);
+  ASSERT_TRUE(recovered.has_value()) << error;
+  EXPECT_EQ(seq, 17u);
+  EXPECT_FALSE(fallback);
+  ExpectSameGraph(loaded, g);
+  ExpectSameIndex(recovered->index(), dk.index());
+}
+
+TEST(CheckpointV2Test, LoadsLegacyV1Checkpoints) {
+  std::string dir = FreshDir("v1compat");
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = DkIndex::Build(&g, {});
+
+  // A v1 file as the previous release wrote it.
+  std::ostringstream body;
+  ASSERT_TRUE(
+      SaveDkIndexParts(g, dk.index(), dk.effective_requirements(), &body));
+  std::string payload = body.str();
+  std::ostringstream out;
+  out << "dki-checkpoint v1\n"
+      << "seq 9\n"
+      << "payload_bytes " << payload.size() << "\n"
+      << "payload_crc " << Crc32(payload) << "\n"
+      << payload;
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(dir + "/checkpoint-9.dki", out.str(), &error))
+      << error;
+
+  CheckpointStore store(dir);
+  DataGraph loaded;
+  uint64_t seq = 0;
+  bool fallback = true;
+  auto recovered = store.LoadNewestValid(&loaded, &seq, &fallback, &error);
+  ASSERT_TRUE(recovered.has_value()) << error;
+  EXPECT_EQ(seq, 9u);
+  ExpectSameIndex(recovered->index(), dk.index());
+
+  // A newer v2 write coexists with it: mixed retention recovers newest.
+  ASSERT_TRUE(
+      store.Write(g, dk.index(), dk.effective_requirements(), 12, &error))
+      << error;
+  auto newest = store.LoadNewestValid(&loaded, &seq, &fallback, &error);
+  ASSERT_TRUE(newest.has_value()) << error;
+  EXPECT_EQ(seq, 12u);
+}
+
+TEST(CheckpointV2Test, StreamingWriteHasBoundedTransientMemory) {
+  std::string dir = FreshDir("o1peak");
+  // Large enough that the encoded checkpoint spans many buffer-fulls even
+  // after varint/delta compression (scale 4 encodes to ~350 KB).
+  XmarkOptions options;
+  options.scale = 4.0;
+  DataGraph g = GenerateXmarkGraph(options).graph;
+  DkIndex dk = DkIndex::Build(&g, {});
+
+  CheckpointStore store(dir);
+  std::string error;
+  ASSERT_TRUE(
+      store.Write(g, dk.index(), dk.effective_requirements(), 1, &error))
+      << error;
+
+  // The checkpoint is many buffer-fulls long, yet the writer's buffer
+  // high-water mark stays at one fixed buffer — the O(1) transient-memory
+  // guarantee that replaced the old serialize-whole-state-into-a-string
+  // path (whose peak was ~4x the state size).
+  auto files = store.List();
+  ASSERT_EQ(files.size(), 1u);
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(files[0].path, &contents, &error)) << error;
+  ASSERT_GT(contents.size(), 4 * AtomicFileWriter::kBufferBytes);
+  EXPECT_GT(store.last_write_peak_buffer_bytes(), 0);
+  EXPECT_LE(store.last_write_peak_buffer_bytes(),
+            static_cast<int64_t>(AtomicFileWriter::kBufferBytes));
+}
+
+TEST(CheckpointV2Test, TruncationSweepNeverValidates) {
+  std::string dir = FreshDir("trunc");
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = DkIndex::Build(&g, {});
+  CheckpointStore store(dir);
+  std::string error;
+  ASSERT_TRUE(
+      store.Write(g, dk.index(), dk.effective_requirements(), 3, &error))
+      << error;
+  const std::string path = store.List()[0].path;
+  std::string good;
+  ASSERT_TRUE(ReadFileToString(path, &good, &error)) << error;
+
+  for (size_t keep = 0; keep < good.size();
+       keep += (keep < 40 || keep + 40 > good.size()) ? 1 : 13) {
+    ASSERT_TRUE(AtomicWriteFile(path, good.substr(0, keep), &error)) << error;
+    DataGraph out;
+    uint64_t seq = 0;
+    bool fallback = false;
+    EXPECT_FALSE(
+        store.LoadNewestValid(&out, &seq, &fallback, &error).has_value())
+        << "truncation to " << keep << " bytes validated";
+  }
+  // Restoring the full bytes validates again (the sweep itself is sound).
+  ASSERT_TRUE(AtomicWriteFile(path, good, &error)) << error;
+  DataGraph out;
+  uint64_t seq = 0;
+  bool fallback = false;
+  EXPECT_TRUE(
+      store.LoadNewestValid(&out, &seq, &fallback, &error).has_value())
+      << error;
+}
+
+TEST(CheckpointV2Test, ByteFlipSweepNeverValidates) {
+  std::string dir = FreshDir("flip");
+  DataGraph g = testing_util::BuildMovieGraph();
+  DkIndex dk = DkIndex::Build(&g, {});
+  CheckpointStore store(dir);
+  std::string error;
+  ASSERT_TRUE(
+      store.Write(g, dk.index(), dk.effective_requirements(), 3, &error))
+      << error;
+  const std::string path = store.List()[0].path;
+  std::string good;
+  ASSERT_TRUE(ReadFileToString(path, &good, &error)) << error;
+
+  // Flip one bit at a time from the payload start through the footer (the
+  // CRC's coverage; the seq header line is consciously outside it, as in
+  // v1). Every flip must be caught.
+  const size_t header_end = good.find('\n', good.find('\n') + 1) + 1;
+  ASSERT_GT(header_end, 18u);  // past "dki-checkpoint v2\nseq ...\n"
+  Rng rng(89);
+  for (size_t at = header_end; at < good.size();
+       at += static_cast<size_t>(rng.UniformInt(1, 7))) {
+    std::string bad = good;
+    bad[at] = static_cast<char>(bad[at] ^ (1 << rng.UniformInt(0, 7)));
+    ASSERT_TRUE(AtomicWriteFile(path, bad, &error)) << error;
+    DataGraph out;
+    uint64_t seq = 0;
+    bool fallback = false;
+    EXPECT_FALSE(
+        store.LoadNewestValid(&out, &seq, &fallback, &error).has_value())
+        << "bit flip at offset " << at << " validated";
+  }
+}
+
+// SIGKILL landing inside CheckpointStore::Write must never damage what was
+// durable before, and whatever survives must validate or be skipped.
+TEST(CheckpointV2Test, KillMidWriteNeverCorruptsRecovery) {
+#ifdef DKI_UNDER_TSAN
+  GTEST_SKIP() << "fork-based fault injection is not TSan-compatible";
+#endif
+  std::string dir = FreshDir("midwrite");
+  XmarkOptions options;
+  options.scale = 0.25;
+  DataGraph g = GenerateXmarkGraph(options).graph;
+  DkIndex dk = DkIndex::Build(&g, {});
+
+  CheckpointStore store(dir);
+  std::string error;
+  ASSERT_TRUE(
+      store.Write(g, dk.index(), dk.effective_requirements(), 1, &error))
+      << error;
+
+  Rng rng(97);
+  for (int trial = 0; trial < 8; ++trial) {
+    ::pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: rewrite checkpoints forever; the parent's SIGKILL lands at
+      // an arbitrary point inside some Write (header, payload, footer,
+      // fsync, or rename).
+      CheckpointStore child_store(dir);
+      std::string child_error;
+      for (uint64_t seq = 2;; ++seq) {
+        if (!child_store.Write(g, dk.index(), dk.effective_requirements(),
+                               seq, &child_error)) {
+          ::_exit(2);
+        }
+      }
+    }
+    ::usleep(static_cast<useconds_t>(rng.UniformInt(500, 40000)));
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+    // Recovery after the kill: some retained checkpoint must validate
+    // (seq 1 is always durable) and decode to the exact source state.
+    DataGraph loaded;
+    uint64_t seq = 0;
+    bool fallback = false;
+    auto recovered =
+        store.LoadNewestValid(&loaded, &seq, &fallback, &error);
+    ASSERT_TRUE(recovered.has_value())
+        << "trial " << trial << ": " << error;
+    ASSERT_GE(seq, 1u);
+    ExpectSameGraph(loaded, g);
+    ExpectSameIndex(recovered->index(), dk.index());
+  }
+}
+
+}  // namespace
+}  // namespace dki

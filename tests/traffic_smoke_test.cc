@@ -115,11 +115,11 @@ TEST_F(TrafficSmokeTest, EmittedJsonRoundTripsTheDocumentedSchema) {
   ASSERT_TRUE(Json::Parse(contents, &parsed, &error)) << error;
   std::remove(path.c_str());
 
-  // Schema version 2, as documented in docs/BENCHMARKS.md.
+  // Schema version 3, as documented in docs/BENCHMARKS.md.
   ASSERT_NE(parsed.Find("bench"), nullptr);
   EXPECT_EQ(parsed.Find("bench")->AsString(), "traffic");
   ASSERT_NE(parsed.Find("version"), nullptr);
-  EXPECT_EQ(parsed.Find("version")->AsInt(), 2);
+  EXPECT_EQ(parsed.Find("version")->AsInt(), 3);
   const Json* dataset = parsed.Find("dataset");
   ASSERT_NE(dataset, nullptr);
   for (const char* key : {"name", "nodes", "edges", "labels"}) {
@@ -129,10 +129,28 @@ TEST_F(TrafficSmokeTest, EmittedJsonRoundTripsTheDocumentedSchema) {
   ASSERT_NE(config, nullptr);
   for (const char* key : {"seed", "query_pool", "zipf_s", "workers",
                           "update_fraction", "deadline_ms", "phase_sec",
-                          "coverage", "num_shards", "durability"}) {
+                          "coverage", "num_shards", "durability",
+                          "memory_budget_mb"}) {
     EXPECT_NE(config->Find(key), nullptr) << key;
   }
   EXPECT_EQ(config->Find("num_shards")->AsInt(), 0);
+  const Json* memory = parsed.Find("memory");
+  ASSERT_NE(memory, nullptr);
+  for (const char* key :
+       {"frozen_flat_bytes", "frozen_resident_bytes",
+        "frozen_compressed_bytes", "frozen_spilled_bytes",
+        "checkpoint_bytes_written", "max_rss_kb", "exactness_queries",
+        "exactness_mismatches"}) {
+    EXPECT_NE(memory->Find(key), nullptr) << key;
+  }
+  // Unbudgeted: the view is flat, so resident == flat and nothing is
+  // compressed or spilled; the exactness guard does not run.
+  EXPECT_GT(memory->Find("frozen_flat_bytes")->AsInt(), 0);
+  EXPECT_EQ(memory->Find("frozen_resident_bytes")->AsInt(),
+            memory->Find("frozen_flat_bytes")->AsInt());
+  EXPECT_EQ(memory->Find("frozen_spilled_bytes")->AsInt(), 0);
+  EXPECT_EQ(memory->Find("exactness_queries")->AsInt(), 0);
+  EXPECT_GT(memory->Find("max_rss_kb")->AsInt(), 0);
   const Json* phases = parsed.Find("phases");
   ASSERT_NE(phases, nullptr);
   ASSERT_TRUE(phases->is_array());
@@ -202,7 +220,7 @@ TEST(ShardedTrafficSmokeTest, ShardedRunServesAndEmitsPerShardLatency) {
   EXPECT_GT(shard_evals, 0);
 
   Json emitted = TrafficResultToJson(result, opts);
-  EXPECT_EQ(emitted.Find("version")->AsInt(), 2);
+  EXPECT_EQ(emitted.Find("version")->AsInt(), 3);
   EXPECT_EQ(emitted.Find("config")->Find("num_shards")->AsInt(), 2);
   const Json* shards = emitted.Find("shards");
   ASSERT_NE(shards, nullptr);
@@ -212,6 +230,42 @@ TEST(ShardedTrafficSmokeTest, ShardedRunServesAndEmitsPerShardLatency) {
     EXPECT_NE(shard.Find("evals"), nullptr);
     EXPECT_NE(shard.Find("latency_ms"), nullptr);
   }
+}
+
+// A run under a tiny memory budget must serve the whole phase script from
+// the compressed/spilled storage tier, report the memory accounting, and
+// pass its own built-in exactness guard (every pool query re-checked
+// against a flat rebuild of the final snapshot).
+TEST(BudgetedTrafficSmokeTest, BudgetedRunServesAndPassesExactnessGuard) {
+  Dataset dataset = MakeXmark(0.05);
+  TrafficOptions opts;
+  opts.query_pool = 16;
+  opts.workers = 2;
+  opts.phase_sec = 0.15;
+  opts.warm_qps = 150.0;
+  opts.sweep_qps = {150.0};
+  opts.drift_qps = 150.0;
+  opts.control_interval_ms = 40.0;
+  opts.min_tracked_queries = 4;
+  opts.memory_budget_mb = 1;  // tiny: forces compression (and spill on
+                              // anything bigger than a toy graph)
+  TrafficResult result = RunTraffic(dataset, opts);
+
+  int64_t completed = 0;
+  for (const PhaseStats& p : result.phases) completed += p.completed;
+  EXPECT_GT(completed, 0);
+
+  const TrafficMemoryStats& m = result.memory;
+  EXPECT_GT(m.frozen_flat_bytes, 0);
+  EXPECT_GT(m.frozen_compressed_bytes, 0);
+  EXPECT_LT(m.frozen_resident_bytes, m.frozen_flat_bytes);
+  // One check per pool query (MakeWorkload may round the pool size up).
+  EXPECT_GE(m.exactness_queries, opts.query_pool);
+  EXPECT_EQ(m.exactness_mismatches, 0);
+
+  Json emitted = TrafficResultToJson(result, opts);
+  EXPECT_EQ(emitted.Find("config")->Find("memory_budget_mb")->AsInt(), 1);
+  EXPECT_EQ(emitted.Find("memory")->Find("exactness_mismatches")->AsInt(), 0);
 }
 
 }  // namespace
