@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/construction.dir/construction.cc.o"
+  "CMakeFiles/construction.dir/construction.cc.o.d"
+  "construction"
+  "construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/dkindex_bench_common.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/dkindex_bench_common.dir/bench_common.cc.o.d"
+  "/root/repo/bench/bench_experiments.cc" "bench/CMakeFiles/dkindex_bench_common.dir/bench_experiments.cc.o" "gcc" "bench/CMakeFiles/dkindex_bench_common.dir/bench_experiments.cc.o.d"
+  "/root/repo/bench/bench_json.cc" "bench/CMakeFiles/dkindex_bench_common.dir/bench_json.cc.o" "gcc" "bench/CMakeFiles/dkindex_bench_common.dir/bench_json.cc.o.d"
+  "/root/repo/bench/traffic_lib.cc" "bench/CMakeFiles/dkindex_bench_common.dir/traffic_lib.cc.o" "gcc" "bench/CMakeFiles/dkindex_bench_common.dir/traffic_lib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/dkindex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkindex_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/dkindex_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/dkindex_bench_common.dir/bench_experiments.cc.o"
+  "CMakeFiles/dkindex_bench_common.dir/bench_experiments.cc.o.d"
+  "CMakeFiles/dkindex_bench_common.dir/bench_json.cc.o"
+  "CMakeFiles/dkindex_bench_common.dir/bench_json.cc.o.d"
+  "CMakeFiles/dkindex_bench_common.dir/traffic_lib.cc.o"
+  "CMakeFiles/dkindex_bench_common.dir/traffic_lib.cc.o.d"
+  "libdkindex_bench_common.a"
+  "libdkindex_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkindex_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

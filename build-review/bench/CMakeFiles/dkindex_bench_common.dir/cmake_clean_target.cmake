@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdkindex_bench_common.a"
+)

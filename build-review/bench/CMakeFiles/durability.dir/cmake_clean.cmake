@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability.dir/durability.cc.o"
+  "CMakeFiles/durability.dir/durability.cc.o.d"
+  "durability"
+  "durability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

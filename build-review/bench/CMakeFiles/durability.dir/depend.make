@@ -1,0 +1,2 @@
+# Empty dependencies file for durability.
+# This may be replaced when dependencies are built.

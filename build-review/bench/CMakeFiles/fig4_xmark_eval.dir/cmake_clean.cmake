@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_xmark_eval.dir/fig4_xmark_eval.cc.o"
+  "CMakeFiles/fig4_xmark_eval.dir/fig4_xmark_eval.cc.o.d"
+  "fig4_xmark_eval"
+  "fig4_xmark_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_xmark_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

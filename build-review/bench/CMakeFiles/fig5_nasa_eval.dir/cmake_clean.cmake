@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_nasa_eval.dir/fig5_nasa_eval.cc.o"
+  "CMakeFiles/fig5_nasa_eval.dir/fig5_nasa_eval.cc.o.d"
+  "fig5_nasa_eval"
+  "fig5_nasa_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nasa_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_xmark_after_update.dir/fig6_xmark_after_update.cc.o"
+  "CMakeFiles/fig6_xmark_after_update.dir/fig6_xmark_after_update.cc.o.d"
+  "fig6_xmark_after_update"
+  "fig6_xmark_after_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_xmark_after_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_xmark_after_update.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_nasa_after_update.dir/fig7_nasa_after_update.cc.o"
+  "CMakeFiles/fig7_nasa_after_update.dir/fig7_nasa_after_update.cc.o.d"
+  "fig7_nasa_after_update"
+  "fig7_nasa_after_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nasa_after_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

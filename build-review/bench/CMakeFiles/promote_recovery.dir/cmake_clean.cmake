@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promote_recovery.dir/promote_recovery.cc.o"
+  "CMakeFiles/promote_recovery.dir/promote_recovery.cc.o.d"
+  "promote_recovery"
+  "promote_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promote_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

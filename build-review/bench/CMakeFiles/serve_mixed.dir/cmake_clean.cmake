@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_mixed.dir/serve_mixed.cc.o"
+  "CMakeFiles/serve_mixed.dir/serve_mixed.cc.o.d"
+  "serve_mixed"
+  "serve_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_update_time.dir/table1_update_time.cc.o"
+  "CMakeFiles/table1_update_time.dir/table1_update_time.cc.o.d"
+  "table1_update_time"
+  "table1_update_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_update_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

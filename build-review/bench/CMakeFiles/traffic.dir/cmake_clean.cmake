@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic.dir/traffic.cc.o"
+  "CMakeFiles/traffic.dir/traffic.cc.o.d"
+  "traffic"
+  "traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_policy.dir/tuning_policy.cc.o"
+  "CMakeFiles/tuning_policy.dir/tuning_policy.cc.o.d"
+  "tuning_policy"
+  "tuning_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

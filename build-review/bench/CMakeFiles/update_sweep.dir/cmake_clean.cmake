@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_sweep.dir/update_sweep.cc.o"
+  "CMakeFiles/update_sweep.dir/update_sweep.cc.o.d"
+  "update_sweep"
+  "update_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

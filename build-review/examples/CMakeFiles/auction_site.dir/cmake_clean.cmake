@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_site.dir/auction_site.cpp.o"
+  "CMakeFiles/auction_site.dir/auction_site.cpp.o.d"
+  "auction_site"
+  "auction_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branching_queries.dir/branching_queries.cpp.o"
+  "CMakeFiles/branching_queries.dir/branching_queries.cpp.o.d"
+  "branching_queries"
+  "branching_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branching_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

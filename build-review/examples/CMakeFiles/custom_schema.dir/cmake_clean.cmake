@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_schema.dir/custom_schema.cpp.o"
+  "CMakeFiles/custom_schema.dir/custom_schema.cpp.o.d"
+  "custom_schema"
+  "custom_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_db.dir/movie_db.cpp.o"
+  "CMakeFiles/movie_db.dir/movie_db.cpp.o.d"
+  "movie_db"
+  "movie_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasa_catalog.dir/nasa_catalog.cpp.o"
+  "CMakeFiles/nasa_catalog.dir/nasa_catalog.cpp.o.d"
+  "nasa_catalog"
+  "nasa_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasa_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

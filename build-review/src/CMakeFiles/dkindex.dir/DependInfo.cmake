@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/dkindex.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/dkindex.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/dkindex.dir/common/random.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/common/random.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/dkindex.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/dkindex.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/datagen/nasa_generator.cc" "src/CMakeFiles/dkindex.dir/datagen/nasa_generator.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/datagen/nasa_generator.cc.o.d"
+  "/root/repo/src/datagen/xmark_generator.cc" "src/CMakeFiles/dkindex.dir/datagen/xmark_generator.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/datagen/xmark_generator.cc.o.d"
+  "/root/repo/src/dtd/dtd_generator.cc" "src/CMakeFiles/dkindex.dir/dtd/dtd_generator.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/dtd/dtd_generator.cc.o.d"
+  "/root/repo/src/dtd/dtd_parser.cc" "src/CMakeFiles/dkindex.dir/dtd/dtd_parser.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/dtd/dtd_parser.cc.o.d"
+  "/root/repo/src/dtd/dtd_validator.cc" "src/CMakeFiles/dkindex.dir/dtd/dtd_validator.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/dtd/dtd_validator.cc.o.d"
+  "/root/repo/src/graph/data_graph.cc" "src/CMakeFiles/dkindex.dir/graph/data_graph.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/graph/data_graph.cc.o.d"
+  "/root/repo/src/graph/graph_algos.cc" "src/CMakeFiles/dkindex.dir/graph/graph_algos.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/graph/graph_algos.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/dkindex.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/label_table.cc" "src/CMakeFiles/dkindex.dir/graph/label_table.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/graph/label_table.cc.o.d"
+  "/root/repo/src/index/ak_index.cc" "src/CMakeFiles/dkindex.dir/index/ak_index.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/ak_index.cc.o.d"
+  "/root/repo/src/index/build_options.cc" "src/CMakeFiles/dkindex.dir/index/build_options.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/build_options.cc.o.d"
+  "/root/repo/src/index/dk_incremental.cc" "src/CMakeFiles/dkindex.dir/index/dk_incremental.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/dk_incremental.cc.o.d"
+  "/root/repo/src/index/dk_index.cc" "src/CMakeFiles/dkindex.dir/index/dk_index.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/dk_index.cc.o.d"
+  "/root/repo/src/index/dk_tuning.cc" "src/CMakeFiles/dkindex.dir/index/dk_tuning.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/dk_tuning.cc.o.d"
+  "/root/repo/src/index/dk_updates.cc" "src/CMakeFiles/dkindex.dir/index/dk_updates.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/dk_updates.cc.o.d"
+  "/root/repo/src/index/fb_index.cc" "src/CMakeFiles/dkindex.dir/index/fb_index.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/fb_index.cc.o.d"
+  "/root/repo/src/index/index_graph.cc" "src/CMakeFiles/dkindex.dir/index/index_graph.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/index_graph.cc.o.d"
+  "/root/repo/src/index/one_index.cc" "src/CMakeFiles/dkindex.dir/index/one_index.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/one_index.cc.o.d"
+  "/root/repo/src/index/paige_tarjan.cc" "src/CMakeFiles/dkindex.dir/index/paige_tarjan.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/paige_tarjan.cc.o.d"
+  "/root/repo/src/index/partition.cc" "src/CMakeFiles/dkindex.dir/index/partition.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/index/partition.cc.o.d"
+  "/root/repo/src/io/fs_util.cc" "src/CMakeFiles/dkindex.dir/io/fs_util.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/io/fs_util.cc.o.d"
+  "/root/repo/src/io/mmap_file.cc" "src/CMakeFiles/dkindex.dir/io/mmap_file.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/io/mmap_file.cc.o.d"
+  "/root/repo/src/io/serialization.cc" "src/CMakeFiles/dkindex.dir/io/serialization.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/io/serialization.cc.o.d"
+  "/root/repo/src/io/varint.cc" "src/CMakeFiles/dkindex.dir/io/varint.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/io/varint.cc.o.d"
+  "/root/repo/src/pathexpr/ast.cc" "src/CMakeFiles/dkindex.dir/pathexpr/ast.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/pathexpr/ast.cc.o.d"
+  "/root/repo/src/pathexpr/nfa.cc" "src/CMakeFiles/dkindex.dir/pathexpr/nfa.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/pathexpr/nfa.cc.o.d"
+  "/root/repo/src/pathexpr/parser.cc" "src/CMakeFiles/dkindex.dir/pathexpr/parser.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/pathexpr/parser.cc.o.d"
+  "/root/repo/src/pathexpr/path_expression.cc" "src/CMakeFiles/dkindex.dir/pathexpr/path_expression.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/pathexpr/path_expression.cc.o.d"
+  "/root/repo/src/pathexpr/tokenizer.cc" "src/CMakeFiles/dkindex.dir/pathexpr/tokenizer.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/pathexpr/tokenizer.cc.o.d"
+  "/root/repo/src/query/csr_codec.cc" "src/CMakeFiles/dkindex.dir/query/csr_codec.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/query/csr_codec.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/CMakeFiles/dkindex.dir/query/evaluator.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/query/evaluator.cc.o.d"
+  "/root/repo/src/query/frozen_view.cc" "src/CMakeFiles/dkindex.dir/query/frozen_view.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/query/frozen_view.cc.o.d"
+  "/root/repo/src/query/load_analyzer.cc" "src/CMakeFiles/dkindex.dir/query/load_analyzer.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/query/load_analyzer.cc.o.d"
+  "/root/repo/src/query/load_tracker.cc" "src/CMakeFiles/dkindex.dir/query/load_tracker.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/query/load_tracker.cc.o.d"
+  "/root/repo/src/query/parse_cache.cc" "src/CMakeFiles/dkindex.dir/query/parse_cache.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/query/parse_cache.cc.o.d"
+  "/root/repo/src/query/result_cache.cc" "src/CMakeFiles/dkindex.dir/query/result_cache.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/query/result_cache.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/CMakeFiles/dkindex.dir/query/workload.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/query/workload.cc.o.d"
+  "/root/repo/src/serve/checkpoint.cc" "src/CMakeFiles/dkindex.dir/serve/checkpoint.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/serve/checkpoint.cc.o.d"
+  "/root/repo/src/serve/query_server.cc" "src/CMakeFiles/dkindex.dir/serve/query_server.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/serve/query_server.cc.o.d"
+  "/root/repo/src/serve/shard_router.cc" "src/CMakeFiles/dkindex.dir/serve/shard_router.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/serve/shard_router.cc.o.d"
+  "/root/repo/src/serve/sharded_server.cc" "src/CMakeFiles/dkindex.dir/serve/sharded_server.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/serve/sharded_server.cc.o.d"
+  "/root/repo/src/serve/update_queue.cc" "src/CMakeFiles/dkindex.dir/serve/update_queue.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/serve/update_queue.cc.o.d"
+  "/root/repo/src/serve/wal.cc" "src/CMakeFiles/dkindex.dir/serve/wal.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/serve/wal.cc.o.d"
+  "/root/repo/src/twig/twig.cc" "src/CMakeFiles/dkindex.dir/twig/twig.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/twig/twig.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/dkindex.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/xml/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_to_graph.cc" "src/CMakeFiles/dkindex.dir/xml/xml_to_graph.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/xml/xml_to_graph.cc.o.d"
+  "/root/repo/src/xml/xml_writer.cc" "src/CMakeFiles/dkindex.dir/xml/xml_writer.cc.o" "gcc" "src/CMakeFiles/dkindex.dir/xml/xml_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

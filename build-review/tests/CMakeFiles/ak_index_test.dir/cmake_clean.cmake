@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ak_index_test.dir/ak_index_test.cc.o"
+  "CMakeFiles/ak_index_test.dir/ak_index_test.cc.o.d"
+  "ak_index_test"
+  "ak_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ak_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

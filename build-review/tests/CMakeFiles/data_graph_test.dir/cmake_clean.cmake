@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_graph_test.dir/data_graph_test.cc.o"
+  "CMakeFiles/data_graph_test.dir/data_graph_test.cc.o.d"
+  "data_graph_test"
+  "data_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_index_test.dir/dk_index_test.cc.o"
+  "CMakeFiles/dk_index_test.dir/dk_index_test.cc.o.d"
+  "dk_index_test"
+  "dk_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_tuning_test.dir/dk_tuning_test.cc.o"
+  "CMakeFiles/dk_tuning_test.dir/dk_tuning_test.cc.o.d"
+  "dk_tuning_test"
+  "dk_tuning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_tuning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_update_test.dir/dk_update_test.cc.o"
+  "CMakeFiles/dk_update_test.dir/dk_update_test.cc.o.d"
+  "dk_update_test"
+  "dk_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

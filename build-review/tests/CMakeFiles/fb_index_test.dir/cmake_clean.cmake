@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_index_test.dir/fb_index_test.cc.o"
+  "CMakeFiles/fb_index_test.dir/fb_index_test.cc.o.d"
+  "fb_index_test"
+  "fb_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

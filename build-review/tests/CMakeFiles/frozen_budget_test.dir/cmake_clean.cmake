@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frozen_budget_test.dir/frozen_budget_test.cc.o"
+  "CMakeFiles/frozen_budget_test.dir/frozen_budget_test.cc.o.d"
+  "frozen_budget_test"
+  "frozen_budget_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frozen_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frozen_view_test.dir/frozen_view_test.cc.o"
+  "CMakeFiles/frozen_view_test.dir/frozen_view_test.cc.o.d"
+  "frozen_view_test"
+  "frozen_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frozen_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

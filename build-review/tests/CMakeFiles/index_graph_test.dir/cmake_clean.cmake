@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_graph_test.dir/index_graph_test.cc.o"
+  "CMakeFiles/index_graph_test.dir/index_graph_test.cc.o.d"
+  "index_graph_test"
+  "index_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_table_test.dir/label_table_test.cc.o"
+  "CMakeFiles/label_table_test.dir/label_table_test.cc.o.d"
+  "label_table_test"
+  "label_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

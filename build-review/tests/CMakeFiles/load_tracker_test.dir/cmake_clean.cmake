@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_tracker_test.dir/load_tracker_test.cc.o"
+  "CMakeFiles/load_tracker_test.dir/load_tracker_test.cc.o.d"
+  "load_tracker_test"
+  "load_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_diff_test.dir/maintenance_diff_test.cc.o"
+  "CMakeFiles/maintenance_diff_test.dir/maintenance_diff_test.cc.o.d"
+  "maintenance_diff_test"
+  "maintenance_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

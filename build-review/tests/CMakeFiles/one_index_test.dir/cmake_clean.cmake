@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_index_test.dir/one_index_test.cc.o"
+  "CMakeFiles/one_index_test.dir/one_index_test.cc.o.d"
+  "one_index_test"
+  "one_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

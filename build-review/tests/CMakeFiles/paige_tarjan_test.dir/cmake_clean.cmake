@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paige_tarjan_test.dir/paige_tarjan_test.cc.o"
+  "CMakeFiles/paige_tarjan_test.dir/paige_tarjan_test.cc.o.d"
+  "paige_tarjan_test"
+  "paige_tarjan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paige_tarjan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_partition_test.dir/parallel_partition_test.cc.o"
+  "CMakeFiles/parallel_partition_test.dir/parallel_partition_test.cc.o.d"
+  "parallel_partition_test"
+  "parallel_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathexpr_test.dir/pathexpr_test.cc.o"
+  "CMakeFiles/pathexpr_test.dir/pathexpr_test.cc.o.d"
+  "pathexpr_test"
+  "pathexpr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/removal_test.dir/removal_test.cc.o"
+  "CMakeFiles/removal_test.dir/removal_test.cc.o.d"
+  "removal_test"
+  "removal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/removal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_cache_test.dir/result_cache_test.cc.o"
+  "CMakeFiles/result_cache_test.dir/result_cache_test.cc.o.d"
+  "result_cache_test"
+  "result_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

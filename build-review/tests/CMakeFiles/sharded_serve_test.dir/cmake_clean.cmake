@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_serve_test.dir/sharded_serve_test.cc.o"
+  "CMakeFiles/sharded_serve_test.dir/sharded_serve_test.cc.o.d"
+  "sharded_serve_test"
+  "sharded_serve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_serve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_smoke_test.dir/traffic_smoke_test.cc.o"
+  "CMakeFiles/traffic_smoke_test.dir/traffic_smoke_test.cc.o.d"
+  "traffic_smoke_test"
+  "traffic_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_test.dir/twig_test.cc.o"
+  "CMakeFiles/twig_test.dir/twig_test.cc.o.d"
+  "twig_test"
+  "twig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_parser_test.dir/xml_parser_test.cc.o"
+  "CMakeFiles/xml_parser_test.dir/xml_parser_test.cc.o.d"
+  "xml_parser_test"
+  "xml_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

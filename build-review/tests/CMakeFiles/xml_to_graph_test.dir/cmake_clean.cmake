@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_to_graph_test.dir/xml_to_graph_test.cc.o"
+  "CMakeFiles/xml_to_graph_test.dir/xml_to_graph_test.cc.o.d"
+  "xml_to_graph_test"
+  "xml_to_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_to_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkquery.dir/dkquery.cc.o"
+  "CMakeFiles/dkquery.dir/dkquery.cc.o.d"
+  "dkquery"
+  "dkquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

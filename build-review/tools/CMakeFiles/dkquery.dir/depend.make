@@ -1,0 +1,2 @@
+# Empty dependencies file for dkquery.
+# This may be replaced when dependencies are built.
