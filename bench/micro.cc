@@ -469,6 +469,146 @@ void BM_AkEdgeAdditionBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_AkEdgeAdditionBaseline)->Arg(1)->Arg(2);
 
+// ---- Evaluation backends (query/backend.h) ------------------------------
+//
+// Steady-state D(k) view shared by the backend benches below, so each bench
+// pays index construction once instead of per benchmark registration.
+const DkIndex& SharedBackendDk() {
+  static const DkIndex* dk = [] {
+    auto* copy = new DataGraph(SharedXmark().graph);
+    auto workload = bench::MakeWorkload(*copy, 100, 20030609);
+    LabelRequirements reqs =
+        bench::MineWorkloadRequirements(workload, copy->labels());
+    return new DkIndex(DkIndex::Build(copy, reqs));
+  }();
+  return *dk;
+}
+
+FrozenViewOptions ForcedBackend(EvalBackendMode mode) {
+  FrozenViewOptions options;
+  options.backend = mode;
+  return options;
+}
+
+// One query, every backend: "_.bidder.personref" is in every backend's
+// domain (finite language for reverse, required labels for the prefilter,
+// 4 NFA states for the DFA) and seeds the whole index through its wildcard
+// start, which is where the backends actually diverge. Arg indexes
+// EvalBackendMode (0 = auto ... 5 = reverse); bench/backends sweeps the
+// full query-shape × dataset matrix, this is the single-query microscope.
+void BM_BackendForcedEvaluate(benchmark::State& state) {
+  const DkIndex& dk = SharedBackendDk();
+  const auto mode = static_cast<EvalBackendMode>(state.range(0));
+  FrozenView view(dk.index(), ForcedBackend(mode));
+  FrozenScratch scratch;
+  std::string error;
+  auto q = PathExpression::Parse("_.bidder.personref",
+                                 SharedXmark().graph.labels(), &error);
+  for (auto _ : state) {
+    auto result = view.Evaluate(*q, nullptr, /*validate=*/true, &scratch);
+    benchmark::DoNotOptimize(result.size());
+  }
+  state.SetLabel(EvalBackendModeName(mode));
+}
+BENCHMARK(BM_BackendForcedEvaluate)->DenseRange(0, 5);
+
+// Compile-once vs per-eval for the DFA backend: a warm lane re-evaluates a
+// parsed query through its scratch's compiled cache and the shared DfaMemo,
+// so after the first pass every (mask, label) transition is a lookup. The
+// cold variant re-parses AND uses a fresh scratch per evaluation — a fresh
+// DfaMemo and compiled cache, so dense tables and subset transitions are
+// re-derived from the NFA move spans every time (the cost a server without
+// the ParseCache and persistent lane scratches would pay). "_*.personref"
+// keeps several NFA states live per frontier node, the shape the memo
+// exists for.
+void BM_DfaEvaluateWarmMemo(benchmark::State& state) {
+  const DkIndex& dk = SharedBackendDk();
+  FrozenView view(dk.index(), ForcedBackend(EvalBackendMode::kDfa));
+  FrozenScratch scratch;
+  std::string error;
+  auto q = PathExpression::Parse("_*.personref",
+                                 SharedXmark().graph.labels(), &error);
+  for (auto _ : state) {
+    auto result = view.Evaluate(*q, nullptr, /*validate=*/true, &scratch);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_DfaEvaluateWarmMemo);
+
+void BM_DfaEvaluateColdMemo(benchmark::State& state) {
+  const DkIndex& dk = SharedBackendDk();
+  FrozenView view(dk.index(), ForcedBackend(EvalBackendMode::kDfa));
+  std::string error;
+  for (auto _ : state) {
+    FrozenScratch scratch;
+    auto q = PathExpression::Parse("_*.personref",
+                                   SharedXmark().graph.labels(), &error);
+    auto result = view.Evaluate(*q, nullptr, /*validate=*/true, &scratch);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_DfaEvaluateColdMemo);
+
+// Prefilter selectivity sweep: "_._.<label>" with the anchor label chosen
+// by index-population percentile (Arg; 0 = rarest label, 100 = most
+// common). The prefilter's ancestor walk pays off while the anchor bucket
+// is small relative to the wildcard-seeded frontier and fades to overhead
+// as the percentile climbs — the NFA twin below is the constant the sweep
+// should be read against (its seed set ignores the anchor entirely).
+std::string SelectivityQuery(int percentile) {
+  const bench::Dataset& dataset = SharedXmark();
+  const DkIndex& dk = SharedBackendDk();
+  FrozenView probe(dk.index());
+  std::vector<std::pair<int64_t, LabelId>> pops;
+  for (LabelId lab = 0;
+       lab < static_cast<LabelId>(dataset.graph.labels().size()); ++lab) {
+    const int64_t pop = probe.IndexNodesWithLabel(lab);
+    if (pop > 0) pops.emplace_back(pop, lab);
+  }
+  std::sort(pops.begin(), pops.end());
+  const size_t pick = std::min(
+      pops.size() - 1, pops.size() * static_cast<size_t>(percentile) / 100);
+  return std::string("_._.") +
+         std::string(dataset.graph.labels().Name(pops[pick].second));
+}
+
+void BM_PrefilterSelectivitySweep(benchmark::State& state) {
+  const DkIndex& dk = SharedBackendDk();
+  FrozenView view(dk.index(), ForcedBackend(EvalBackendMode::kNfaPrefilter));
+  FrozenScratch scratch;
+  std::string error;
+  const std::string text = SelectivityQuery(static_cast<int>(state.range(0)));
+  auto q =
+      PathExpression::Parse(text, SharedXmark().graph.labels(), &error);
+  for (auto _ : state) {
+    auto result = view.Evaluate(*q, nullptr, /*validate=*/true, &scratch);
+    benchmark::DoNotOptimize(result.size());
+  }
+  state.SetLabel(text);
+}
+BENCHMARK(BM_PrefilterSelectivitySweep)->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(100);
+
+void BM_PrefilterSelectivitySweepNfaBaseline(benchmark::State& state) {
+  const DkIndex& dk = SharedBackendDk();
+  FrozenView view(dk.index(), ForcedBackend(EvalBackendMode::kNfa));
+  FrozenScratch scratch;
+  std::string error;
+  const std::string text = SelectivityQuery(static_cast<int>(state.range(0)));
+  auto q =
+      PathExpression::Parse(text, SharedXmark().graph.labels(), &error);
+  for (auto _ : state) {
+    auto result = view.Evaluate(*q, nullptr, /*validate=*/true, &scratch);
+    benchmark::DoNotOptimize(result.size());
+  }
+  state.SetLabel(text);
+}
+BENCHMARK(BM_PrefilterSelectivitySweepNfaBaseline)
+    ->Arg(0)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(75)
+    ->Arg(100);
+
 }  // namespace
 }  // namespace dki
 

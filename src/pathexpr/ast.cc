@@ -1,5 +1,7 @@
 #include "pathexpr/ast.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace dki {
@@ -86,6 +88,50 @@ bool IsLabelChain(const AstNode& node, std::vector<std::string>* labels) {
     default:
       return false;
   }
+}
+
+namespace {
+
+// Sorted-unique set operations over small label-name vectors.
+std::vector<std::string> SetUnion(std::vector<std::string> a,
+                                  const std::vector<std::string>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  return a;
+}
+
+std::vector<std::string> SetIntersect(const std::vector<std::string>& a,
+                                      const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> RequiredLabels(const AstNode& node) {
+  switch (node.kind) {
+    case AstKind::kLabel:
+      return {node.label};
+    case AstKind::kWildcard:
+      return {};
+    case AstKind::kSeq:
+      return SetUnion(RequiredLabels(*node.left),
+                      RequiredLabels(*node.right));
+    case AstKind::kAlt:
+      // Only labels required on BOTH branches are required overall.
+      return SetIntersect(RequiredLabels(*node.left),
+                          RequiredLabels(*node.right));
+    case AstKind::kStar:
+    case AstKind::kOpt:
+      // Zero repetitions are allowed, so nothing inside is required.
+      return {};
+    case AstKind::kPlus:
+      return RequiredLabels(*node.left);
+  }
+  return {};
 }
 
 }  // namespace dki

@@ -45,6 +45,17 @@ std::string AstToString(const AstNode& node);
 // fills `labels` with the chain when so.
 bool IsLabelChain(const AstNode& node, std::vector<std::string>* labels);
 
+// Labels that occur in EVERY word of the expression's language (must-occur
+// labels), sorted and deduplicated. Computed compositionally:
+//   label      -> {label}          wildcard -> {}
+//   R.S        -> req(R) u req(S)  R|S      -> req(R) n req(S)
+//   R* / R?    -> {}               R+       -> req(R)
+// The set is an under-approximation in the safe direction: a word may
+// contain more labels, never fewer. The evaluation prefilter uses it to
+// short-circuit queries whose required label has no population and to
+// shrink BFS seed sets (see query/backend.h).
+std::vector<std::string> RequiredLabels(const AstNode& node);
+
 }  // namespace dki
 
 #endif  // DKINDEX_PATHEXPR_AST_H_

@@ -1,0 +1,25 @@
+#include "pathexpr/dfa_memo.h"
+
+namespace dki {
+
+size_t DfaMemo::Snapshot(uint64_t fingerprint, DfaTransitionMap* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fingerprint_ != fingerprint) {
+    fingerprint_ = fingerprint;
+    map_.clear();
+    return 0;
+  }
+  for (const auto& [key, value] : map_) out->emplace(key, value);
+  return map_.size();
+}
+
+void DfaMemo::Merge(uint64_t fingerprint, const DfaTransitionMap& entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fingerprint_ != fingerprint) return;
+  for (const auto& [key, value] : entries) {
+    if (map_.size() >= kMaxEntries) break;
+    map_.emplace(key, value);
+  }
+}
+
+}  // namespace dki

@@ -1,0 +1,110 @@
+#ifndef DKINDEX_PATHEXPR_DFA_MEMO_H_
+#define DKINDEX_PATHEXPR_DFA_MEMO_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/label_table.h"
+
+namespace dki {
+
+// Key of one memoized DFA transition: a subset-construction state (bitmask
+// of NFA states, so automata are limited to 64 states) consuming one label.
+struct DfaTransitionKey {
+  uint64_t mask;
+  LabelId label;
+
+  bool operator==(const DfaTransitionKey& o) const {
+    return mask == o.mask && label == o.label;
+  }
+};
+
+struct DfaTransitionKeyHash {
+  size_t operator()(const DfaTransitionKey& k) const {
+    uint64_t h = k.mask ^ (static_cast<uint64_t>(
+                               static_cast<uint32_t>(k.label)) *
+                           0x9e3779b97f4a7c15ull);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+using DfaTransitionMap =
+    std::unordered_map<DfaTransitionKey, uint64_t, DfaTransitionKeyHash>;
+
+// Shared, thread-safe cache of subset-construction transitions for one
+// compiled path expression, plus the expression's evaluation count (the
+// planner's "query-cache hit history" signal). One DfaMemo is created per
+// PathExpression::Parse and shared by every copy of the expression — the
+// ParseCache hands the same shared_ptr<const PathExpression> to every
+// thread, so repeat evaluations of a cached query warm one memo instead of
+// re-deriving transitions per scratch.
+//
+// The cache is fingerprint-validated: the fingerprint covers both automata
+// and the label-universe size (computed by the evaluation layer), so the
+// pathological case of one expression object evaluated against two label
+// tables resets the cache instead of serving wrong transitions. Entries are
+// capped at kMaxEntries; past the cap new transitions are computed but not
+// memoized.
+class DfaMemo {
+ public:
+  static constexpr size_t kMaxEntries = size_t{1} << 15;
+
+  DfaMemo() = default;
+  DfaMemo(const DfaMemo&) = delete;
+  DfaMemo& operator=(const DfaMemo&) = delete;
+
+  // Bumps the evaluation counter; returns the count BEFORE this call.
+  int64_t RecordEval() {
+    return evals_.fetch_add(1, std::memory_order_relaxed);
+  }
+  int64_t evals() const { return evals_.load(std::memory_order_relaxed); }
+
+  // Measured end-to-end evaluation latency per backend family — the
+  // planner's A/B signal for the NFA-vs-DFA decision: the first post-warmup
+  // evaluation runs the DFA as a trial, after which the cheaper measured
+  // family wins (query/backends/planner.cc). Stored as an EMA (3:1 old:new)
+  // so one descheduled evaluation does not flip the decision for good;
+  // relaxed atomics — a lost update costs one suboptimal pick, never
+  // correctness. 0 = no sample yet.
+  void RecordFamilyNs(bool dfa_family, int64_t ns) {
+    std::atomic<int64_t>& slot = dfa_family ? dfa_ns_ : nfa_ns_;
+    const int64_t old = slot.load(std::memory_order_relaxed);
+    slot.store(old == 0 ? ns : (3 * old + ns) / 4,
+               std::memory_order_relaxed);
+  }
+  int64_t nfa_ns() const { return nfa_ns_.load(std::memory_order_relaxed); }
+  int64_t dfa_ns() const { return dfa_ns_.load(std::memory_order_relaxed); }
+
+  // Copies the cached transitions into `out` (merging over what is there)
+  // when `fingerprint` matches the stored one. A mismatch rebinds the memo
+  // to `fingerprint` and drops the stale entries. Returns entries copied.
+  size_t Snapshot(uint64_t fingerprint, DfaTransitionMap* out);
+
+  // Inserts entries the shared map is missing, up to kMaxEntries. A
+  // fingerprint mismatch drops the offered entries (some other label
+  // universe owns the memo now).
+  void Merge(uint64_t fingerprint, const DfaTransitionMap& entries);
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t fingerprint_ = 0;  // 0 = never bound
+  DfaTransitionMap map_;
+  std::atomic<int64_t> evals_{0};
+  std::atomic<int64_t> nfa_ns_{0};
+  std::atomic<int64_t> dfa_ns_{0};
+};
+
+}  // namespace dki
+
+#endif  // DKINDEX_PATHEXPR_DFA_MEMO_H_

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
 #include "graph/label_table.h"
 #include "pathexpr/ast.h"
 
@@ -56,6 +57,21 @@ class Automaton {
   // Precomputed StartMove(label). Requires start_moves_ready().
   const std::vector<int>& StartMovesFor(LabelId label) const;
 
+  // Labels with a dedicated (non-wildcard) transition out of the start set,
+  // sorted ascending. Together with wildcard_start_width() this lets the
+  // evaluation planner estimate seed-set sizes from label populations
+  // without scanning the whole label universe. Requires start_moves_ready().
+  const std::vector<LabelId>& start_labels() const {
+    DKI_DCHECK(start_moves_ready_);
+    return start_labels_;
+  }
+  // Number of states reachable from the start set on a wildcard edge (0 when
+  // no wildcard leaves a start state). Requires start_moves_ready().
+  int wildcard_start_width() const {
+    DKI_DCHECK(start_moves_ready_);
+    return static_cast<int>(wildcard_start_moves_.size());
+  }
+
   // True if some start state can consume `label` (or has a wildcard edge).
   // Used to seed the product search only with plausible nodes.
   bool CanStartWith(LabelId label) const;
@@ -89,6 +105,7 @@ class Automaton {
   // PrecomputeStartMoves output (see above).
   bool start_moves_ready_ = false;
   std::vector<int> wildcard_start_moves_;
+  std::vector<LabelId> start_labels_;
   std::unordered_map<LabelId, std::vector<int>> start_moves_by_label_;
 };
 

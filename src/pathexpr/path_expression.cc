@@ -29,6 +29,13 @@ std::optional<PathExpression> PathExpression::Parse(std::string_view text,
       expr.chain_labels_.push_back(id == kInvalidLabel ? kUnknownLabel : id);
     }
   }
+  // Must-occur labels for the evaluation prefilter, resolved while the AST
+  // is still alive (it is dropped after this function).
+  for (const std::string& name : RequiredLabels(*ast)) {
+    LabelId id = labels.Find(name);
+    expr.required_labels_.push_back(id == kInvalidLabel ? kUnknownLabel : id);
+  }
+  expr.dfa_memo_ = std::make_shared<DfaMemo>();
   return expr;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/label_table.h"
+#include "pathexpr/dfa_memo.h"
 #include "pathexpr/nfa.h"
 
 namespace dki {
@@ -47,6 +48,20 @@ class PathExpression {
   // empty.
   int max_word_length() const { return max_word_length_; }
 
+  // Labels occurring in every word of the language (pathexpr/ast.h
+  // RequiredLabels), resolved against the parse-time label table and sorted
+  // by name. Tags absent from the table resolve to kUnknownLabel — a
+  // required label no data node can carry, i.e. the query matches nothing.
+  const std::vector<LabelId>& required_labels() const {
+    return required_labels_;
+  }
+
+  // Shared subset-construction transition cache, created once per Parse.
+  // Copies of the expression (and every reader holding the ParseCache's
+  // shared entry) point at the same memo, so DFA-backend evaluations warm a
+  // single cache per distinct query text. Never null after Parse.
+  const std::shared_ptr<DfaMemo>& dfa_memo() const { return dfa_memo_; }
+
  private:
   PathExpression() = default;
 
@@ -55,6 +70,8 @@ class PathExpression {
   Automaton reverse_;
   bool is_chain_ = false;
   std::vector<LabelId> chain_labels_;
+  std::vector<LabelId> required_labels_;
+  std::shared_ptr<DfaMemo> dfa_memo_;
   int max_word_length_ = -2;
 };
 

@@ -1,0 +1,38 @@
+// Reverse-automaton evaluation (EvalBackend::kReverse): answers the query
+// from the accept side instead of the start side. A data node v is in the
+// result iff some path ending at v spells a word of the language — which is
+// exactly what the Theorem-1 validation primitive (ValidateFrozenCandidate:
+// reverse-automaton BFS over data parent edges from v) decides, with no
+// index traversal involved. So when few nodes can END a match (the reversed
+// automaton's seed labels have small data populations) while the forward
+// frontier would be huge (wildcard starts, high-fanout start labels), it is
+// cheaper to validate the accept-side buckets directly than to run any
+// product BFS at all.
+//
+// This file only collects the candidates; Evaluate's shared validation tail
+// (including the parallel fan-out) confirms each one, keeping results
+// bit-identical to every other backend. Only defined for validate mode —
+// raw mode's over-approximation (whole uncertain extents) is a property of
+// the forward index traversal that reverse evaluation cannot reproduce, so
+// the planner never picks (and forced modes fall back from) reverse when
+// validate is off.
+
+#include "query/frozen_view.h"
+
+namespace dki {
+
+void FrozenView::CollectReverseCandidates(FrozenScratch* s) const {
+  // No index BFS ran: clear the previous query's matched set so the
+  // Theorem-1 split is a no-op and only the candidates below are validated.
+  s->matched_.clear();
+  const FrozenScratch::DenseAutomaton& rev = *s->rev_;
+  for (LabelId lab : rev.seed_labels) {
+    const int32_t nb = data_bylabel_off_[static_cast<size_t>(lab)];
+    const int32_t ne = data_bylabel_off_[static_cast<size_t>(lab) + 1];
+    for (int32_t e = nb; e != ne; ++e) {
+      s->candidates_.push_back(data_bylabel_[static_cast<size_t>(e)]);
+    }
+  }
+}
+
+}  // namespace dki

@@ -1,7 +1,12 @@
 #include "query/frozen_view.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
@@ -72,6 +77,51 @@ int64_t VectorBytes(const std::vector<T>& v) {
   return static_cast<int64_t>(v.capacity() * sizeof(T));
 }
 
+// Resolves a view's backend policy: an explicit option wins; otherwise
+// DKI_EVAL_BACKEND overrides kAuto (unknown values warn once and are
+// ignored, so a typo degrades to the default instead of crashing serving).
+EvalBackendMode ResolveBackendMode(EvalBackendMode option) {
+  if (option != EvalBackendMode::kAuto) return option;
+  const char* env = std::getenv("DKI_EVAL_BACKEND");
+  if (env == nullptr || *env == '\0') return EvalBackendMode::kAuto;
+  std::optional<EvalBackendMode> parsed = ParseEvalBackendMode(env);
+  if (!parsed.has_value()) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "DKI_EVAL_BACKEND=%s is not a backend name; using auto\n",
+                   env);
+    }
+    return EvalBackendMode::kAuto;
+  }
+  return *parsed;
+}
+
+// Per-backend serving metrics: a call counter and an evaluation-latency
+// histogram under serve.eval.backend.<name>.*, resolved once per backend.
+struct BackendMetrics {
+  explicit BackendMetrics(const std::string& name)
+      : calls(MetricsRegistry::Global().GetCounter(
+            "serve.eval.backend." + name + ".calls")),
+        latency_ns(MetricsRegistry::Global().GetHistogram(
+            "serve.eval.backend." + name + ".latency_ns")) {}
+
+  Counter& calls;
+  Histogram& latency_ns;
+};
+
+BackendMetrics& MetricsForBackend(EvalBackend backend) {
+  static std::array<BackendMetrics*, kNumEvalBackends>& table = *[] {
+    auto* t = new std::array<BackendMetrics*, kNumEvalBackends>();
+    for (int b = 0; b < kNumEvalBackends; ++b) {
+      (*t)[static_cast<size_t>(b)] =
+          new BackendMetrics(EvalBackendName(static_cast<EvalBackend>(b)));
+    }
+    return t;
+  }();
+  return *table[static_cast<size_t>(backend)];
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -82,6 +132,7 @@ FrozenView::FrozenView(const IndexGraph& index,
                        const FrozenViewOptions& options)
     : epoch_(index.epoch()),
       num_labels_(static_cast<int32_t>(index.graph().labels().size())),
+      mode_(ResolveBackendMode(options.backend)),
       view_id_(g_next_view_id.fetch_add(1, std::memory_order_relaxed)) {
   const DataGraph& g = index.graph();
   const int64_t n = g.NumNodes();
@@ -118,13 +169,15 @@ FrozenView::FrozenView(const IndexGraph& index,
         static_cast<int32_t>(data_bylabel_.size());
   }
 
-  // Index graph: labels, k, children CSR, extents CSR.
+  // Index graph: labels, k, both adjacency directions, extents CSR.
   index_label_.resize(static_cast<size_t>(m));
   index_k_.resize(static_cast<size_t>(m));
   index_child_off_.resize(static_cast<size_t>(m) + 1);
+  index_parent_off_.resize(static_cast<size_t>(m) + 1);
   extent_off_.resize(static_cast<size_t>(m) + 1);
   extent_.reserve(static_cast<size_t>(n));
   index_child_off_[0] = 0;
+  index_parent_off_[0] = 0;
   extent_off_[0] = 0;
   for (IndexNodeId i = 0; i < m; ++i) {
     index_label_[static_cast<size_t>(i)] = index.label(i);
@@ -133,6 +186,10 @@ FrozenView::FrozenView(const IndexGraph& index,
     index_child_.insert(index_child_.end(), c.begin(), c.end());
     index_child_off_[static_cast<size_t>(i) + 1] =
         static_cast<int32_t>(index_child_.size());
+    const auto& p = index.parents(i);
+    index_parent_.insert(index_parent_.end(), p.begin(), p.end());
+    index_parent_off_[static_cast<size_t>(i) + 1] =
+        static_cast<int32_t>(index_parent_.size());
     const auto& e = index.extent(i);
     extent_.insert(extent_.end(), e.begin(), e.end());
     extent_off_[static_cast<size_t>(i) + 1] =
@@ -177,7 +234,8 @@ void FrozenView::ApplyMemoryBudget(const FrozenViewOptions& options) {
       VectorBytes(data_label_) + VectorBytes(data_bylabel_off_) +
       VectorBytes(data_bylabel_) + VectorBytes(index_label_) +
       VectorBytes(index_k_) + VectorBytes(index_child_off_) +
-      VectorBytes(index_child_) + VectorBytes(index_bylabel_off_) +
+      VectorBytes(index_child_) + VectorBytes(index_parent_off_) +
+      VectorBytes(index_parent_) + VectorBytes(index_bylabel_off_) +
       VectorBytes(index_bylabel_) + comp_child_.table_bytes() +
       comp_parent_.table_bytes() + comp_extent_.table_bytes();
   memory_stats_.compressed_bytes = compressed;
@@ -212,7 +270,8 @@ int64_t FrozenView::ApproxBytes() const {
          VectorBytes(data_parent_) + VectorBytes(data_bylabel_off_) +
          VectorBytes(data_bylabel_) + VectorBytes(index_label_) +
          VectorBytes(index_k_) + VectorBytes(index_child_off_) +
-         VectorBytes(index_child_) + VectorBytes(extent_off_) +
+         VectorBytes(index_child_) + VectorBytes(index_parent_off_) +
+         VectorBytes(index_parent_) + VectorBytes(extent_off_) +
          VectorBytes(extent_) + VectorBytes(index_bylabel_off_) +
          VectorBytes(index_bylabel_);
 }
@@ -357,9 +416,13 @@ void FrozenScratch::PrepareForQuery(const FrozenView& view,
     entry.fwd.Compile(query.forward(), view.num_labels());
     entry.rev.Compile(query.reverse(), view.num_labels());
     entry.fingerprint = fp;
+    entry.dfa_trans.clear();
+    entry.dfa_synced = false;
+    entry.dfa_merged_size = 0;
   }
   fwd_ = &entry.fwd;
   rev_ = &entry.rev;
+  cur_compiled_ = &entry;
 }
 
 void FrozenScratch::BeginIndexTraversal(int64_t num_index_nodes) {
@@ -409,6 +472,18 @@ bool FrozenScratch::InsertIndexVisit(int32_t node, int32_t state) {
   if (word & bit) return false;
   word |= bit;
   return true;
+}
+
+uint64_t FrozenScratch::InsertIndexMask(int32_t node, uint64_t mask) {
+  DKI_DCHECK(index_words_ == 1);
+  const size_t i = static_cast<size_t>(node);
+  if (index_mask_gen_[i] != index_gen_) {
+    index_mask_gen_[i] = index_gen_;
+    index_masks_[i] = 0;
+  }
+  const uint64_t fresh = mask & ~index_masks_[i];
+  index_masks_[i] |= fresh;
+  return fresh;
 }
 
 bool FrozenScratch::InsertDataVisit(int32_t node, int32_t state) {
@@ -478,57 +553,42 @@ std::vector<NodeId> FrozenView::Evaluate(const PathExpression& query,
   s->PrepareForQuery(*this, query);
   EvalStats local;
 
-  // --- forward product BFS over the frozen index graph -------------------
-  const FrozenScratch::DenseAutomaton& fwd = *s->fwd_;
-  s->BeginIndexTraversal(num_index_nodes());
-  for (LabelId lab : fwd.seed_labels) {
-    const int32_t nb = index_bylabel_off_[static_cast<size_t>(lab)];
-    const int32_t ne = index_bylabel_off_[static_cast<size_t>(lab) + 1];
-    const int32_t* qb =
-        fwd.start_to.data() + fwd.start_off[static_cast<size_t>(lab)];
-    const int32_t* qe =
-        fwd.start_to.data() + fwd.start_off[static_cast<size_t>(lab) + 1];
-    for (int32_t e = nb; e != ne; ++e) {
-      const IndexNodeId node = index_bylabel_[static_cast<size_t>(e)];
-      for (const int32_t* q = qb; q != qe; ++q) {
-        if (s->InsertIndexVisit(node, *q)) s->cur_.push_back({node, *q});
-      }
+  // --- plan + dispatch the index-side traversal --------------------------
+  // The planner consults the query's evaluation count BEFORE this call is
+  // recorded, so the decision for evaluation N never depends on N itself.
+  const EvalPlan plan = PlanQuery(query, validate);
+  if (query.dfa_memo() != nullptr) query.dfa_memo()->RecordEval();
+  BackendMetrics& backend_metrics = MetricsForBackend(plan.backend);
+  backend_metrics.calls.Increment();
+  const auto backend_start = std::chrono::steady_clock::now();
+
+  std::vector<NodeId> result;
+  s->candidates_.clear();
+  if (plan.empty) {
+    // Prefilter short-circuit: a required label has no index population (or
+    // no label can seed/end a match), so the result is {} with no
+    // traversal at all.
+    s->matched_.clear();
+  } else if (plan.backend == EvalBackend::kReverse) {
+    // Accept-side evaluation: every plausible end node becomes a candidate
+    // for the shared validation tail; no index BFS, no certain extents.
+    CollectReverseCandidates(s);
+  } else {
+    const bool use_prefilter = plan.anchor_label != kInvalidLabel;
+    if (use_prefilter) {
+      ComputePrefilterSeeds(s, plan.anchor_label, query.max_word_length());
     }
-  }
-  int32_t depth = 0;
-  while (!s->cur_.empty()) {
-    for (const FrozenScratch::Frontier& f : s->cur_) {
-      ++local.index_nodes_visited;
-      if (fwd.accept[static_cast<size_t>(f.state)]) {
-        const size_t i = static_cast<size_t>(f.node);
-        if (s->accept_gen_[i] != s->index_gen_) {
-          s->accept_gen_[i] = s->index_gen_;
-          s->accept_depth_[i] = depth;
-          s->matched_.push_back(f.node);
-        } else {
-          s->accept_depth_[i] = std::min(s->accept_depth_[i], depth);
-        }
-      }
-      const int32_t cb = index_child_off_[static_cast<size_t>(f.node)];
-      const int32_t ce = index_child_off_[static_cast<size_t>(f.node) + 1];
-      for (int32_t e = cb; e != ce; ++e) {
-        const IndexNodeId c = index_child_[static_cast<size_t>(e)];
-        const LabelId clab = index_label_[static_cast<size_t>(c)];
-        const int32_t* mb = fwd.moves_begin(f.state, clab);
-        const int32_t* me = fwd.moves_end(f.state, clab);
-        for (const int32_t* q = mb; q != me; ++q) {
-          if (s->InsertIndexVisit(c, *q)) s->next_.push_back({c, *q});
-        }
-      }
+    if (plan.backend == EvalBackend::kDfa ||
+        plan.backend == EvalBackend::kDfaPrefilter) {
+      RunDfaIndexBfs(s, query, use_prefilter, &local);
+    } else {
+      RunNfaIndexBfs(s, use_prefilter, &local);
     }
-    std::swap(s->cur_, s->next_);
-    s->next_.clear();
-    ++depth;
   }
 
   // --- Theorem 1 split: certain extents vs. candidates to validate -------
-  std::vector<NodeId> result;
-  s->candidates_.clear();
+  // (reverse plans arrive with an empty matched set and pre-filled
+  // candidates, so the split is a no-op and every candidate validates)
   for (IndexNodeId inode : s->matched_) {
     const size_t i = static_cast<size_t>(inode);
     const auto [eb, ee] = ExtentRow(s, inode);
@@ -588,6 +648,20 @@ std::vector<NodeId> FrozenView::Evaluate(const PathExpression& query,
   DKI_DCHECK(std::adjacent_find(result.begin(), result.end()) ==
              result.end());
   local.result_size = static_cast<int64_t>(result.size());
+  const int64_t backend_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - backend_start)
+          .count();
+  backend_metrics.latency_ns.Record(backend_ns);
+  // Feed the planner's NFA-vs-DFA latency A/B (see PlanQuery): empty and
+  // reverse plans say nothing about that choice, so they record nothing.
+  if (query.dfa_memo() != nullptr && !plan.empty &&
+      plan.backend != EvalBackend::kReverse) {
+    query.dfa_memo()->RecordFamilyNs(
+        plan.backend == EvalBackend::kDfa ||
+            plan.backend == EvalBackend::kDfaPrefilter,
+        backend_ns);
+  }
   static FrozenCounters& counters = *new FrozenCounters("eval.frozen.index");
   counters.Record(local);
   if (stats != nullptr) stats->Accumulate(local);
@@ -661,8 +735,13 @@ std::vector<std::vector<NodeId>> FrozenView::EvaluateBatch(
   const int64_t total = static_cast<int64_t>(queries.size());
   std::vector<std::vector<NodeId>> results(queries.size());
   if (stats != nullptr) stats->assign(queries.size(), EvalStats());
-  const int max_useful_lanes = static_cast<int>(
-      (total + kMinQueriesPerLane - 1) / kMinQueriesPerLane);
+  // Floor division keeps the lane-count promise honest: with ceil division
+  // a batch just past a lane multiple (say 9 queries, kMinQueriesPerLane 8)
+  // opened an extra lane whose queries all fell below the minimum. Floor
+  // caps lanes so EVERY lane gets >= kMinQueriesPerLane, and ChunkBounds
+  // spreads the remainder so lane loads differ by at most one query.
+  const int max_useful_lanes =
+      static_cast<int>(std::max<int64_t>(1, total / kMinQueriesPerLane));
   const int num_lanes =
       (pool == nullptr || pool->num_threads() <= 1 || total <= 1)
           ? 1

@@ -13,6 +13,7 @@
 #include "index/index_graph.h"
 #include "io/mmap_file.h"
 #include "pathexpr/path_expression.h"
+#include "query/backend.h"
 #include "query/csr_codec.h"
 #include "query/evaluator.h"
 
@@ -34,6 +35,13 @@ struct FrozenViewOptions {
   // Directory for the spill file ("" = /tmp). Unlinked at creation: the
   // space is reclaimed automatically when the view dies, crash included.
   std::string spill_dir;
+  // Evaluation-backend policy (query/backend.h): kAuto lets the per-query
+  // cost model choose; anything else forces one backend for every query on
+  // this view. When left at kAuto, the DKI_EVAL_BACKEND environment
+  // variable (same names as EvalBackendModeName) overrides it at view
+  // construction — handy for A/B-ing a serving stack without a config
+  // change. Results are bit-identical under every policy.
+  EvalBackendMode backend = EvalBackendMode::kAuto;
 };
 
 // Memory accounting of one frozen view (see FrozenView::memory_stats).
@@ -46,10 +54,11 @@ struct FrozenMemoryStats {
 
 // The frozen read path: an immutable flat-memory snapshot of one
 // (data graph, index graph) pair, built once per published state and shared
-// by any number of reader threads. Evaluation against it is bit-identical
-// to the reference evaluators (query/evaluator.h) — same results AND same
-// EvalStats — but runs on cache-friendly arrays instead of the
-// mutation-friendly representation:
+// by any number of reader threads. Evaluation against it is
+// result-bit-identical to the reference evaluators (query/evaluator.h)
+// under every backend the planner may pick (and stats-bit-identical too
+// when the policy forces kNfa — see query/backend.h), running on
+// cache-friendly arrays instead of the mutation-friendly representation:
 //
 //   * children/parents of both graphs as CSR (offset + edge arrays);
 //   * extents as one CSR over the data nodes;
@@ -118,14 +127,39 @@ class FrozenView {
            data_bylabel_off_[static_cast<size_t>(label)];
   }
 
-  // Index-graph evaluation, equivalent to EvaluateOnIndex: certain extents
-  // by Theorem 1, uncertain extents validated against the frozen data graph
-  // (or kept whole with `validate` false). Passing a `scratch` reuses
-  // traversal state across calls (one scratch serves one thread); without
-  // one a fresh scratch is allocated per call. With `validation_pool` set
-  // and at least kParallelValidationThreshold uncertain candidates, their
-  // validation fans out over the pool (results stay deterministic; the pool
-  // must not be running another job).
+  // Same over the index graph: how many index nodes carry `label`. The
+  // backend planner's population estimates are built from this.
+  int64_t IndexNodesWithLabel(LabelId label) const {
+    if (label < 0 || label >= num_labels_) return 0;
+    return index_bylabel_off_[static_cast<size_t>(label) + 1] -
+           index_bylabel_off_[static_cast<size_t>(label)];
+  }
+
+  // The view's backend policy after resolving DKI_EVAL_BACKEND.
+  EvalBackendMode backend_mode() const { return mode_; }
+
+  // The cost model (query/backends/planner.cc): picks the backend Evaluate
+  // will run for `query` under this view's policy, from label-population
+  // stats, automaton start fanout, and the query's evaluation history
+  // (PathExpression::dfa_memo: eval counts plus measured per-family
+  // latencies for the NFA-vs-DFA A/B). Deterministic given (view, query,
+  // validate, history) — though the latency half of the history is itself
+  // timing-dependent, which is why only results, never auto-mode stats, are
+  // comparable across runs. Exposed for tests and bench introspection.
+  EvalPlan PlanQuery(const PathExpression& query, bool validate) const;
+
+  // Index-graph evaluation, result-identical to EvaluateOnIndex: certain
+  // extents by Theorem 1, uncertain extents validated against the frozen
+  // data graph (or kept whole with `validate` false). The traversal runs on
+  // the backend PlanQuery picks (query/backend.h) — results are
+  // bit-identical across backends; EvalStats counters match the reference
+  // exactly when the view's policy forces kNfa, and count each backend's
+  // own work otherwise. Passing a `scratch` reuses traversal state across
+  // calls (one scratch serves one thread); without one a fresh scratch is
+  // allocated per call. With `validation_pool` set and at least
+  // kParallelValidationThreshold uncertain candidates, their validation
+  // fans out over the pool (results stay deterministic; the pool must not
+  // be running another job).
   std::vector<NodeId> Evaluate(const PathExpression& query,
                                EvalStats* stats = nullptr,
                                bool validate = true,
@@ -133,7 +167,8 @@ class FrozenView {
                                ThreadPool* validation_pool = nullptr) const;
 
   // Ground-truth evaluation on the frozen data graph, equivalent to
-  // EvaluateOnDataGraph.
+  // EvaluateOnDataGraph. Always the NFA product-BFS — the backend planner
+  // only covers the index path, where the wins are.
   std::vector<NodeId> EvaluateOnData(const PathExpression& query,
                                      EvalStats* stats = nullptr,
                                      FrozenScratch* scratch = nullptr) const;
@@ -167,6 +202,26 @@ class FrozenView {
   bool ValidateFrozenCandidate(FrozenScratch* scratch, NodeId node,
                                int64_t* visited_pairs) const;
 
+  // The four traversal strategies Evaluate dispatches over, defined in
+  // src/query/backends/ (one file per backend; EvalBackendMode resolution
+  // and the cost model live in planner.cc). The BFS variants fill the
+  // scratch's matched_/accept_depth_ state for the shared Theorem-1 +
+  // validation tail in Evaluate; the reverse variant skips the index BFS
+  // entirely and fills candidates_ instead.
+  void RunNfaIndexBfs(FrozenScratch* s, bool use_prefilter,
+                      EvalStats* local) const;
+  void RunDfaIndexBfs(FrozenScratch* s, const PathExpression& query,
+                      bool use_prefilter, EvalStats* local) const;
+  // Marks (in the scratch's prefilter stamp array) every index node that is
+  // an ancestor-or-self, within the query's word-length bound, of a node
+  // carrying `anchor` — a superset of the nodes that can start a match.
+  void ComputePrefilterSeeds(FrozenScratch* s, LabelId anchor,
+                             int max_word_length) const;
+  // Fills scratch->candidates_ with every data node whose label can end a
+  // word of the language (the reversed automaton's seed buckets); the
+  // shared validation tail confirms each one.
+  void CollectReverseCandidates(FrozenScratch* s) const;
+
   // Row accessors over the three cold arrays, branching on storage mode:
   // flat mode returns spans into the owned arrays; budgeted mode decodes
   // through the scratch's block cache. The span is valid until the next
@@ -185,6 +240,7 @@ class FrozenView {
 
   uint64_t epoch_ = 0;
   int32_t num_labels_ = 0;
+  EvalBackendMode mode_ = EvalBackendMode::kAuto;
 
   // Data graph, flattened. Offsets are int32 (NodeId itself is int32, so
   // edge counts fit).
@@ -196,11 +252,15 @@ class FrozenView {
   std::vector<int32_t> data_bylabel_off_;  // size L+1
   std::vector<NodeId> data_bylabel_;       // node ids, ascending per bucket
 
-  // Index graph, flattened.
+  // Index graph, flattened. Parent adjacency exists for the prefilter's
+  // ancestor walk; like every index-side array it stays flat in budgeted
+  // mode (the index graph is the hot, small side).
   std::vector<LabelId> index_label_;
   std::vector<int32_t> index_k_;
   std::vector<int32_t> index_child_off_;  // size M+1
   std::vector<IndexNodeId> index_child_;
+  std::vector<int32_t> index_parent_off_;  // size M+1
+  std::vector<IndexNodeId> index_parent_;
   std::vector<int32_t> extent_off_;  // size M+1
   std::vector<NodeId> extent_;       // concatenated extents, size N
   std::vector<int32_t> index_bylabel_off_;  // size L+1
@@ -279,14 +339,30 @@ class FrozenScratch {
     int32_t state;
   };
 
+  // DFA-backend frontier entry: a node plus the NFA-state bits first
+  // discovered at it this level (the subset-construction delta).
+  struct MaskFrontier {
+    int32_t node;
+    uint64_t mask;
+  };
+
   // One query's compiled tables plus a fingerprint of (both automata,
   // label-universe size): the cache below is keyed by query text, and the
   // fingerprint catches the pathological aliasing cases (same text compiled
   // against a different label table) without storing the automata.
+  //
+  // dfa_trans is the scratch-local subset-construction memo ((mask, label)
+  // -> successor mask) the DFA backend consults lock-free; it is seeded
+  // from the query's shared DfaMemo on first use and new entries merge back
+  // after each evaluation, so concurrent lanes warm each other across
+  // batches without sharing mutable state mid-query.
   struct CompiledQuery {
     uint64_t fingerprint = 0;  // 0 = never compiled
     DenseAutomaton fwd;
     DenseAutomaton rev;
+    DfaTransitionMap dfa_trans;
+    bool dfa_synced = false;      // shared-memo snapshot taken
+    size_t dfa_merged_size = 0;   // dfa_trans size last merged back
   };
 
   // Serving workloads cycle a bounded query set; past this many distinct
@@ -308,10 +384,22 @@ class FrozenScratch {
   bool InsertIndexVisit(int32_t node, int32_t state);
   bool InsertDataVisit(int32_t node, int32_t state);
 
-  // Compiled-query cache (see PrepareForQuery); fwd_/rev_ point into it.
+  // Mask-at-once variant for the DFA backend (requires index_words_ == 1):
+  // ORs `mask` into the node's visited set and returns the bits that were
+  // new (0 if all already present).
+  uint64_t InsertIndexMask(int32_t node, uint64_t mask);
+
+  // Prefilter membership: was `node` marked by the current prefilter pass?
+  bool PfContains(int32_t node) const {
+    return pf_mark_gen_[static_cast<size_t>(node)] == pf_gen_;
+  }
+
+  // Compiled-query cache (see PrepareForQuery); fwd_/rev_ point into it and
+  // cur_compiled_ at the whole entry (the DFA backend's memo lives there).
   std::unordered_map<std::string, std::unique_ptr<CompiledQuery>> compiled_;
   const DenseAutomaton* fwd_ = nullptr;
   const DenseAutomaton* rev_ = nullptr;
+  CompiledQuery* cur_compiled_ = nullptr;
 
   // Index-side traversal state (words_ = ceil(states/64) mask words/node).
   int index_words_ = 0;
@@ -334,6 +422,23 @@ class FrozenScratch {
   // never interleaves with the index BFS that spawned it).
   std::vector<Frontier> cur_;
   std::vector<Frontier> next_;
+
+  // DFA-backend frontiers: like cur_/next_ but carrying state masks, with a
+  // per-node slot map so same-level discoveries of one node merge into one
+  // entry (mslot_stamp_ is bumped every BFS level, making stale slots
+  // self-invalidating).
+  std::vector<MaskFrontier> mcur_;
+  std::vector<MaskFrontier> mnext_;
+  std::vector<int32_t> mslot_;
+  std::vector<uint64_t> mslot_gen_;
+  uint64_t mslot_stamp_ = 0;
+
+  // Prefilter ancestor-walk state: generation-stamped marks over the index
+  // nodes plus plain node frontiers (the walk carries no automaton state).
+  uint64_t pf_gen_ = 0;
+  std::vector<uint64_t> pf_mark_gen_;
+  std::vector<int32_t> pf_cur_;
+  std::vector<int32_t> pf_next_;
 
   // Uncertain-extent candidates of the current query (parallel validation).
   std::vector<NodeId> candidates_;

@@ -1,0 +1,292 @@
+// Differential suite for the evaluation backends (query/backend.h): every
+// backend — NFA reference, DFA subset construction, required-label
+// prefilter variants, reverse-automaton — and the kAuto planner must return
+// bit-identical RESULTS to the reference evaluator, on random graphs, XMark
+// and NASA, through the budgeted storage tier, across epochs, and through
+// forced-backend QueryServer configurations. (EvalStats are only defined to
+// match the reference under forced kNfa — tests/frozen_view_test.cc pins
+// that; here only results are compared.)
+//
+// Every suite evaluates each query TWICE per view: the second pass crosses
+// the planner's DFA warmup threshold (kDfaWarmupEvals), so kAuto views
+// genuinely switch backends mid-test instead of riding NFA throughout.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "datagen/nasa_generator.h"
+#include "datagen/xmark_generator.h"
+#include "index/ak_index.h"
+#include "index/dk_index.h"
+#include "query/evaluator.h"
+#include "query/frozen_view.h"
+#include "query/load_analyzer.h"
+#include "query/workload.h"
+#include "serve/apply.h"
+#include "serve/query_server.h"
+#include "tests/test_util.h"
+
+namespace dki {
+namespace {
+
+// kAuto first so the other views' evaluations warm each query's shared
+// DfaMemo before auto plans — exercising history-dependent planning.
+const EvalBackendMode kAllModes[] = {
+    EvalBackendMode::kAuto,         EvalBackendMode::kNfa,
+    EvalBackendMode::kDfa,          EvalBackendMode::kNfaPrefilter,
+    EvalBackendMode::kDfaPrefilter, EvalBackendMode::kReverse,
+};
+
+FrozenViewOptions ModeOptions(EvalBackendMode mode, int64_t budget = 0) {
+  FrozenViewOptions options;
+  options.backend = mode;
+  options.memory_budget_bytes = budget;
+  return options;
+}
+
+// The workload generator's chains plus handwritten expressions picking the
+// shapes the planner routes differently: wildcard starts (reverse bait),
+// literal-heavy chains (prefilter bait), alternation and closures (DFA
+// bait), and dead/absent labels (empty shortcircuit).
+std::vector<std::string> BackendQueries(const DataGraph& g, uint64_t seed) {
+  Rng rng(seed);
+  WorkloadOptions options;
+  options.num_queries = 20;
+  Workload load = GenerateWorkload(g, options, &rng);
+  std::vector<std::string> queries = load.queries;
+  for (int len : {2, 3, 4}) {
+    queries.push_back(testing_util::RandomChainQuery(g, len, &rng));
+  }
+  const std::string a = testing_util::RandomChainQuery(g, 1, &rng);
+  const std::string b = testing_util::RandomChainQuery(g, 2, &rng);
+  queries.push_back("_");
+  queries.push_back("_." + a);
+  queries.push_back("_*." + a);
+  queries.push_back("_._." + a);
+  queries.push_back("(" + a + ")|(" + b + ")");
+  queries.push_back("(" + b + ")|(_._)");
+  queries.push_back(a + "._*");
+  queries.push_back(a + "?._");
+  queries.push_back("label_absent_from_this_graph");
+  queries.push_back("_.label_absent_from_this_graph._");
+  return queries;
+}
+
+// Checks: reference(EvaluateOnIndex) == every mode's view, both validate
+// flavors, two passes. All views share the parsed PathExpression objects,
+// so the DFA memo and eval history accumulate across modes as they would
+// across serving threads.
+void ExpectAllModesMatchReference(const IndexGraph& index, const DataGraph& g,
+                                  const std::vector<std::string>& texts,
+                                  int64_t budget = 0) {
+  std::vector<PathExpression> queries;
+  for (const std::string& t : texts) {
+    queries.push_back(testing_util::MustParse(t, g.labels()));
+  }
+
+  std::vector<std::unique_ptr<FrozenView>> views;
+  std::vector<std::unique_ptr<FrozenScratch>> scratches;
+  for (EvalBackendMode mode : kAllModes) {
+    views.push_back(
+        std::make_unique<FrozenView>(index, ModeOptions(mode, budget)));
+    scratches.push_back(std::make_unique<FrozenScratch>());
+    EXPECT_EQ(views.back()->backend_mode(), mode);
+    EXPECT_EQ(views.back()->epoch(), index.epoch());
+  }
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      for (bool validate : {true, false}) {
+        const std::vector<NodeId> want =
+            EvaluateOnIndex(index, queries[qi], nullptr, validate);
+        for (size_t vi = 0; vi < views.size(); ++vi) {
+          const std::vector<NodeId> got = views[vi]->Evaluate(
+              queries[qi], nullptr, validate, scratches[vi].get());
+          EXPECT_EQ(want, got)
+              << "mode=" << EvalBackendModeName(kAllModes[vi])
+              << " budget=" << budget << " pass=" << pass
+              << " validate=" << validate << " query=" << texts[qi];
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendDiffTest, RandomGraphsAllBackendsBitIdentical) {
+  Rng rng(41);
+  for (int round = 0; round < 6; ++round) {
+    DataGraph g = testing_util::RandomGraph(/*n=*/150, /*num_labels=*/6,
+                                            /*extra_edges=*/30, &rng);
+    AkIndex ak = AkIndex::Build(&g, round % 4);
+    ExpectAllModesMatchReference(ak.index(), g,
+                                 BackendQueries(g, 1000 + round));
+  }
+}
+
+TEST(BackendDiffTest, XmarkAllBackendsBitIdentical) {
+  XmarkOptions opt;
+  opt.scale = 0.08;
+  DataGraph g = GenerateXmarkGraph(opt).graph;
+  std::vector<std::string> queries = BackendQueries(g, 43);
+
+  LabelRequirements reqs =
+      MineRequirementsFromText(queries, g.labels(), nullptr);
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  AkIndex a1 = AkIndex::Build(&g, 1);  // low k: the validate path dominates
+  ExpectAllModesMatchReference(dk.index(), g, queries);
+  ExpectAllModesMatchReference(a1.index(), g, queries);
+}
+
+TEST(BackendDiffTest, NasaAllBackendsBitIdentical) {
+  NasaOptions opt;
+  opt.scale = 0.08;
+  DataGraph g = GenerateNasaGraph(opt).graph;
+  std::vector<std::string> queries = BackendQueries(g, 47);
+
+  LabelRequirements reqs =
+      MineRequirementsFromText(queries, g.labels(), nullptr);
+  DkIndex dk = DkIndex::Build(&g, reqs);
+  AkIndex a1 = AkIndex::Build(&g, 1);
+  ExpectAllModesMatchReference(dk.index(), g, queries);
+  ExpectAllModesMatchReference(a1.index(), g, queries);
+}
+
+TEST(BackendDiffTest, BudgetedTierAllBackendsBitIdentical) {
+  // Backends over the compressed/spilled storage tier: the prefilter's
+  // index-parent walk and the reverse backend's bucket scans must read the
+  // same bytes the flat representation holds.
+  XmarkOptions opt;
+  opt.scale = 0.06;
+  DataGraph g = GenerateXmarkGraph(opt).graph;
+  DkIndex dk = DkIndex::Build(&g, {});
+  ExpectAllModesMatchReference(dk.index(), g, BackendQueries(g, 53),
+                               /*budget=*/1);
+}
+
+TEST(BackendDiffTest, BackendsAgreeAcrossEpochs) {
+  // Mutate the index between freezes: every mode must track the new
+  // quotient, and views of the same index must carry the same epoch stamp.
+  Rng rng(59);
+  DataGraph g = testing_util::RandomGraph(200, 5, 40, &rng);
+  LabelRequirements reqs;
+  for (LabelId l = 0; l < static_cast<LabelId>(g.labels().size()); ++l) {
+    reqs[l] = 2;
+  }
+  DkIndex dk = DkIndex::Build(&g, reqs);
+
+  std::vector<std::string> queries = BackendQueries(g, 61);
+  for (int epoch_round = 0; epoch_round < 3; ++epoch_round) {
+    ExpectAllModesMatchReference(dk.index(), g, queries);
+    const uint64_t before = dk.index().epoch();
+    for (int i = 0; i < 5; ++i) {
+      const NodeId u =
+          static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+      const NodeId v =
+          static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+      ApplyUpdateOp(&dk, UpdateOp::AddEdge(u, v));
+    }
+    EXPECT_GT(dk.index().epoch(), before) << "round " << epoch_round;
+  }
+}
+
+TEST(BackendDiffTest, ForcedBackendServersBitIdentical) {
+  // End to end through the serving stack: one QueryServer per forced
+  // backend (QueryServer::Options::frozen.backend) plus kAuto, fed the same
+  // traffic and the same updates, must answer identically — single queries
+  // and batches — across republished snapshots.
+  Rng rng(67);
+  DataGraph g = testing_util::RandomGraph(250, 6, 50, &rng);
+  DkIndex dk = DkIndex::Build(&g, {});
+
+  std::vector<std::unique_ptr<QueryServer>> servers;
+  for (EvalBackendMode mode : kAllModes) {
+    QueryServer::Options options;
+    options.frozen.backend = mode;
+    servers.push_back(std::make_unique<QueryServer>(dk, options));
+  }
+
+  std::vector<std::string> texts = BackendQueries(g, 71);
+  auto expect_servers_agree = [&](const std::string& when) {
+    for (const std::string& text : texts) {
+      auto want = servers[0]->Evaluate(text);
+      ASSERT_TRUE(want.has_value()) << when << " " << text;
+      for (size_t si = 1; si < servers.size(); ++si) {
+        auto got = servers[si]->Evaluate(text);
+        ASSERT_TRUE(got.has_value()) << when << " " << text;
+        EXPECT_EQ(*want, *got)
+            << when << " mode=" << EvalBackendModeName(kAllModes[si])
+            << " query=" << text;
+      }
+    }
+    std::vector<std::vector<std::optional<std::vector<NodeId>>>> batches;
+    for (auto& server : servers) {
+      batches.push_back(server->EvaluateBatch(texts));
+    }
+    for (size_t si = 1; si < batches.size(); ++si) {
+      EXPECT_EQ(batches[0], batches[si])
+          << when << " batch mode=" << EvalBackendModeName(kAllModes[si]);
+    }
+  };
+
+  expect_servers_agree("fresh");
+  for (int i = 0; i < 15; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(1, g.NumNodes() - 1));
+    for (auto& server : servers) {
+      ASSERT_TRUE(server->SubmitAddEdge(u, v));
+    }
+  }
+  for (auto& server : servers) server->Flush();
+  expect_servers_agree("after updates");
+  for (auto& server : servers) server->Stop();
+}
+
+// Satellite: EvaluateBatch's lane sizing. Floor division caps the lane
+// count so EVERY lane gets >= kMinQueriesPerLane queries and ChunkBounds
+// keeps per-lane loads within one query of each other.
+TEST(BackendDiffTest, BatchLaneSizingRespectsMinQueriesPerLane) {
+  DataGraph g = testing_util::BuildMovieGraph();
+  AkIndex ak = AkIndex::Build(&g, 1);
+  FrozenView view(ak.index());
+  ThreadPool pool(8);
+
+  const PathExpression query =
+      testing_util::MustParse("director.movie", g.labels());
+  ASSERT_EQ(FrozenView::kMinQueriesPerLane, 8);  // thresholds below assume it
+
+  const struct {
+    int total;
+    int want_lanes;
+  } cases[] = {
+      {1, 1},  {7, 1},  {8, 1},  {9, 1},   // floor(9/8) = 1: no starved lane
+      {16, 2}, {17, 2}, {23, 2}, {64, 8},
+  };
+  for (const auto& c : cases) {
+    std::vector<const PathExpression*> batch(static_cast<size_t>(c.total),
+                                             &query);
+    std::vector<std::unique_ptr<FrozenScratch>> lanes;
+    std::vector<std::vector<NodeId>> results =
+        view.EvaluateBatch(batch, &pool, nullptr, true, &lanes);
+    EXPECT_EQ(static_cast<int>(lanes.size()), c.want_lanes)
+        << "total=" << c.total;
+    const std::vector<NodeId> want = view.Evaluate(query);
+    for (const auto& r : results) EXPECT_EQ(want, r) << "total=" << c.total;
+  }
+}
+
+TEST(BackendDiffTest, BackendModeNamesRoundTrip) {
+  for (EvalBackendMode mode : kAllModes) {
+    auto parsed = ParseEvalBackendMode(EvalBackendModeName(mode));
+    ASSERT_TRUE(parsed.has_value()) << EvalBackendModeName(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(ParseEvalBackendMode("no_such_backend").has_value());
+}
+
+}  // namespace
+}  // namespace dki

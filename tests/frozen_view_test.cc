@@ -28,6 +28,17 @@
 namespace dki {
 namespace {
 
+// This suite pins the reference backend: EvalStats are compared pop-for-pop
+// against query/evaluator.cc, a property only forced EvalBackend::kNfa
+// guarantees (under kAuto the planner may legally pick a backend with
+// different traversal counts — tests/backend_diff_test.cc covers those and
+// holds their RESULTS bit-identical).
+FrozenViewOptions ReferenceBackend() {
+  FrozenViewOptions options;
+  options.backend = EvalBackendMode::kNfa;
+  return options;
+}
+
 void ExpectStatsEq(const EvalStats& want, const EvalStats& got,
                    const std::string& context) {
   EXPECT_EQ(want.index_nodes_visited, got.index_nodes_visited) << context;
@@ -102,7 +113,7 @@ TEST(FrozenViewTest, MovieGraphMatchesReferenceOnAllIndexKinds) {
   const std::vector<const IndexGraph*> kinds = {&one, &a0.index(),
                                                 &a2.index(), &dk.index()};
   for (const IndexGraph* index : kinds) {
-    FrozenView view(*index);
+    FrozenView view(*index, ReferenceBackend());
     EXPECT_EQ(view.epoch(), index->epoch());
     EXPECT_EQ(view.num_data_nodes(), g.NumNodes());
     EXPECT_EQ(view.num_index_nodes(), index->NumIndexNodes());
@@ -121,7 +132,7 @@ TEST(FrozenViewTest, RandomGraphsMatchReference) {
     DataGraph g = testing_util::RandomGraph(/*n=*/120, /*num_labels=*/6,
                                             /*extra_edges=*/25, &rng);
     AkIndex ak = AkIndex::Build(&g, static_cast<int>(round % 4));
-    FrozenView view(ak.index());
+    FrozenView view(ak.index(), ReferenceBackend());
     FrozenScratch scratch;
     for (int q = 0; q < 12; ++q) {
       std::string text = testing_util::RandomChainQuery(
@@ -147,7 +158,7 @@ TEST(FrozenViewTest, XmarkWorkloadMatchesReference) {
   AkIndex a1 = AkIndex::Build(&g, 1);
 
   for (const IndexGraph* index : {&dk.index(), &a1.index()}) {
-    FrozenView view(*index);
+    FrozenView view(*index, ReferenceBackend());
     FrozenScratch scratch;
     for (const std::string& text : queries) {
       ExpectFrozenMatchesReference(
@@ -168,7 +179,7 @@ TEST(FrozenViewTest, NasaWorkloadMatchesReference) {
   AkIndex a1 = AkIndex::Build(&g, 1);
 
   for (const IndexGraph* index : {&dk.index(), &a1.index()}) {
-    FrozenView view(*index);
+    FrozenView view(*index, ReferenceBackend());
     FrozenScratch scratch;
     for (const std::string& text : queries) {
       ExpectFrozenMatchesReference(
@@ -183,7 +194,7 @@ TEST(FrozenViewTest, BatchMatchesSequentialAcrossThreadCounts) {
   DataGraph g = GenerateXmarkGraph(opt).graph;
   std::vector<std::string> texts = MixedQueries(g, 17);
   AkIndex ak = AkIndex::Build(&g, 1);
-  FrozenView view(ak.index());
+  FrozenView view(ak.index(), ReferenceBackend());
 
   std::vector<PathExpression> queries;
   for (const std::string& t : texts) {
@@ -242,7 +253,7 @@ TEST(FrozenViewTest, ParallelValidationMatchesSequential) {
   opt.scale = 0.12;
   DataGraph g = GenerateXmarkGraph(opt).graph;
   AkIndex a0 = AkIndex::Build(&g, 0);
-  FrozenView view(a0.index());
+  FrozenView view(a0.index(), ReferenceBackend());
   ThreadPool pool(4);
 
   std::vector<std::string> texts = MixedQueries(g, 19);
